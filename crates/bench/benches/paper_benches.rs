@@ -1,0 +1,206 @@
+//! Criterion benchmarks backing the paper's evaluation claims:
+//!
+//! * `type_inference` — guide-type inference latency per benchmark
+//!   (§6: "type inference completes in several milliseconds");
+//! * `table2_cg` — type inference + Pyro code generation (the CG column);
+//! * `table2_inference` — one importance-sampling particle / one VI
+//!   iteration on the coroutine path vs the handwritten path
+//!   (the GI vs HI comparison, per-unit-of-work);
+//! * `coroutine_overhead` — a single joint coroutine execution vs the
+//!   handwritten particle function (the paper's "coroutines do not add
+//!   significant overhead" claim);
+//! * `fig2_posterior` — the importance-sampling workload behind Fig. 2;
+//! * `ablation_scoring_modes` — joint generative execution vs re-scoring a
+//!   recorded trace with the big-step evaluator (design-choice ablation
+//!   from DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ppl_bench::handwritten_importance;
+use ppl_dist::rng::Pcg32;
+use ppl_inference::ImportanceSampler;
+use ppl_models::{all_benchmarks, benchmark, handwritten_is};
+use ppl_runtime::{JointExecutor, JointSpec, LatentSource};
+use ppl_semantics::{Evaluator, Message, Trace};
+use std::time::Duration;
+
+fn configured(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_type_inference(c: &mut Criterion) {
+    let mut group = configured(c).benchmark_group("type_inference");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for b in all_benchmarks().into_iter().filter(|b| b.in_table1 && b.expressible) {
+        let model = b.parsed_model().unwrap().unwrap();
+        let guide = b.parsed_guide().unwrap().unwrap();
+        group.bench_function(b.name, |bencher| {
+            bencher.iter(|| {
+                ppl_types::infer_program(&model).unwrap();
+                ppl_types::infer_program(&guide).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_cg(c: &mut Criterion) {
+    let mut group = configured(c).benchmark_group("table2_cg");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, _) in ppl_models::table2_benchmarks() {
+        let b = benchmark(name).unwrap();
+        let model = b.parsed_model().unwrap().unwrap();
+        let guide = b.parsed_guide().unwrap().unwrap();
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                ppl_types::infer_program(&model).unwrap();
+                ppl_types::infer_program(&guide).unwrap();
+                ppl_compiler::compile_pair(
+                    &model,
+                    b.model_proc,
+                    &guide,
+                    b.guide_proc,
+                    ppl_compiler::Style::Coroutine,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coroutine_overhead(c: &mut Criterion) {
+    let mut group = configured(c).benchmark_group("coroutine_overhead");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for name in ["ex-1", "branching", "gmm"] {
+        let b = benchmark(name).unwrap();
+        let model = b.parsed_model().unwrap().unwrap();
+        let guide = b.parsed_guide().unwrap().unwrap();
+        let exec = JointExecutor::new(&model, &guide, b.observations.clone());
+        let spec = JointSpec::new(b.model_proc, b.guide_proc);
+        group.bench_function(format!("{name}/coroutine_particle"), |bencher| {
+            bencher.iter_batched(
+                || Pcg32::seed_from_u64(1),
+                |mut rng| exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        if let Some(h) = handwritten_is(name) {
+            let obs = b.observations.clone();
+            group.bench_function(format!("{name}/handwritten_particle"), |bencher| {
+                bencher.iter_batched(
+                    || Pcg32::seed_from_u64(1),
+                    |mut rng| (h.particle)(&mut rng, &obs),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_table2_inference(c: &mut Criterion) {
+    let mut group = configured(c).benchmark_group("table2_inference");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    const PARTICLES: usize = 2_000;
+    for name in ["ex-1", "branching", "gmm"] {
+        let b = benchmark(name).unwrap();
+        let model = b.parsed_model().unwrap().unwrap();
+        let guide = b.parsed_guide().unwrap().unwrap();
+        let exec = JointExecutor::new(&model, &guide, b.observations.clone());
+        let spec = JointSpec::new(b.model_proc, b.guide_proc);
+        group.bench_function(format!("{name}/coroutine_is"), |bencher| {
+            bencher.iter_batched(
+                || Pcg32::seed_from_u64(9),
+                |mut rng| {
+                    ImportanceSampler::new(PARTICLES)
+                        .run(&exec, &spec, &mut rng)
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        if let Some(h) = handwritten_is(name) {
+            let obs = b.observations.clone();
+            group.bench_function(format!("{name}/handwritten_is"), |bencher| {
+                bencher.iter_batched(
+                    || Pcg32::seed_from_u64(9),
+                    |mut rng| handwritten_importance(h.particle, &obs, PARTICLES, &mut rng),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = configured(c).benchmark_group("fig2_posterior");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("importance_sampling_5k", |bencher| {
+        bencher.iter(|| ppl_bench::fig2_series(5_000, 28, 42))
+    });
+    group.finish();
+}
+
+fn bench_ablation_scoring_modes(c: &mut Criterion) {
+    let mut group = configured(c).benchmark_group("ablation_scoring_modes");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let b = benchmark("ex-1").unwrap();
+    let model = b.parsed_model().unwrap().unwrap();
+    let guide = b.parsed_guide().unwrap().unwrap();
+    let exec = JointExecutor::new(&model, &guide, b.observations.clone());
+    let spec = JointSpec::new(b.model_proc, b.guide_proc);
+    // Pre-record a latent trace and the observation trace.
+    let mut rng = Pcg32::seed_from_u64(3);
+    let joint = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+    let latent = joint.latent.clone();
+    let obs_trace: Trace = b
+        .observations
+        .iter()
+        .map(|s| Message::ValP(*s))
+        .collect();
+    group.bench_function("joint_replay", |bencher| {
+        bencher.iter_batched(
+            || Pcg32::seed_from_u64(4),
+            |mut rng| exec.run(&spec, LatentSource::Replay(&latent), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let evaluator = Evaluator::new(&model);
+    group.bench_function("big_step_rescoring", |bencher| {
+        bencher.iter(|| {
+            evaluator
+                .run_proc(&b.model_proc.into(), &[], &latent, &obs_trace)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_type_inference,
+    bench_table2_cg,
+    bench_coroutine_overhead,
+    bench_table2_inference,
+    bench_fig2,
+    bench_ablation_scoring_modes
+);
+criterion_main!(benches);

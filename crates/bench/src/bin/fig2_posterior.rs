@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 2** of the paper: the prior and posterior densities of
+//! the latent variable `@x` of the Fig. 1 model, conditioned on the
+//! observation `@z = 0.8`.
+//!
+//! Run with `cargo run -p ppl-bench --bin fig2_posterior --release`.
+
+use ppl_bench::fig2_series;
+
+fn main() {
+    let series = fig2_series(200_000, 35, 20_210_620);
+    println!("Fig. 2: densities of @x under the prior and the posterior (@z = 0.8)");
+    println!("{:>6}  {:>9}  {:>9}   bars", "x", "prior", "posterior");
+    for p in &series {
+        let bar_len = (p.posterior * 40.0).round() as usize;
+        let prior_len = (p.prior * 40.0).round() as usize;
+        println!(
+            "{:>6.2}  {:>9.4}  {:>9.4}   {}{}",
+            p.x,
+            p.prior,
+            p.posterior,
+            "#".repeat(bar_len.min(60)),
+            format!("  (prior {})", "·".repeat(prior_len.min(60)))
+        );
+    }
+    let width = series.get(1).map(|p| p.x - series[0].x).unwrap_or(0.2);
+    let prior_mean: f64 = series.iter().map(|p| p.x * p.prior * width).sum();
+    let post_mean: f64 = series.iter().map(|p| p.x * p.posterior * width).sum();
+    println!("\nprior mean of @x    : {prior_mean:.3}");
+    println!("posterior mean of @x: {post_mean:.3}");
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Table 1** of the paper: per benchmark, whether it
+//! type-checks in the coroutine-based PPL (`T?`), the model's lines of code
+//! (`LOC`), and whether the trace-types baseline can express it (`TP?`).
+//!
+//! Run with `cargo run -p ppl-bench --bin table1_expressiveness --release`.
+
+use ppl_bench::table1_rows;
+
+fn main() {
+    let rows = table1_rows();
+    println!("Table 1: selected benchmark descriptions and expressiveness");
+    println!("{:<11} {:<38} {:>3} {:>5} {:>4}  {}", "Program", "Description", "T?", "LOC", "TP?", "type-inference time");
+    println!("{}", "-".repeat(90));
+    for row in &rows {
+        let mark = |b: bool| if b { "Y" } else { "N" };
+        let loc = if row.ours { row.loc.to_string() } else { "N/A".to_string() };
+        let time = row
+            .inference_time
+            .map(|t| format!("{:.2} ms", t.as_secs_f64() * 1e3))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<11} {:<38} {:>3} {:>5} {:>4}  {}",
+            row.name,
+            row.description,
+            mark(row.ours),
+            loc,
+            mark(row.trace_types),
+            time
+        );
+    }
+    let ours = rows.iter().filter(|r| r.ours).count();
+    let prior = rows.iter().filter(|r| r.trace_types).count();
+    println!("{}", "-".repeat(90));
+    println!(
+        "expressible: {ours}/{} in this PPL, {prior}/{} under trace types",
+        rows.len(),
+        rows.len()
+    );
+}

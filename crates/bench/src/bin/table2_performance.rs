@@ -1,0 +1,46 @@
+//! Regenerates **Table 2** of the paper: per selected benchmark, the
+//! inference algorithm, type-inference + code-generation time (CG),
+//! generated lines of code (GLOC), inference time on the compiled/coroutine
+//! path (GI), handwritten lines of code (HLOC), and inference time on the
+//! handwritten path (HI).
+//!
+//! Run with `cargo run -p ppl-bench --bin table2_performance --release`.
+
+use ppl_bench::{table2_rows, Table2Config};
+
+fn main() {
+    let config = Table2Config::default();
+    println!(
+        "Table 2: performance statistics ({} IS particles, {} VI iterations x {} samples)",
+        config.is_particles, config.vi_iterations, config.vi_samples_per_iteration
+    );
+    println!(
+        "{:<11} {:>3} {:>9} {:>6} {:>9} {:>6} {:>9} {:>9}",
+        "Program", "BI", "CG (ms)", "GLOC", "GI (s)", "HLOC", "HI (s)", "GI/HI"
+    );
+    println!("{}", "-".repeat(72));
+    let rows = table2_rows(&config);
+    for r in &rows {
+        let gi = r.coroutine_inference_time.as_secs_f64();
+        let hi = r.handwritten_inference_time.as_secs_f64();
+        println!(
+            "{:<11} {:>3} {:>9.2} {:>6} {:>9.2} {:>6} {:>9.2} {:>9.2}",
+            r.name,
+            r.algorithm,
+            r.codegen_time.as_secs_f64() * 1e3,
+            r.generated_loc,
+            gi,
+            r.handwritten_loc,
+            hi,
+            gi / hi
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!("estimate agreement (coroutine vs handwritten):");
+    for r in &rows {
+        println!(
+            "  {:<11} {:>10.4} vs {:>10.4}",
+            r.name, r.coroutine_estimate, r.handwritten_estimate
+        );
+    }
+}

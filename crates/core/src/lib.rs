@@ -1,0 +1,407 @@
+//! **guide-ppl** — a coroutine-based probabilistic programming language with
+//! guide types, reproducing *Sound Probabilistic Inference via Guide Types*
+//! (Wang, Hoffmann, Reps; PLDI 2021).
+//!
+//! This facade crate wires the subsystem crates into an end-to-end
+//! pipeline:
+//!
+//! 1. parse model and guide programs ([`ppl_syntax`]);
+//! 2. infer **guide types** and check model–guide compatibility, which
+//!    certifies absolute continuity ([`ppl_types`]);
+//! 3. run Bayesian inference (importance sampling, MCMC, variational
+//!    inference) by executing the two programs as communicating coroutines
+//!    ([`ppl_runtime`], [`ppl_inference`]);
+//! 4. optionally compile the pair to Pyro source text ([`ppl_compiler`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use guide_ppl::Session;
+//! use ppl_dist::{Sample, rng::Pcg32};
+//!
+//! let session = Session::from_sources(
+//!     "proc Model() : real consume latent provide obs {
+//!        let x <- sample recv latent (Normal(0.0, 1.0));
+//!        let _ <- sample send obs (Normal(x, 1.0));
+//!        return x }",
+//!     "Model",
+//!     "proc Guide() provide latent {
+//!        let x <- sample send latent (Normal(0.0, 1.5));
+//!        return () }",
+//!     "Guide",
+//! )?;
+//! assert!(session.compatibility().compatible);
+//! let mut rng = Pcg32::seed_from_u64(7);
+//! let posterior = session.importance_sampling(vec![Sample::Real(1.0)], 2_000, &mut rng)?;
+//! let mean = posterior.posterior_mean_of_sample(0).unwrap();
+//! assert!((mean - 0.5).abs() < 0.2);
+//! # Ok::<(), guide_ppl::SessionError>(())
+//! ```
+
+use ppl_dist::rng::Pcg32;
+use ppl_dist::Sample;
+use ppl_inference::{
+    ImportanceResult, ImportanceSampler, IndependenceMh, McmcResult, ParamSpec,
+    VariationalInference, ViConfig, ViResult,
+};
+use ppl_runtime::{JointExecutor, JointSpec, RuntimeError};
+use ppl_syntax::{parse_program, Ident, ParseError, Program};
+use ppl_types::{check_model_guide, infer_program, Compatibility, TypeEnv, TypeError};
+use std::fmt;
+
+pub use ppl_compiler::{compile_pair, CompiledPair, Style};
+pub use ppl_dist as dist;
+pub use ppl_inference as inference;
+pub use ppl_models as models;
+pub use ppl_runtime as runtime;
+pub use ppl_semantics as semantics;
+pub use ppl_syntax as syntax;
+pub use ppl_tracetypes as tracetypes;
+pub use ppl_types as types;
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The model or guide source failed to parse.
+    Parse(ParseError),
+    /// The model or guide failed base-type or guide-type checking.
+    Type(TypeError),
+    /// The model and guide are well-typed but their latent-channel
+    /// protocols differ, so absolute continuity is not certified.
+    Incompatible {
+        /// The model's latent protocol.
+        model_latent: String,
+        /// The guide's latent protocol.
+        guide_latent: String,
+    },
+    /// A runtime failure during inference.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Type(e) => write!(f, "{e}"),
+            SessionError::Incompatible {
+                model_latent,
+                guide_latent,
+            } => write!(
+                f,
+                "model and guide are incompatible: model latent protocol {model_latent}, guide latent protocol {guide_latent}"
+            ),
+            SessionError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<TypeError> for SessionError {
+    fn from(e: TypeError) -> Self {
+        SessionError::Type(e)
+    }
+}
+
+impl From<RuntimeError> for SessionError {
+    fn from(e: RuntimeError) -> Self {
+        SessionError::Runtime(e)
+    }
+}
+
+/// A type-checked model–guide pair, ready for inference.
+#[derive(Debug, Clone)]
+pub struct Session {
+    model: Program,
+    guide: Program,
+    model_proc: Ident,
+    guide_proc: Ident,
+    model_env: TypeEnv,
+    guide_env: TypeEnv,
+    compatibility: Compatibility,
+}
+
+impl Session {
+    /// Parses, type-checks, and compatibility-checks a model–guide pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if parsing or type checking fails, or if
+    /// the two programs do not share the latent protocol (the absolute
+    /// continuity certificate of Theorem 5.2).
+    pub fn from_sources(
+        model_src: &str,
+        model_proc: &str,
+        guide_src: &str,
+        guide_proc: &str,
+    ) -> Result<Session, SessionError> {
+        let model = parse_program(model_src)?;
+        let guide = parse_program(guide_src)?;
+        Session::from_programs(model, model_proc, guide, guide_proc)
+    }
+
+    /// Builds a session from already-parsed programs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::from_sources`], minus parsing.
+    pub fn from_programs(
+        model: Program,
+        model_proc: &str,
+        guide: Program,
+        guide_proc: &str,
+    ) -> Result<Session, SessionError> {
+        let model_proc: Ident = model_proc.into();
+        let guide_proc: Ident = guide_proc.into();
+        let model_env = infer_program(&model)?;
+        let guide_env = infer_program(&guide)?;
+        let compatibility = check_model_guide(&model_env, &model_proc, &guide_env, &guide_proc)?;
+        if !compatibility.compatible {
+            return Err(SessionError::Incompatible {
+                model_latent: render_protocol(&compatibility.model_latent, &model_env),
+                guide_latent: render_protocol(&compatibility.guide_latent, &guide_env),
+            });
+        }
+        Ok(Session {
+            model,
+            guide,
+            model_proc,
+            guide_proc,
+            model_env,
+            guide_env,
+            compatibility,
+        })
+    }
+
+    /// Builds a session from a registered benchmark model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the benchmark is unknown or not expressible, or
+    /// if (unexpectedly) its sources fail the pipeline.
+    pub fn from_benchmark(name: &str) -> Result<Session, SessionError> {
+        let b = ppl_models::benchmark(name).ok_or_else(|| {
+            SessionError::Type(TypeError::new(format!("unknown benchmark '{name}'")))
+        })?;
+        if !b.expressible {
+            return Err(SessionError::Type(TypeError::new(format!(
+                "benchmark '{name}' is not expressible in the coroutine-based PPL"
+            ))));
+        }
+        Session::from_sources(b.model_src, b.model_proc, b.guide_src, b.guide_proc)
+    }
+
+    /// The model program.
+    pub fn model(&self) -> &Program {
+        &self.model
+    }
+
+    /// The guide program.
+    pub fn guide(&self) -> &Program {
+        &self.guide
+    }
+
+    /// The guide-type inference result for the model.
+    pub fn model_types(&self) -> &TypeEnv {
+        &self.model_env
+    }
+
+    /// The guide-type inference result for the guide.
+    pub fn guide_types(&self) -> &TypeEnv {
+        &self.guide_env
+    }
+
+    /// The model–guide compatibility verdict.
+    pub fn compatibility(&self) -> &Compatibility {
+        &self.compatibility
+    }
+
+    /// The inferred latent protocol, rendered as text.  Top-level operator
+    /// applications are unfolded once so that non-recursive protocols read
+    /// directly as message sequences (e.g. `preal /\ (1 & ureal /\ 1)`).
+    pub fn latent_protocol(&self) -> String {
+        render_protocol(&self.compatibility.model_latent, &self.model_env)
+    }
+
+    /// Builds a joint executor conditioned on the given observations.
+    pub fn executor(&self, observations: Vec<Sample>) -> JointExecutor<'_> {
+        JointExecutor::new(&self.model, &self.guide, observations)
+    }
+
+    /// The default joint spec (conventional channel names, no arguments).
+    pub fn spec(&self) -> JointSpec {
+        JointSpec::new(self.model_proc.as_str(), self.guide_proc.as_str())
+    }
+
+    /// Runs importance sampling with `num_particles` particles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the joint executor.
+    pub fn importance_sampling(
+        &self,
+        observations: Vec<Sample>,
+        num_particles: usize,
+        rng: &mut Pcg32,
+    ) -> Result<ImportanceResult, SessionError> {
+        let executor = self.executor(observations);
+        Ok(ImportanceSampler::new(num_particles).run(&executor, &self.spec(), rng)?)
+    }
+
+    /// Runs independence Metropolis–Hastings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the joint executor.
+    pub fn metropolis_hastings(
+        &self,
+        observations: Vec<Sample>,
+        iterations: usize,
+        burn_in: usize,
+        rng: &mut Pcg32,
+    ) -> Result<McmcResult, SessionError> {
+        let executor = self.executor(observations);
+        Ok(IndependenceMh::new(iterations, burn_in).run(&executor, &self.spec(), rng)?)
+    }
+
+    /// Runs variational inference over the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the joint executor.
+    pub fn variational_inference(
+        &self,
+        observations: Vec<Sample>,
+        params: &[ParamSpec],
+        config: ViConfig,
+        rng: &mut Pcg32,
+    ) -> Result<ViResult, SessionError> {
+        let executor = self.executor(observations);
+        Ok(VariationalInference::new(config).run(&executor, &self.spec(), params, rng)?)
+    }
+
+    /// Compiles the pair to Pyro source text.
+    pub fn compile_to_pyro(&self, style: Style) -> CompiledPair {
+        compile_pair(
+            &self.model,
+            self.model_proc.as_str(),
+            &self.guide,
+            self.guide_proc.as_str(),
+            style,
+        )
+    }
+}
+
+/// Renders a protocol for human consumption: while the head of the type is
+/// a defined operator application, unfold it (guarding against recursive
+/// operators, which are left folded).
+fn render_protocol(ty: &ppl_types::GuideType, env: &TypeEnv) -> String {
+    let mut current = ty.clone();
+    for _ in 0..4 {
+        match &current {
+            ppl_types::GuideType::App(op, arg) => {
+                match env.defs.unfold(op, arg) {
+                    // Keep recursive operators folded so the rendering stays
+                    // finite and readable.
+                    Some(body) if !body.to_string().contains(&format!("{op}[")) => {
+                        current = body;
+                    }
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    current.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = "proc Model() : real consume latent provide obs {
+        let x <- sample recv latent (Normal(0.0, 1.0));
+        let _ <- sample send obs (Normal(x, 1.0));
+        return x }";
+    const GUIDE: &str = "proc Guide() provide latent {
+        let x <- sample send latent (Normal(0.0, 1.5));
+        return () }";
+    const BAD_GUIDE: &str = "proc Guide() provide latent {
+        let x <- sample send latent (Unif);
+        return () }";
+
+    #[test]
+    fn session_pipeline_accepts_compatible_pairs() {
+        let s = Session::from_sources(MODEL, "Model", GUIDE, "Guide").unwrap();
+        assert!(s.compatibility().compatible);
+        assert!(s.latent_protocol().contains("real"));
+        assert!(s.model().proc_named("Model").is_some());
+        assert!(s.guide().proc_named("Guide").is_some());
+        assert!(s.model_types().consumed_protocol(&"Model".into()).is_some());
+        assert!(s.guide_types().provided_protocol(&"Guide".into()).is_some());
+        let compiled = s.compile_to_pyro(Style::Coroutine);
+        assert!(compiled.generated_loc > 0);
+    }
+
+    #[test]
+    fn session_pipeline_rejects_incompatible_pairs() {
+        let err = Session::from_sources(MODEL, "Model", BAD_GUIDE, "Guide").unwrap_err();
+        match err {
+            SessionError::Incompatible {
+                model_latent,
+                guide_latent,
+            } => {
+                assert!(model_latent.contains("real"));
+                assert!(guide_latent.contains("ureal"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn session_reports_parse_and_type_errors() {
+        assert!(matches!(
+            Session::from_sources("proc (", "P", GUIDE, "Guide"),
+            Err(SessionError::Parse(_))
+        ));
+        let ill_typed = "proc Model() consume latent { let x <- sample recv latent (Ber(2.0)); return () }";
+        assert!(matches!(
+            Session::from_sources(ill_typed, "Model", GUIDE, "Guide"),
+            Err(SessionError::Type(_))
+        ));
+        let e = SessionError::Parse(ParseError {
+            message: "x".into(),
+            line: 1,
+            col: 1,
+        });
+        assert!(e.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn session_from_benchmark() {
+        let s = Session::from_benchmark("ex-1").unwrap();
+        assert!(s.compatibility().compatible);
+        assert!(Session::from_benchmark("dp").is_err());
+        assert!(Session::from_benchmark("unknown").is_err());
+    }
+
+    #[test]
+    fn session_inference_shortcuts() {
+        let s = Session::from_sources(MODEL, "Model", GUIDE, "Guide").unwrap();
+        let mut rng = Pcg32::seed_from_u64(5);
+        let is = s
+            .importance_sampling(vec![Sample::Real(1.0)], 3_000, &mut rng)
+            .unwrap();
+        assert!((is.posterior_mean_of_sample(0).unwrap() - 0.5).abs() < 0.15);
+        let mh = s
+            .metropolis_hastings(vec![Sample::Real(1.0)], 2_000, 200, &mut rng)
+            .unwrap();
+        assert!((mh.posterior_mean_of_sample(0).unwrap() - 0.5).abs() < 0.2);
+    }
+}

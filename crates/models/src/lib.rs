@@ -1,0 +1,628 @@
+//! The benchmark-model library of the guide-types PPL evaluation.
+//!
+//! Each [`Benchmark`] bundles the PPL source of a model, a matching guide,
+//! conditioning observations, and metadata (which inference algorithm the
+//! paper uses for it, variational parameters, handwritten baselines).  The
+//! registry reproduces the benchmark suite of §6:
+//!
+//! * the Table 1 expressiveness set (`lr`, `gmm`, `kalman`, `sprinkler`,
+//!   `hmm`, `branching`, `marsaglia`, `dp`, `ptrace`, `aircraft`, `weight`,
+//!   `vae`, `ex-1`, `ex-2`, `gp-dsl`);
+//! * the Table 2 performance subset (`ex-1`, `branching`, `gmm` with IS;
+//!   `weight`, `vae` with VI) together with handwritten baselines;
+//! * a few additional models used by the examples and tests (`outlier`,
+//!   `normal-normal`, `geometric`, `burglary`, `coin`, `seasons`).
+//!
+//! # Example
+//!
+//! ```
+//! use ppl_models::{all_benchmarks, benchmark};
+//!
+//! assert!(all_benchmarks().len() >= 15);
+//! let ex1 = benchmark("ex-1").unwrap();
+//! let model = ex1.parsed_model().unwrap().unwrap();
+//! assert!(model.proc_named("Model").is_some());
+//! ```
+
+pub mod handwritten;
+pub mod sources;
+
+use ppl_dist::Sample;
+use ppl_syntax::{parse_program, ParseError, Program};
+
+/// Which inference algorithm the paper's evaluation runs on a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceKind {
+    /// Importance sampling.
+    ImportanceSampling,
+    /// Variational inference.
+    VariationalInference,
+    /// Markov-chain Monte Carlo (used by the additional `outlier` model).
+    Mcmc,
+}
+
+impl InferenceKind {
+    /// The abbreviation used in Table 2.
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            InferenceKind::ImportanceSampling => "IS",
+            InferenceKind::VariationalInference => "VI",
+            InferenceKind::Mcmc => "MCMC",
+        }
+    }
+}
+
+/// A variational parameter of a guide (name, initial value, positivity
+/// constraint); mirrors `ppl_inference::ParamSpec` without a dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuideParam {
+    /// Parameter name.
+    pub name: &'static str,
+    /// Initial value.
+    pub init: f64,
+    /// Whether the parameter must remain positive.
+    pub positive: bool,
+}
+
+/// A benchmark model with its guide and experimental configuration.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name (matches Table 1, e.g. `"ex-1"`).
+    pub name: &'static str,
+    /// One-line description (the Table 1 "Description" column).
+    pub description: &'static str,
+    /// Whether the model is expressible in the coroutine-based PPL at all
+    /// (`dp` is not — it needs stochastic memoization).
+    pub expressible: bool,
+    /// PPL source of the model program (empty when not expressible).
+    pub model_src: &'static str,
+    /// PPL source of the guide program.
+    pub guide_src: &'static str,
+    /// Entry procedure of the model.
+    pub model_proc: &'static str,
+    /// Entry procedure of the guide.
+    pub guide_proc: &'static str,
+    /// Conditioning observations for the model's `obs` channel.
+    pub observations: Vec<Sample>,
+    /// The inference algorithm used in the evaluation.
+    pub inference: InferenceKind,
+    /// Variational parameters of the guide (empty unless VI).
+    pub guide_params: Vec<GuideParam>,
+    /// Whether the benchmark is part of the paper's Table 1 selection.
+    pub in_table1: bool,
+}
+
+impl Benchmark {
+    /// Parses the model program; `Ok(None)` when the benchmark is not
+    /// expressible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser error if the stored source is malformed (a bug in
+    /// this crate, exercised by tests).
+    pub fn parsed_model(&self) -> Result<Option<Program>, ParseError> {
+        if !self.expressible {
+            return Ok(None);
+        }
+        parse_program(self.model_src).map(Some)
+    }
+
+    /// Parses the guide program; `Ok(None)` when the benchmark is not
+    /// expressible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser error if the stored source is malformed.
+    pub fn parsed_guide(&self) -> Result<Option<Program>, ParseError> {
+        if !self.expressible {
+            return Ok(None);
+        }
+        parse_program(self.guide_src).map(Some)
+    }
+
+    /// The number of non-blank source lines of the model (the Table 1 "LOC"
+    /// column).
+    pub fn model_loc(&self) -> usize {
+        self.model_src
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+
+    /// Initial guide arguments as plain reals (VI benchmarks only).
+    pub fn initial_guide_args(&self) -> Vec<f64> {
+        self.guide_params.iter().map(|p| p.init).collect()
+    }
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// The whole registry.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    use sources::*;
+    let real = |xs: &[f64]| xs.iter().map(|&x| Sample::Real(x)).collect::<Vec<_>>();
+    vec![
+        Benchmark {
+            name: "lr",
+            description: "Bayesian Linear Regression",
+            expressible: true,
+            model_src: LR_MODEL,
+            guide_src: LR_GUIDE,
+            model_proc: "Lr",
+            guide_proc: "LrGuide",
+            observations: real(&[2.1, 3.9, 6.2, 8.1, 9.8]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "gmm",
+            description: "Gaussian Mixture Model",
+            expressible: true,
+            model_src: GMM_MODEL,
+            guide_src: GMM_GUIDE,
+            model_proc: "Gmm",
+            guide_proc: "GmmGuide",
+            observations: real(&[-2.2, -1.6, 2.3, 2.8]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "kalman",
+            description: "Kalman Smoother",
+            expressible: true,
+            model_src: KALMAN_MODEL,
+            guide_src: KALMAN_GUIDE,
+            model_proc: "Kalman",
+            guide_proc: "KalmanGuide",
+            observations: real(&[0.4, 1.1, 1.7]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "sprinkler",
+            description: "Bayesian Network",
+            expressible: true,
+            model_src: SPRINKLER_MODEL,
+            guide_src: SPRINKLER_GUIDE,
+            model_proc: "Sprinkler",
+            guide_proc: "SprinklerGuide",
+            observations: vec![Sample::Bool(true)],
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "hmm",
+            description: "Hidden Markov Model",
+            expressible: true,
+            model_src: HMM_MODEL,
+            guide_src: HMM_GUIDE,
+            model_proc: "Hmm",
+            guide_proc: "HmmGuide",
+            observations: real(&[0.9, 1.2, -0.8]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "branching",
+            description: "Random Control Flow",
+            expressible: true,
+            model_src: BRANCHING_MODEL,
+            guide_src: BRANCHING_GUIDE,
+            model_proc: "Branching",
+            guide_proc: "BranchingGuide",
+            observations: real(&[3.0]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "marsaglia",
+            description: "Marsaglia Algorithm",
+            expressible: true,
+            model_src: MARSAGLIA_MODEL,
+            guide_src: MARSAGLIA_GUIDE,
+            model_proc: "Marsaglia",
+            guide_proc: "MarsagliaGuide",
+            observations: real(&[1.5]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "dp",
+            description: "Dirichlet Process",
+            expressible: false,
+            model_src: "",
+            guide_src: "",
+            model_proc: "",
+            guide_proc: "",
+            observations: vec![],
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "ptrace",
+            description: "Poisson Trace",
+            expressible: true,
+            model_src: PTRACE_MODEL,
+            guide_src: PTRACE_GUIDE,
+            model_proc: "Ptrace",
+            guide_proc: "PtraceGuide",
+            observations: real(&[4.0]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "aircraft",
+            description: "Aircraft Detection",
+            expressible: true,
+            model_src: AIRCRAFT_MODEL,
+            guide_src: AIRCRAFT_GUIDE,
+            model_proc: "Aircraft",
+            guide_proc: "AircraftGuide",
+            observations: real(&[3.2, -1.1]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "weight",
+            description: "Unreliable Weigh",
+            expressible: true,
+            model_src: WEIGHT_MODEL,
+            guide_src: WEIGHT_GUIDE,
+            model_proc: "WeightModel",
+            guide_proc: "WeightGuide",
+            observations: real(&[9.0, 9.0]),
+            inference: InferenceKind::VariationalInference,
+            guide_params: vec![
+                GuideParam {
+                    name: "mu",
+                    init: 2.0,
+                    positive: false,
+                },
+                GuideParam {
+                    name: "sigma",
+                    init: 1.0,
+                    positive: true,
+                },
+            ],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "vae",
+            description: "Variational Autoencoder",
+            expressible: true,
+            model_src: VAE_MODEL,
+            guide_src: VAE_GUIDE,
+            model_proc: "Vae",
+            guide_proc: "VaeGuide",
+            observations: real(&[1.0, 0.0, -0.5, 0.3]),
+            inference: InferenceKind::VariationalInference,
+            guide_params: vec![
+                GuideParam {
+                    name: "m1",
+                    init: 0.0,
+                    positive: false,
+                },
+                GuideParam {
+                    name: "s1",
+                    init: 1.0,
+                    positive: true,
+                },
+                GuideParam {
+                    name: "m2",
+                    init: 0.0,
+                    positive: false,
+                },
+                GuideParam {
+                    name: "s2",
+                    init: 1.0,
+                    positive: true,
+                },
+            ],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "ex-1",
+            description: "Fig. 5 (conditional model)",
+            expressible: true,
+            model_src: EX1_MODEL,
+            guide_src: EX1_GUIDE,
+            model_proc: "Model",
+            guide_proc: "Guide1",
+            observations: real(&[0.8]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "ex-2",
+            description: "Fig. 6 (recursive PCFG)",
+            expressible: true,
+            model_src: EX2_MODEL,
+            guide_src: EX2_GUIDE,
+            model_proc: "Pcfg",
+            guide_proc: "PcfgGuide",
+            observations: vec![],
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "gp-dsl",
+            description: "Gaussian Process DSL",
+            expressible: true,
+            model_src: GP_DSL_MODEL,
+            guide_src: GP_DSL_GUIDE,
+            model_proc: "GpDsl",
+            guide_proc: "GpDslGuide",
+            observations: real(&[1.2, 1.5]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: true,
+        },
+        Benchmark {
+            name: "outlier",
+            description: "Linear-regression outlier flag (MCMC, §2.2)",
+            expressible: true,
+            model_src: OUTLIER_MODEL,
+            guide_src: OUTLIER_GUIDE,
+            model_proc: "OutlierModel",
+            guide_proc: "OutlierGuide",
+            observations: real(&[9.5]),
+            inference: InferenceKind::Mcmc,
+            guide_params: vec![],
+            in_table1: false,
+        },
+        Benchmark {
+            name: "normal-normal",
+            description: "Conjugate normal-normal model",
+            expressible: true,
+            model_src: NORMAL_NORMAL_MODEL,
+            guide_src: NORMAL_NORMAL_GUIDE,
+            model_proc: "NormalNormal",
+            guide_proc: "NormalNormalGuide",
+            observations: real(&[1.0]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: false,
+        },
+        Benchmark {
+            name: "geometric",
+            description: "Recursive geometric counter",
+            expressible: true,
+            model_src: GEOMETRIC_MODEL,
+            guide_src: GEOMETRIC_GUIDE,
+            model_proc: "GeoModel",
+            guide_proc: "GeoGuide",
+            observations: real(&[2.0]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: false,
+        },
+        Benchmark {
+            name: "burglary",
+            description: "Burglary/alarm Bayesian network",
+            expressible: true,
+            model_src: BURGLARY_MODEL,
+            guide_src: BURGLARY_GUIDE,
+            model_proc: "Burglary",
+            guide_proc: "BurglaryGuide",
+            observations: vec![Sample::Bool(true)],
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: false,
+        },
+        Benchmark {
+            name: "coin",
+            description: "Beta-Bernoulli coin bias",
+            expressible: true,
+            model_src: COIN_MODEL,
+            guide_src: COIN_GUIDE,
+            model_proc: "Coin",
+            guide_proc: "CoinGuide",
+            observations: vec![
+                Sample::Bool(true),
+                Sample::Bool(true),
+                Sample::Bool(false),
+                Sample::Bool(true),
+            ],
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: false,
+        },
+        Benchmark {
+            name: "seasons",
+            description: "Categorical season mixture",
+            expressible: true,
+            model_src: SEASONS_MODEL,
+            guide_src: SEASONS_GUIDE,
+            model_proc: "Seasons",
+            guide_proc: "SeasonsGuide",
+            observations: real(&[18.5]),
+            inference: InferenceKind::ImportanceSampling,
+            guide_params: vec![],
+            in_table1: false,
+        },
+    ]
+}
+
+/// Names of the Table 2 performance benchmarks, with their algorithm.
+pub fn table2_benchmarks() -> Vec<(&'static str, InferenceKind)> {
+    vec![
+        ("ex-1", InferenceKind::ImportanceSampling),
+        ("branching", InferenceKind::ImportanceSampling),
+        ("gmm", InferenceKind::ImportanceSampling),
+        ("weight", InferenceKind::VariationalInference),
+        ("vae", InferenceKind::VariationalInference),
+    ]
+}
+
+/// The handwritten importance-sampling baseline for a Table 2 benchmark.
+pub fn handwritten_is(name: &str) -> Option<handwritten::HandwrittenIs> {
+    match name {
+        "ex-1" => Some(handwritten::EX1_HANDWRITTEN),
+        "branching" => Some(handwritten::BRANCHING_HANDWRITTEN),
+        "gmm" => Some(handwritten::GMM_HANDWRITTEN),
+        _ => None,
+    }
+}
+
+/// The handwritten variational-inference baseline for a Table 2 benchmark.
+pub fn handwritten_vi(name: &str) -> Option<handwritten::HandwrittenVi> {
+    match name {
+        "weight" => Some(handwritten::WEIGHT_HANDWRITTEN),
+        "vae" => Some(handwritten::VAE_HANDWRITTEN),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl_types::{check_model_guide, infer_program};
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = all_benchmarks();
+        assert!(all.len() >= 20, "found {}", all.len());
+        let table1: Vec<_> = all.iter().filter(|b| b.in_table1).collect();
+        assert_eq!(table1.len(), 15, "Table 1 selection");
+        let mut names: Vec<_> = all.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate benchmark names");
+        assert!(benchmark("ex-1").is_some());
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn every_expressible_benchmark_parses_and_infers_guide_types() {
+        for b in all_benchmarks() {
+            if !b.expressible {
+                assert_eq!(b.name, "dp");
+                assert!(b.parsed_model().unwrap().is_none());
+                continue;
+            }
+            let model = b
+                .parsed_model()
+                .unwrap_or_else(|e| panic!("{}: model parse error: {e}", b.name))
+                .unwrap();
+            let guide = b
+                .parsed_guide()
+                .unwrap_or_else(|e| panic!("{}: guide parse error: {e}", b.name))
+                .unwrap();
+            assert!(model.proc_named(b.model_proc).is_some(), "{}", b.name);
+            assert!(guide.proc_named(b.guide_proc).is_some(), "{}", b.name);
+            let menv = infer_program(&model)
+                .unwrap_or_else(|e| panic!("{}: model type error: {e}", b.name));
+            let genv = infer_program(&guide)
+                .unwrap_or_else(|e| panic!("{}: guide type error: {e}", b.name));
+            let compat = check_model_guide(
+                &menv,
+                &b.model_proc.into(),
+                &genv,
+                &b.guide_proc.into(),
+            )
+            .unwrap_or_else(|e| panic!("{}: compatibility error: {e}", b.name));
+            assert!(compat.compatible, "{}: incompatible guide type", b.name);
+            assert!(compat.model_branch_free, "{}: branch-freeness", b.name);
+            assert!(b.model_loc() > 3, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn table1_expressiveness_matches_the_paper() {
+        // Expected (T?, TP?) per Table 1.
+        let expected: Vec<(&str, bool, bool)> = vec![
+            ("lr", true, true),
+            ("gmm", true, true),
+            ("kalman", true, true),
+            ("sprinkler", true, true),
+            ("hmm", true, true),
+            ("branching", true, false),
+            ("marsaglia", true, false),
+            ("dp", false, false),
+            ("ptrace", true, false),
+            ("aircraft", true, true),
+            ("weight", true, true),
+            ("vae", true, true),
+            ("ex-1", true, false),
+            ("ex-2", true, false),
+            ("gp-dsl", true, false),
+        ];
+        for (name, expect_ours, expect_tracetypes) in expected {
+            let b = benchmark(name).unwrap();
+            let ours = b.expressible
+                && b.parsed_model().unwrap().map_or(false, |m| infer_program(&m).is_ok());
+            assert_eq!(ours, expect_ours, "{name}: T? column");
+            let tp = if !b.expressible {
+                false
+            } else {
+                let model = b.parsed_model().unwrap().unwrap();
+                ppl_tracetypes::check_proc(&model, &b.model_proc.into()).is_ok()
+            };
+            assert_eq!(tp, expect_tracetypes, "{name}: TP? column");
+        }
+    }
+
+    #[test]
+    fn table2_subset_has_handwritten_baselines() {
+        for (name, kind) in table2_benchmarks() {
+            let b = benchmark(name).unwrap();
+            assert_eq!(b.inference, kind, "{name}");
+            match kind {
+                InferenceKind::ImportanceSampling => {
+                    let h = handwritten_is(name).unwrap_or_else(|| panic!("{name}"));
+                    assert!(h.loc > 5);
+                }
+                InferenceKind::VariationalInference => {
+                    let h = handwritten_vi(name).unwrap_or_else(|| panic!("{name}"));
+                    assert!(h.loc > 5);
+                    assert!(!b.guide_params.is_empty());
+                    assert_eq!(b.initial_guide_args().len(), b.guide_params.len());
+                }
+                InferenceKind::Mcmc => unreachable!(),
+            }
+        }
+        assert!(handwritten_is("weight").is_none());
+        assert!(handwritten_vi("ex-1").is_none());
+    }
+
+    #[test]
+    fn importance_sampling_smoke_test_on_selected_benchmarks() {
+        use ppl_dist::rng::Pcg32;
+        use ppl_inference::ImportanceSampler;
+        use ppl_runtime::{JointExecutor, JointSpec};
+        for name in ["ex-1", "branching", "coin", "normal-normal", "geometric", "gmm"] {
+            let b = benchmark(name).unwrap();
+            let model = b.parsed_model().unwrap().unwrap();
+            let guide = b.parsed_guide().unwrap().unwrap();
+            let exec = JointExecutor::new(&model, &guide, b.observations.clone());
+            let spec = JointSpec::new(b.model_proc, b.guide_proc);
+            let mut rng = Pcg32::seed_from_u64(17);
+            let result = ImportanceSampler::new(300)
+                .run(&exec, &spec, &mut rng)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(result.ess > 1.0, "{name}: ess {}", result.ess);
+        }
+    }
+
+    #[test]
+    fn inference_kind_abbreviations() {
+        assert_eq!(InferenceKind::ImportanceSampling.abbreviation(), "IS");
+        assert_eq!(InferenceKind::VariationalInference.abbreviation(), "VI");
+        assert_eq!(InferenceKind::Mcmc.abbreviation(), "MCMC");
+    }
+}

@@ -1,0 +1,701 @@
+//! Resumable coroutines for model and guide programs.
+//!
+//! The paper implements models and guides as coroutines (greenlets in the
+//! compiled Pyro code) that suspend whenever they communicate on a channel.
+//! Here a [`Coroutine`] is a defunctionalised interpreter: an explicit stack
+//! of continuation frames plus the command currently being executed, so the
+//! driver can pause it at every channel operation and resume it with the
+//! value produced by the other coroutine.
+
+use ppl_dist::{Distribution, Sample};
+use ppl_semantics::eval::{eval_expr, EvalError};
+use ppl_semantics::value::{Env, Value};
+use ppl_syntax::ast::{ChannelName, Cmd, Dir, Ident, Proc, Program};
+use std::fmt;
+
+/// A channel operation at which a coroutine is suspended, awaiting the
+/// driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Suspend {
+    /// The coroutine executes `sample_sd{chan}(d)`: it is about to *send* a
+    /// sample drawn from `dist`.  The driver supplies the concrete value
+    /// (either freshly drawn or replayed) via [`Resume::Sample`].
+    SampleSend {
+        /// The channel being written.
+        chan: ChannelName,
+        /// The distribution at this site.
+        dist: Distribution,
+    },
+    /// The coroutine executes `sample_rv{chan}(d)`: it awaits a sample from
+    /// the peer and will score it against `dist`.
+    SampleRecv {
+        /// The channel being read.
+        chan: ChannelName,
+        /// The distribution used for scoring.
+        dist: Distribution,
+    },
+    /// The coroutine executes `cond_sd{chan}(e; …)`: it evaluated the branch
+    /// predicate and sends the selection to the peer.  Resume with
+    /// [`Resume::Ack`].
+    BranchSend {
+        /// The channel carrying the selection.
+        chan: ChannelName,
+        /// The selection the coroutine computed.
+        selection: bool,
+    },
+    /// The coroutine executes `cond_rv{chan}(…)`: it awaits a branch
+    /// selection from the peer.  Resume with [`Resume::Branch`].
+    BranchRecv {
+        /// The channel carrying the selection.
+        chan: ChannelName,
+    },
+    /// The coroutine is about to call a procedure that uses `chan`;
+    /// corresponds to the `fold` marker of the operational semantics.
+    /// Resume with [`Resume::Ack`].
+    CallMarker {
+        /// The channel whose protocol folds here.
+        chan: ChannelName,
+    },
+}
+
+impl Suspend {
+    /// The channel this suspension concerns.
+    pub fn channel(&self) -> &ChannelName {
+        match self {
+            Suspend::SampleSend { chan, .. }
+            | Suspend::SampleRecv { chan, .. }
+            | Suspend::BranchSend { chan, .. }
+            | Suspend::BranchRecv { chan }
+            | Suspend::CallMarker { chan } => chan,
+        }
+    }
+}
+
+/// The value with which a suspended coroutine is resumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Resume {
+    /// The concrete sample for a [`Suspend::SampleSend`] or
+    /// [`Suspend::SampleRecv`].
+    Sample(Sample),
+    /// The selection for a [`Suspend::BranchRecv`].
+    Branch(bool),
+    /// Acknowledgement for [`Suspend::BranchSend`] and
+    /// [`Suspend::CallMarker`].
+    Ack,
+}
+
+/// The observable state of a coroutine after a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Suspended at a channel operation.
+    Suspended(Suspend),
+    /// Finished with a value; `log_weight` is the coroutine's accumulated
+    /// log-density.
+    Done {
+        /// The coroutine's return value.
+        value: Value,
+        /// The accumulated log-weight.
+        log_weight: f64,
+    },
+}
+
+/// Errors raised by a coroutine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoroutineError {
+    /// An embedded expression failed to evaluate.
+    Eval(EvalError),
+    /// The coroutine was resumed with the wrong kind of [`Resume`] value, or
+    /// resumed/stepped while in an unexpected state.
+    Protocol(String),
+    /// Reference to an unknown procedure.
+    UnknownProc(String),
+}
+
+impl fmt::Display for CoroutineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoroutineError::Eval(e) => write!(f, "{e}"),
+            CoroutineError::Protocol(m) => write!(f, "coroutine protocol error: {m}"),
+            CoroutineError::UnknownProc(m) => write!(f, "unknown procedure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoroutineError {}
+
+impl From<EvalError> for CoroutineError {
+    fn from(e: EvalError) -> Self {
+        CoroutineError::Eval(e)
+    }
+}
+
+/// The channels declared by the procedure currently executing.
+#[derive(Debug, Clone, PartialEq)]
+struct ProcChannels {
+    consumes: Option<ChannelName>,
+    provides: Option<ChannelName>,
+}
+
+impl ProcChannels {
+    fn of(p: &Proc) -> Self {
+        ProcChannels {
+            consumes: p.consumes.clone(),
+            provides: p.provides.clone(),
+        }
+    }
+}
+
+/// A continuation frame.
+#[derive(Debug, Clone)]
+enum Frame {
+    /// After the current command produces a value, bind it and run `rest`.
+    Bind { var: Ident, rest: Cmd, env: Env },
+    /// After the callee body finishes, restore the caller's channel view.
+    Return { channels: ProcChannels },
+}
+
+/// What the coroutine is waiting for while suspended.
+#[derive(Debug, Clone)]
+enum Pending {
+    Sample {
+        dist: Distribution,
+    },
+    BranchRecv {
+        then_cmd: Cmd,
+        else_cmd: Cmd,
+        env: Env,
+    },
+    BranchSend {
+        selection: bool,
+        then_cmd: Cmd,
+        else_cmd: Cmd,
+        env: Env,
+    },
+    CallAck {
+        remaining_marks: Vec<ChannelName>,
+        callee: Ident,
+        args: Vec<Value>,
+    },
+}
+
+/// Internal control state.
+#[derive(Debug, Clone)]
+enum Control {
+    Run { cmd: Cmd, env: Env },
+    Return { value: Value },
+    AwaitResume(Pending),
+    Finished,
+}
+
+/// A resumable model or guide coroutine.
+#[derive(Debug, Clone)]
+pub struct Coroutine<'p> {
+    program: &'p Program,
+    frames: Vec<Frame>,
+    control: Control,
+    channels: ProcChannels,
+    log_weight: f64,
+    steps: u64,
+}
+
+impl<'p> Coroutine<'p> {
+    /// Creates (but does not start) a coroutine running `proc_name` with the
+    /// given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoroutineError::UnknownProc`] if the procedure does not
+    /// exist and [`CoroutineError::Protocol`] on an argument-count mismatch.
+    pub fn spawn(
+        program: &'p Program,
+        proc_name: &Ident,
+        args: Vec<Value>,
+    ) -> Result<Self, CoroutineError> {
+        let proc = program
+            .proc(proc_name)
+            .ok_or_else(|| CoroutineError::UnknownProc(proc_name.to_string()))?;
+        if proc.params.len() != args.len() {
+            return Err(CoroutineError::Protocol(format!(
+                "procedure '{proc_name}' expects {} argument(s), got {}",
+                proc.params.len(),
+                args.len()
+            )));
+        }
+        let env = Env::from_bindings(
+            proc.params
+                .iter()
+                .map(|(x, _)| x.clone())
+                .zip(args.into_iter()),
+        );
+        Ok(Coroutine {
+            program,
+            frames: Vec::new(),
+            control: Control::Run {
+                cmd: proc.body.clone(),
+                env,
+            },
+            channels: ProcChannels::of(proc),
+            log_weight: 0.0,
+            steps: 0,
+        })
+    }
+
+    /// The coroutine's accumulated log-weight so far.
+    pub fn log_weight(&self) -> f64 {
+        self.log_weight
+    }
+
+    /// The number of interpreter steps taken so far (used by the overhead
+    /// ablation benchmark).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs the coroutine until it suspends or finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoroutineError::Protocol`] if called while the coroutine is
+    /// awaiting a [`Resume`] value or already finished.
+    pub fn start(&mut self) -> Result<Step, CoroutineError> {
+        match self.control {
+            Control::Run { .. } => self.drive(),
+            _ => Err(CoroutineError::Protocol(
+                "start called on a coroutine that is not at its entry point".into(),
+            )),
+        }
+    }
+
+    /// Resumes a suspended coroutine with the value it was waiting for and
+    /// runs it until the next suspension (or completion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoroutineError::Protocol`] if the coroutine is not
+    /// suspended or `resume` has the wrong shape for the pending operation.
+    pub fn resume(&mut self, resume: Resume) -> Result<Step, CoroutineError> {
+        let pending = match std::mem::replace(&mut self.control, Control::Finished) {
+            Control::AwaitResume(p) => p,
+            other => {
+                self.control = other;
+                return Err(CoroutineError::Protocol(
+                    "resume called on a coroutine that is not suspended".into(),
+                ));
+            }
+        };
+        match (pending, resume) {
+            (Pending::Sample { dist }, Resume::Sample(sample)) => {
+                // Score the sample; values outside the support zero out the
+                // weight (the coroutine keeps running so the joint executor
+                // can finish and report the zero-weight particle).
+                self.log_weight += dist.log_density(&sample);
+                self.control = Control::Return {
+                    value: Value::from_sample(sample),
+                };
+            }
+            (
+                Pending::BranchRecv {
+                    then_cmd,
+                    else_cmd,
+                    env,
+                },
+                Resume::Branch(sel),
+            ) => {
+                self.control = Control::Run {
+                    cmd: if sel { then_cmd } else { else_cmd },
+                    env,
+                };
+            }
+            (
+                Pending::BranchSend {
+                    selection,
+                    then_cmd,
+                    else_cmd,
+                    env,
+                },
+                Resume::Ack,
+            ) => {
+                self.control = Control::Run {
+                    cmd: if selection { then_cmd } else { else_cmd },
+                    env,
+                };
+            }
+            (
+                Pending::CallAck {
+                    remaining_marks,
+                    callee,
+                    args,
+                },
+                Resume::Ack,
+            ) => {
+                if let Some((next, rest)) = remaining_marks.split_first() {
+                    self.control = Control::AwaitResume(Pending::CallAck {
+                        remaining_marks: rest.to_vec(),
+                        callee,
+                        args,
+                    });
+                    return Ok(Step::Suspended(Suspend::CallMarker { chan: next.clone() }));
+                }
+                self.enter_callee(&callee, args)?;
+            }
+            (pending, resume) => {
+                return Err(CoroutineError::Protocol(format!(
+                    "resume value {resume:?} does not match the pending operation {pending:?}"
+                )));
+            }
+        }
+        self.drive()
+    }
+
+    fn enter_callee(&mut self, callee: &Ident, args: Vec<Value>) -> Result<(), CoroutineError> {
+        let proc = self
+            .program
+            .proc(callee)
+            .ok_or_else(|| CoroutineError::UnknownProc(callee.to_string()))?;
+        if proc.params.len() != args.len() {
+            return Err(CoroutineError::Protocol(format!(
+                "procedure '{callee}' expects {} argument(s), got {}",
+                proc.params.len(),
+                args.len()
+            )));
+        }
+        self.frames.push(Frame::Return {
+            channels: self.channels.clone(),
+        });
+        self.channels = ProcChannels::of(proc);
+        let env = Env::from_bindings(
+            proc.params
+                .iter()
+                .map(|(x, _)| x.clone())
+                .zip(args.into_iter()),
+        );
+        self.control = Control::Run {
+            cmd: proc.body.clone(),
+            env,
+        };
+        Ok(())
+    }
+
+    /// Runs until suspension or completion.
+    fn drive(&mut self) -> Result<Step, CoroutineError> {
+        loop {
+            self.steps += 1;
+            let control = std::mem::replace(&mut self.control, Control::Finished);
+            match control {
+                Control::Finished => {
+                    return Err(CoroutineError::Protocol(
+                        "coroutine already finished".into(),
+                    ))
+                }
+                Control::AwaitResume(p) => {
+                    // Re-install and report the suspension (drive should not
+                    // be called in this state, but be forgiving).
+                    self.control = Control::AwaitResume(p);
+                    return Err(CoroutineError::Protocol(
+                        "coroutine is awaiting a resume value".into(),
+                    ));
+                }
+                Control::Return { value } => match self.frames.pop() {
+                    None => {
+                        self.control = Control::Finished;
+                        return Ok(Step::Done {
+                            value,
+                            log_weight: self.log_weight,
+                        });
+                    }
+                    Some(Frame::Bind { var, rest, env }) => {
+                        let env = env.extended(var, value);
+                        self.control = Control::Run { cmd: rest, env };
+                    }
+                    Some(Frame::Return { channels }) => {
+                        self.channels = channels;
+                        self.control = Control::Return { value };
+                    }
+                },
+                Control::Run { cmd, env } => match cmd {
+                    Cmd::Ret(e) => {
+                        let value = eval_expr(&env, &e)?;
+                        self.control = Control::Return { value };
+                    }
+                    Cmd::Bind { var, first, rest } => {
+                        self.frames.push(Frame::Bind {
+                            var,
+                            rest: *rest,
+                            env: env.clone(),
+                        });
+                        self.control = Control::Run { cmd: *first, env };
+                    }
+                    Cmd::Call { proc, args } => {
+                        let arg_values = args
+                            .iter()
+                            .map(|a| eval_expr(&env, a))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let callee = self
+                            .program
+                            .proc(&proc)
+                            .ok_or_else(|| CoroutineError::UnknownProc(proc.to_string()))?;
+                        // Emit a fold marker per channel the callee uses.
+                        let mut marks: Vec<ChannelName> = Vec::new();
+                        if let Some(c) = &callee.consumes {
+                            marks.push(c.clone());
+                        }
+                        if let Some(c) = &callee.provides {
+                            marks.push(c.clone());
+                        }
+                        if let Some((first_mark, rest_marks)) = marks.split_first() {
+                            self.control = Control::AwaitResume(Pending::CallAck {
+                                remaining_marks: rest_marks.to_vec(),
+                                callee: proc.clone(),
+                                args: arg_values,
+                            });
+                            return Ok(Step::Suspended(Suspend::CallMarker {
+                                chan: first_mark.clone(),
+                            }));
+                        }
+                        self.enter_callee(&proc, arg_values)?;
+                    }
+                    Cmd::Sample { dir, chan, dist } => {
+                        let d = match eval_expr(&env, &dist)? {
+                            Value::Dist(d) => d,
+                            other => {
+                                return Err(CoroutineError::Eval(EvalError::Dynamic(format!(
+                                    "sample requires a distribution, found {other}"
+                                ))))
+                            }
+                        };
+                        self.check_channel(&chan)?;
+                        let suspend = match dir {
+                            Dir::Send => Suspend::SampleSend {
+                                chan: chan.clone(),
+                                dist: d.clone(),
+                            },
+                            Dir::Recv => Suspend::SampleRecv {
+                                chan: chan.clone(),
+                                dist: d.clone(),
+                            },
+                        };
+                        self.control = Control::AwaitResume(Pending::Sample { dist: d });
+                        return Ok(Step::Suspended(suspend));
+                    }
+                    Cmd::Branch {
+                        dir,
+                        chan,
+                        pred,
+                        then_cmd,
+                        else_cmd,
+                    } => {
+                        self.check_channel(&chan)?;
+                        match dir {
+                            Dir::Send => {
+                                let selection = match &pred {
+                                    Some(p) => eval_expr(&env, p)?.as_bool().ok_or_else(|| {
+                                        CoroutineError::Eval(EvalError::Dynamic(
+                                            "non-Boolean branch predicate".into(),
+                                        ))
+                                    })?,
+                                    None => {
+                                        return Err(CoroutineError::Eval(EvalError::Dynamic(
+                                            "send-branch without a predicate".into(),
+                                        )))
+                                    }
+                                };
+                                self.control = Control::AwaitResume(Pending::BranchSend {
+                                    selection,
+                                    then_cmd: *then_cmd,
+                                    else_cmd: *else_cmd,
+                                    env,
+                                });
+                                return Ok(Step::Suspended(Suspend::BranchSend {
+                                    chan,
+                                    selection,
+                                }));
+                            }
+                            Dir::Recv => {
+                                self.control = Control::AwaitResume(Pending::BranchRecv {
+                                    then_cmd: *then_cmd,
+                                    else_cmd: *else_cmd,
+                                    env,
+                                });
+                                return Ok(Step::Suspended(Suspend::BranchRecv { chan }));
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn check_channel(&self, chan: &ChannelName) -> Result<(), CoroutineError> {
+        if self.channels.consumes.as_ref() == Some(chan)
+            || self.channels.provides.as_ref() == Some(chan)
+        {
+            Ok(())
+        } else {
+            Err(CoroutineError::Protocol(format!(
+                "channel '{chan}' is not declared by the current procedure"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl_syntax::parse_program;
+
+    fn guide_program() -> Program {
+        parse_program(
+            r#"
+            proc Guide1() provide latent {
+              let v <- sample send latent (Gamma(1.0, 1.0));
+              if recv latent {
+                return ()
+              } else {
+                let _ <- sample send latent (Unif);
+                return ()
+              }
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn guide_coroutine_walkthrough() {
+        let prog = guide_program();
+        let mut co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
+        // First suspension: sending the Gamma(1,1) sample.
+        let step = co.start().unwrap();
+        match &step {
+            Step::Suspended(Suspend::SampleSend { chan, dist }) => {
+                assert_eq!(chan.as_str(), "latent");
+                assert_eq!(dist, &Distribution::gamma(1.0, 1.0).unwrap());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Resume with a concrete value; next it waits for the selection.
+        let step = co.resume(Resume::Sample(Sample::Real(3.0))).unwrap();
+        assert!(matches!(
+            step,
+            Step::Suspended(Suspend::BranchRecv { .. })
+        ));
+        // Take the else branch: one more sample send, then done.
+        let step = co.resume(Resume::Branch(false)).unwrap();
+        match &step {
+            Step::Suspended(Suspend::SampleSend { dist, .. }) => {
+                assert_eq!(dist, &Distribution::uniform());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let step = co.resume(Resume::Sample(Sample::Real(0.25))).unwrap();
+        match step {
+            Step::Done { value, log_weight } => {
+                assert_eq!(value, Value::Unit);
+                let expected = Distribution::gamma(1.0, 1.0).unwrap().log_density_f64(3.0)
+                    + Distribution::uniform().log_density_f64(0.25);
+                assert!((log_weight - expected).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(co.steps_taken() > 0);
+    }
+
+    #[test]
+    fn then_branch_skips_second_sample() {
+        let prog = guide_program();
+        let mut co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
+        co.start().unwrap();
+        co.resume(Resume::Sample(Sample::Real(1.0))).unwrap();
+        let step = co.resume(Resume::Branch(true)).unwrap();
+        assert!(matches!(step, Step::Done { .. }));
+    }
+
+    #[test]
+    fn out_of_support_sample_zeroes_weight_but_continues() {
+        let prog = guide_program();
+        let mut co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
+        co.start().unwrap();
+        let step = co.resume(Resume::Sample(Sample::Real(-1.0))).unwrap();
+        assert!(matches!(step, Step::Suspended(Suspend::BranchRecv { .. })));
+        assert_eq!(co.log_weight(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn call_markers_are_emitted_per_channel() {
+        let prog = parse_program(
+            r#"
+            proc Outer() consume latent provide obs {
+              let _ <- call Inner();
+              return ()
+            }
+            proc Inner() consume latent provide obs {
+              let x <- sample recv latent (Unif);
+              let _ <- sample send obs (Normal(x, 1.0));
+              return ()
+            }
+        "#,
+        )
+        .unwrap();
+        let mut co = Coroutine::spawn(&prog, &"Outer".into(), vec![]).unwrap();
+        let step = co.start().unwrap();
+        let first_chan = match &step {
+            Step::Suspended(Suspend::CallMarker { chan }) => chan.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let step = co.resume(Resume::Ack).unwrap();
+        let second_chan = match &step {
+            Step::Suspended(Suspend::CallMarker { chan }) => chan.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut chans = vec![first_chan.as_str().to_string(), second_chan.as_str().to_string()];
+        chans.sort();
+        assert_eq!(chans, vec!["latent".to_string(), "obs".to_string()]);
+        // After both markers the callee body runs.
+        let step = co.resume(Resume::Ack).unwrap();
+        assert!(matches!(step, Step::Suspended(Suspend::SampleRecv { .. })));
+    }
+
+    #[test]
+    fn protocol_errors() {
+        let prog = guide_program();
+        let mut co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
+        // Resuming before starting is an error.
+        assert!(co.resume(Resume::Ack).is_err());
+        co.start().unwrap();
+        // Starting twice is an error.
+        assert!(co.start().is_err());
+        // Wrong resume kind.
+        assert!(co.resume(Resume::Branch(true)).is_err());
+        // Unknown procedure / wrong arity at spawn time.
+        assert!(Coroutine::spawn(&prog, &"Nope".into(), vec![]).is_err());
+        assert!(Coroutine::spawn(&prog, &"Guide1".into(), vec![Value::Real(1.0)]).is_err());
+    }
+
+    #[test]
+    fn undeclared_channel_is_rejected_at_runtime() {
+        let prog = parse_program(
+            r#"
+            proc P() consume latent {
+              let _ <- sample recv other (Unif);
+              return ()
+            }
+        "#,
+        )
+        .unwrap();
+        let mut co = Coroutine::spawn(&prog, &"P".into(), vec![]).unwrap();
+        assert!(matches!(co.start(), Err(CoroutineError::Protocol(_))));
+    }
+
+    #[test]
+    fn suspend_channel_accessor() {
+        let s = Suspend::BranchRecv {
+            chan: "latent".into(),
+        };
+        assert_eq!(s.channel().as_str(), "latent");
+        let s = Suspend::SampleSend {
+            chan: "obs".into(),
+            dist: Distribution::uniform(),
+        };
+        assert_eq!(s.channel().as_str(), "obs");
+    }
+}

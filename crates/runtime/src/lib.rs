@@ -1,0 +1,44 @@
+//! Coroutine runtime for the guide-types PPL.
+//!
+//! The paper compiles model and guide programs to Pyro and connects them
+//! with `greenlet` coroutines; this crate provides the equivalent substrate
+//! natively:
+//!
+//! * [`coroutine`] — resumable interpreters for commands that suspend at
+//!   every channel operation;
+//! * [`joint`] — the driver that runs a model coroutine and a guide
+//!   coroutine against each other, conditioning the model's observation
+//!   channel on data and recording the latent guidance trace.
+//!
+//! # Example
+//!
+//! ```
+//! use ppl_runtime::{JointExecutor, JointSpec, LatentSource};
+//! use ppl_dist::{Sample, rng::Pcg32};
+//! use ppl_syntax::parse_program;
+//!
+//! let model = parse_program(r#"
+//!     proc Model() : real consume latent provide obs {
+//!       let x <- sample recv latent (Normal(0.0, 1.0));
+//!       let _ <- sample send obs (Normal(x, 1.0));
+//!       return x
+//!     }
+//! "#).unwrap();
+//! let guide = parse_program(r#"
+//!     proc Guide() provide latent {
+//!       let x <- sample send latent (Normal(0.0, 2.0));
+//!       return ()
+//!     }
+//! "#).unwrap();
+//! let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(1.0)]);
+//! let mut rng = Pcg32::seed_from_u64(0);
+//! let result = exec.run(&JointSpec::new("Model", "Guide"), LatentSource::FromGuide, &mut rng)?;
+//! assert!(result.log_importance_weight().is_finite());
+//! # Ok::<(), ppl_runtime::RuntimeError>(())
+//! ```
+
+pub mod coroutine;
+pub mod joint;
+
+pub use coroutine::{Coroutine, CoroutineError, Resume, Step, Suspend};
+pub use joint::{JointExecutor, JointResult, JointSpec, LatentSource, RuntimeError};

@@ -1,0 +1,42 @@
+//! Trace-based operational semantics for the guide-types PPL (§3 and
+//! Appendix B of *Sound Probabilistic Inference via Guide Types*).
+//!
+//! * [`value`] — runtime values and environments.
+//! * [`trace`] — guidance messages and traces.
+//! * [`eval`] — the weighted big-step evaluation relation
+//!   `V | (a : σ_a); (b : σ_b) ⊢ m ⇓_w v`, the probability-free reduction
+//!   relation, and the density function `P_m`.
+//! * [`typed_traces`] — the trace-typing judgment `σ : A` and a random
+//!   generator of well-typed traces (used to property-test the type-safety
+//!   theorems).
+//!
+//! # Example
+//!
+//! ```
+//! use ppl_semantics::{Evaluator, Trace, Message, Value};
+//! use ppl_dist::Sample;
+//! use ppl_syntax::parse_program;
+//!
+//! let prog = parse_program(r#"
+//!     proc P() : real consume latent {
+//!       let x <- sample recv latent (Normal(0.0, 1.0));
+//!       return x + 1.0
+//!     }
+//! "#).unwrap();
+//! let latent = Trace::from_messages(vec![Message::ValP(Sample::Real(0.5))]);
+//! let result = Evaluator::new(&prog)
+//!     .run_proc(&"P".into(), &[], &latent, &Trace::new())
+//!     .unwrap();
+//! assert_eq!(result.value, Value::Real(1.5));
+//! assert!(result.log_weight < 0.0);
+//! ```
+
+pub mod eval;
+pub mod trace;
+pub mod typed_traces;
+pub mod value;
+
+pub use eval::{eval_dist, eval_expr, EvalError, Evaluation, Evaluator, Mode};
+pub use trace::{Message, Trace, TraceCursor};
+pub use typed_traces::{generate_trace, sample_has_type, trace_has_type, GeneratorConfig};
+pub use value::{Env, Value};

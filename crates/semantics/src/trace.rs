@@ -1,0 +1,254 @@
+//! Guidance traces and messages.
+//!
+//! A guidance trace `σ` is a finite sequence of messages exchanged on a
+//! channel: sample values (`valP`/`valC`), branch selections
+//! (`dirP`/`dirC`), and the procedure-call marker `fold`.
+
+use ppl_dist::Sample;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A single guidance message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// `valP(v)` — a sample value sent by the channel's provider.
+    ValP(Sample),
+    /// `valC(v)` — a sample value sent by the channel's consumer.
+    ValC(Sample),
+    /// `dirP(v)` — a branch selection sent by the provider.
+    DirP(bool),
+    /// `dirC(v)` — a branch selection sent by the consumer.
+    DirC(bool),
+    /// `fold` — the procedure-call marker.
+    Fold,
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::ValP(v) => write!(f, "valP({v})"),
+            Message::ValC(v) => write!(f, "valC({v})"),
+            Message::DirP(b) => write!(f, "dirP({b})"),
+            Message::DirC(b) => write!(f, "dirC({b})"),
+            Message::Fold => write!(f, "fold"),
+        }
+    }
+}
+
+/// A guidance trace: a finite sequence of [`Message`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    messages: Vec<Message>,
+}
+
+impl Trace {
+    /// The empty trace `[]`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from messages.
+    pub fn from_messages(messages: Vec<Message>) -> Self {
+        Trace { messages }
+    }
+
+    /// Appends a message.
+    pub fn push(&mut self, m: Message) {
+        self.messages.push(m);
+    }
+
+    /// Concatenation `σ₁ ++ σ₂`.
+    pub fn concat(mut self, other: Trace) -> Trace {
+        self.messages.extend(other.messages);
+        self
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The messages as a slice.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Iterates over the sample values sent by the provider (`valP`), in
+    /// order — the "latent variables" view of a latent-channel trace.
+    pub fn provider_samples(&self) -> Vec<Sample> {
+        self.messages
+            .iter()
+            .filter_map(|m| match m {
+                Message::ValP(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Returns a copy of the trace with the `index`-th provider sample
+    /// replaced by `value` (used by single-site MCMC proposals).
+    ///
+    /// Returns `None` if there are fewer than `index + 1` provider samples.
+    pub fn with_provider_sample(&self, index: usize, value: Sample) -> Option<Trace> {
+        let mut seen = 0usize;
+        let mut out = self.clone();
+        for m in out.messages.iter_mut() {
+            if let Message::ValP(v) = m {
+                if seen == index {
+                    *v = value;
+                    return Some(out);
+                }
+                seen += 1;
+                let _ = v;
+            }
+        }
+        None
+    }
+
+    /// A cursor reading the trace front-to-back.
+    pub fn cursor(&self) -> TraceCursor {
+        TraceCursor {
+            queue: self.messages.iter().cloned().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, m) in self.messages.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Message> for Trace {
+    fn from_iter<T: IntoIterator<Item = Message>>(iter: T) -> Self {
+        Trace {
+            messages: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Message> for Trace {
+    fn extend<T: IntoIterator<Item = Message>>(&mut self, iter: T) {
+        self.messages.extend(iter);
+    }
+}
+
+/// A consuming cursor over a trace, used by the evaluator to pop messages in
+/// order.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    queue: VecDeque<Message>,
+}
+
+impl TraceCursor {
+    /// An empty cursor (for absent channels).
+    pub fn empty() -> Self {
+        TraceCursor {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Pops the next message, if any.
+    pub fn pop(&mut self) -> Option<Message> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the next message.
+    pub fn peek(&self) -> Option<&Message> {
+        self.queue.front()
+    }
+
+    /// Number of remaining messages.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if all messages have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_concat() {
+        let mut a = Trace::new();
+        assert!(a.is_empty());
+        a.push(Message::ValP(Sample::Real(1.0)));
+        let b = Trace::from_messages(vec![Message::DirC(true), Message::Fold]);
+        let c = a.clone().concat(b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.messages()[2], Message::Fold);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn provider_samples_view() {
+        let t = Trace::from_messages(vec![
+            Message::ValP(Sample::Real(1.0)),
+            Message::DirC(false),
+            Message::ValP(Sample::Real(0.5)),
+            Message::ValC(Sample::Real(9.0)),
+        ]);
+        assert_eq!(
+            t.provider_samples(),
+            vec![Sample::Real(1.0), Sample::Real(0.5)]
+        );
+    }
+
+    #[test]
+    fn replace_provider_sample() {
+        let t = Trace::from_messages(vec![
+            Message::ValP(Sample::Real(1.0)),
+            Message::DirC(false),
+            Message::ValP(Sample::Real(0.5)),
+        ]);
+        let t2 = t.with_provider_sample(1, Sample::Real(0.9)).unwrap();
+        assert_eq!(t2.provider_samples(), vec![Sample::Real(1.0), Sample::Real(0.9)]);
+        assert!(t.with_provider_sample(2, Sample::Real(0.0)).is_none());
+    }
+
+    #[test]
+    fn cursor_consumes_in_order() {
+        let t = Trace::from_messages(vec![Message::Fold, Message::DirP(true)]);
+        let mut c = t.cursor();
+        assert_eq!(c.remaining(), 2);
+        assert_eq!(c.peek(), Some(&Message::Fold));
+        assert_eq!(c.pop(), Some(Message::Fold));
+        assert_eq!(c.pop(), Some(Message::DirP(true)));
+        assert!(c.is_exhausted());
+        assert_eq!(c.pop(), None);
+        assert!(TraceCursor::empty().is_exhausted());
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Trace::from_messages(vec![Message::ValP(Sample::Real(1.0)), Message::Fold]);
+        assert_eq!(t.to_string(), "[valP(1); fold]");
+        assert_eq!(Trace::new().to_string(), "[]");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let t: Trace = vec![Message::DirP(true)].into_iter().collect();
+        assert_eq!(t.len(), 1);
+        let mut t = t;
+        t.extend(vec![Message::DirC(false)]);
+        assert_eq!(t.len(), 2);
+    }
+}

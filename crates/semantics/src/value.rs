@@ -1,0 +1,235 @@
+//! Runtime values and environments.
+
+use ppl_dist::{Distribution, Sample};
+use ppl_syntax::ast::{BaseType, Expr, Ident};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value of the deterministic fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value `triv`.
+    Unit,
+    /// A Boolean.
+    Bool(bool),
+    /// A real number.
+    Real(f64),
+    /// A natural number.
+    Nat(u64),
+    /// A primitive distribution value.
+    Dist(Distribution),
+    /// A closure `clo(V, λ(x. e))`.
+    Closure {
+        /// Captured environment.
+        env: Env,
+        /// Parameter name.
+        param: Ident,
+        /// Function body.
+        body: Box<Expr>,
+    },
+}
+
+impl Value {
+    /// The Boolean payload, if this is a Boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A numeric view (`Real` and `Nat` both convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Nat(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The natural-number payload, if any.
+    pub fn as_nat(&self) -> Option<u64> {
+        match self {
+            Value::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The distribution payload, if any.
+    pub fn as_dist(&self) -> Option<&Distribution> {
+        match self {
+            Value::Dist(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Converts a sample message payload into a value.
+    pub fn from_sample(s: Sample) -> Value {
+        match s {
+            Sample::Bool(b) => Value::Bool(b),
+            Sample::Real(r) => Value::Real(r),
+            Sample::Nat(n) => Value::Nat(n),
+        }
+    }
+
+    /// Converts this value into a sample payload, if it is scalar.
+    pub fn to_sample(&self) -> Option<Sample> {
+        match self {
+            Value::Bool(b) => Some(Sample::Bool(*b)),
+            Value::Real(r) => Some(Sample::Real(*r)),
+            Value::Nat(n) => Some(Sample::Nat(*n)),
+            _ => None,
+        }
+    }
+
+    /// Well-typedness of a value at a scalar base type (the `v : τ` judgment
+    /// of Fig. 13, scalar cases).
+    pub fn has_type(&self, ty: &BaseType) -> bool {
+        match (self, ty) {
+            (Value::Unit, BaseType::Unit) => true,
+            (Value::Bool(_), BaseType::Bool) => true,
+            (Value::Real(r), BaseType::UnitInterval) => *r > 0.0 && *r < 1.0,
+            (Value::Real(r), BaseType::PosReal) => *r > 0.0 && r.is_finite(),
+            (Value::Real(r), BaseType::Real) => r.is_finite(),
+            (Value::Nat(n), BaseType::FinNat(m)) => (*n as usize) < *m,
+            (Value::Nat(_), BaseType::Nat) => true,
+            (Value::Dist(d), BaseType::Dist(carrier)) => {
+                carrier_of_kind(d.kind()) == **carrier || {
+                    // A distribution is well-typed at any carrier its kind
+                    // refines to (e.g. dist(ureal) <: nothing — kinds are
+                    // exact, so require equality).
+                    false
+                }
+            }
+            (Value::Closure { .. }, BaseType::Arrow(..)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// The carrier base type of a distribution kind.
+pub fn carrier_of_kind(kind: ppl_dist::DistKind) -> BaseType {
+    match kind {
+        ppl_dist::DistKind::Bool => BaseType::Bool,
+        ppl_dist::DistKind::UnitInterval => BaseType::UnitInterval,
+        ppl_dist::DistKind::PosReal => BaseType::PosReal,
+        ppl_dist::DistKind::Real => BaseType::Real,
+        ppl_dist::DistKind::FinNat(n) => BaseType::FinNat(n),
+        ppl_dist::DistKind::Nat => BaseType::Nat,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Dist(d) => write!(f, "{d}"),
+            Value::Closure { param, .. } => write!(f, "<closure {param}>"),
+        }
+    }
+}
+
+/// A runtime environment `V` mapping program variables to values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    vars: HashMap<Ident, Value>,
+}
+
+impl Env {
+    /// The empty environment `∅`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of the environment extended with a binding
+    /// (`V[x ↦ v]`).
+    pub fn extended(&self, x: Ident, v: Value) -> Env {
+        let mut next = self.clone();
+        next.vars.insert(x, v);
+        next
+    }
+
+    /// Adds a binding in place.
+    pub fn insert(&mut self, x: Ident, v: Value) {
+        self.vars.insert(x, v);
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, x: &Ident) -> Option<&Value> {
+        self.vars.get(x)
+    }
+
+    /// Builds an environment from name/value pairs.
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Ident, Value)>) -> Env {
+        let mut env = Env::new();
+        for (x, v) in bindings {
+            env.insert(x, v);
+        }
+        env
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trip() {
+        for v in [Value::Bool(true), Value::Real(2.5), Value::Nat(7)] {
+            let s = v.to_sample().unwrap();
+            assert_eq!(Value::from_sample(s), v);
+        }
+        assert!(Value::Unit.to_sample().is_none());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Real(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Nat(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Nat(3).as_nat(), Some(3));
+        assert!(Value::Real(1.0).as_bool().is_none());
+        assert!(Value::Dist(Distribution::uniform()).as_dist().is_some());
+    }
+
+    #[test]
+    fn value_typing() {
+        assert!(Value::Real(0.5).has_type(&BaseType::UnitInterval));
+        assert!(!Value::Real(1.5).has_type(&BaseType::UnitInterval));
+        assert!(Value::Real(1.5).has_type(&BaseType::PosReal));
+        assert!(Value::Real(-1.5).has_type(&BaseType::Real));
+        assert!(!Value::Real(-1.5).has_type(&BaseType::PosReal));
+        assert!(Value::Nat(2).has_type(&BaseType::FinNat(3)));
+        assert!(!Value::Nat(3).has_type(&BaseType::FinNat(3)));
+        assert!(Value::Nat(100).has_type(&BaseType::Nat));
+        assert!(Value::Unit.has_type(&BaseType::Unit));
+        assert!(Value::Bool(false).has_type(&BaseType::Bool));
+        assert!(Value::Dist(Distribution::uniform()).has_type(&BaseType::dist(BaseType::UnitInterval)));
+        assert!(!Value::Dist(Distribution::uniform()).has_type(&BaseType::dist(BaseType::Real)));
+    }
+
+    #[test]
+    fn env_operations() {
+        let env = Env::new();
+        assert!(env.is_empty());
+        let env2 = env.extended("x".into(), Value::Real(1.0));
+        assert!(env.lookup(&"x".into()).is_none());
+        assert_eq!(env2.lookup(&"x".into()), Some(&Value::Real(1.0)));
+        assert_eq!(env2.len(), 1);
+        let env3 = Env::from_bindings([("a".into(), Value::Nat(1)), ("b".into(), Value::Bool(true))]);
+        assert_eq!(env3.len(), 2);
+    }
+}

@@ -1,0 +1,672 @@
+//! Abstract syntax of the core calculus (Fig. 7 of the paper).
+//!
+//! The calculus is modal: *expressions* ([`Expr`]) describe pure
+//! deterministic computation (a simply-typed lambda calculus over scalar
+//! types and primitive-distribution constructors), while *commands*
+//! ([`Cmd`]) describe probabilistic computation with coroutine
+//! communication primitives (`sample`, branching, procedure calls).
+
+use std::fmt;
+
+/// An identifier (program variable, procedure name, or channel name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ident(String);
+
+impl Ident {
+    /// Creates an identifier.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ident(name.into())
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident::new(s)
+    }
+}
+
+/// A channel name (e.g. `latent`, `obs`).
+pub type ChannelName = Ident;
+
+/// Basic (scalar and functional) types `τ` of the calculus.
+///
+/// The refinement structure of the scalar types is what lets the type of a
+/// distribution characterise its support exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// `𝟙` — the unit type.
+    Unit,
+    /// `𝟚` — Booleans.
+    Bool,
+    /// `ℝ(0,1)` — the open unit interval.
+    UnitInterval,
+    /// `ℝ+` — positive reals.
+    PosReal,
+    /// `ℝ` — reals.
+    Real,
+    /// `ℕ_n` — the integer ring `{0, …, n-1}`.
+    FinNat(usize),
+    /// `ℕ` — natural numbers.
+    Nat,
+    /// `τ₁ → τ₂` — functions.
+    Arrow(Box<BaseType>, Box<BaseType>),
+    /// `dist(τ)` — primitive distributions over `τ`.
+    Dist(Box<BaseType>),
+}
+
+impl BaseType {
+    /// Convenience constructor for arrow types.
+    pub fn arrow(from: BaseType, to: BaseType) -> Self {
+        BaseType::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// Convenience constructor for distribution types.
+    pub fn dist(carrier: BaseType) -> Self {
+        BaseType::Dist(Box::new(carrier))
+    }
+
+    /// True for the real-valued scalar refinements (`ℝ(0,1)`, `ℝ+`, `ℝ`).
+    pub fn is_real_like(&self) -> bool {
+        matches!(
+            self,
+            BaseType::UnitInterval | BaseType::PosReal | BaseType::Real
+        )
+    }
+
+    /// True for the natural-number scalar refinements (`ℕ_n`, `ℕ`).
+    pub fn is_nat_like(&self) -> bool {
+        matches!(self, BaseType::FinNat(_) | BaseType::Nat)
+    }
+
+    /// True for scalar (non-arrow, non-dist) types.
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, BaseType::Arrow(..) | BaseType::Dist(..))
+    }
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseType::Unit => write!(f, "unit"),
+            BaseType::Bool => write!(f, "bool"),
+            BaseType::UnitInterval => write!(f, "ureal"),
+            BaseType::PosReal => write!(f, "preal"),
+            BaseType::Real => write!(f, "real"),
+            BaseType::FinNat(n) => write!(f, "nat[{n}]"),
+            BaseType::Nat => write!(f, "nat"),
+            BaseType::Arrow(a, b) => write!(f, "({a} -> {b})"),
+            BaseType::Dist(t) => write!(f, "dist({t})"),
+        }
+    }
+}
+
+/// Binary operators on scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+impl BinOp {
+    /// The surface-syntax spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    /// True for comparison operators (result type `𝟚`).
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq)
+    }
+
+    /// True for Boolean connectives.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+}
+
+/// Unary operators on scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// Exponential `e^x` (maps reals to positive reals).
+    Exp,
+    /// Natural logarithm (maps positive reals to reals).
+    Ln,
+    /// Square root (maps positive reals to positive reals).
+    Sqrt,
+    /// Coercion of a natural number to a real number.
+    ToReal,
+}
+
+impl UnOp {
+    /// The surface-syntax spelling of the operator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Exp => "exp",
+            UnOp::Ln => "ln",
+            UnOp::Sqrt => "sqrt",
+            UnOp::ToReal => "real",
+        }
+    }
+}
+
+/// Primitive-distribution expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistExpr {
+    /// `Ber(e)` — Bernoulli.
+    Bernoulli(Box<Expr>),
+    /// `Unif` — uniform on the unit interval.
+    Uniform,
+    /// `Beta(e₁; e₂)`.
+    Beta(Box<Expr>, Box<Expr>),
+    /// `Gamma(e₁; e₂)` (shape; rate).
+    Gamma(Box<Expr>, Box<Expr>),
+    /// `Normal(e₁; e₂)` (mean; standard deviation).
+    Normal(Box<Expr>, Box<Expr>),
+    /// `Cat(e₁, …, eₙ)` — categorical over `{0, …, n-1}`.
+    Categorical(Vec<Expr>),
+    /// `Geo(e)` — geometric.
+    Geometric(Box<Expr>),
+    /// `Pois(e)` — Poisson.
+    Poisson(Box<Expr>),
+}
+
+impl DistExpr {
+    /// The constructor name as written in the paper's syntax.
+    pub fn constructor(&self) -> &'static str {
+        match self {
+            DistExpr::Bernoulli(_) => "Ber",
+            DistExpr::Uniform => "Unif",
+            DistExpr::Beta(..) => "Beta",
+            DistExpr::Gamma(..) => "Gamma",
+            DistExpr::Normal(..) => "Normal",
+            DistExpr::Categorical(_) => "Cat",
+            DistExpr::Geometric(_) => "Geo",
+            DistExpr::Poisson(_) => "Pois",
+        }
+    }
+
+    /// Parameter sub-expressions in order.
+    pub fn args(&self) -> Vec<&Expr> {
+        match self {
+            DistExpr::Uniform => vec![],
+            DistExpr::Bernoulli(e) | DistExpr::Geometric(e) | DistExpr::Poisson(e) => vec![e],
+            DistExpr::Beta(a, b) | DistExpr::Gamma(a, b) | DistExpr::Normal(a, b) => {
+                vec![a, b]
+            }
+            DistExpr::Categorical(es) => es.iter().collect(),
+        }
+    }
+}
+
+/// Pure expressions (the deterministic fragment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A program variable.
+    Var(Ident),
+    /// The unit value `triv`.
+    Triv,
+    /// A Boolean literal.
+    Bool(bool),
+    /// A real literal.
+    Real(f64),
+    /// A natural-number literal.
+    Nat(u64),
+    /// A pure conditional `if(e; e₁; e₂)`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    UnOp(UnOp, Box<Expr>),
+    /// A lambda abstraction `λ(x : τ. e)`.
+    Lam(Ident, BaseType, Box<Expr>),
+    /// Application `app(e₁; e₂)`.
+    App(Box<Expr>, Box<Expr>),
+    /// Let binding `let(e₁; x.e₂)`.
+    Let(Ident, Box<Expr>, Box<Expr>),
+    /// A primitive-distribution constructor.
+    Dist(DistExpr),
+}
+
+impl Expr {
+    /// Variable reference helper.
+    pub fn var(name: impl Into<Ident>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// Binary-operation helper.
+    pub fn binop(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::BinOp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Unary-operation helper.
+    pub fn unop(op: UnOp, e: Expr) -> Self {
+        Expr::UnOp(op, Box::new(e))
+    }
+
+    /// Free variables of the expression.
+    pub fn free_vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Ident>, out: &mut Vec<Ident>) {
+        match self {
+            Expr::Var(x) => {
+                if !bound.contains(x) && !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            Expr::Triv | Expr::Bool(_) | Expr::Real(_) | Expr::Nat(_) => {}
+            Expr::If(c, a, b) => {
+                c.collect_free_vars(bound, out);
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Expr::BinOp(_, a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Expr::UnOp(_, e) => e.collect_free_vars(bound, out),
+            Expr::Lam(x, _, body) => {
+                bound.push(x.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+            Expr::App(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Expr::Let(x, e1, e2) => {
+                e1.collect_free_vars(bound, out);
+                bound.push(x.clone());
+                e2.collect_free_vars(bound, out);
+                bound.pop();
+            }
+            Expr::Dist(d) => {
+                for a in d.args() {
+                    a.collect_free_vars(bound, out);
+                }
+            }
+        }
+    }
+}
+
+/// The direction of a communication command relative to the executing
+/// coroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// `sd` — this coroutine sends on the channel.
+    Send,
+    /// `rv` — this coroutine receives from the channel.
+    Recv,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::Send => write!(f, "send"),
+            Dir::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// Monadic commands (the probabilistic fragment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// `ret(e)` — return a pure value.
+    Ret(Expr),
+    /// `bnd(m₁; x.m₂)` — sequential composition.
+    Bind {
+        /// The bound variable.
+        var: Ident,
+        /// The first command.
+        first: Box<Cmd>,
+        /// The continuation command.
+        rest: Box<Cmd>,
+    },
+    /// `call(f; e₁, …, eₙ)` — procedure call.
+    Call {
+        /// Procedure name.
+        proc: Ident,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `sample_dir{chan}(e)` — sample communication on a channel.
+    Sample {
+        /// Direction relative to this coroutine.
+        dir: Dir,
+        /// The channel.
+        chan: ChannelName,
+        /// The distribution expression.
+        dist: Expr,
+    },
+    /// `cond_dir{chan}(e?; m₁; m₂)` — branch-selection communication.
+    Branch {
+        /// Direction relative to this coroutine.
+        dir: Dir,
+        /// The channel.
+        chan: ChannelName,
+        /// The branch predicate (present only in the `send` direction; the
+        /// receive direction is written `★` in the paper).
+        pred: Option<Expr>,
+        /// The then-branch.
+        then_cmd: Box<Cmd>,
+        /// The else-branch.
+        else_cmd: Box<Cmd>,
+    },
+}
+
+impl Cmd {
+    /// Sequencing helper `bnd(first; var. rest)`.
+    pub fn bind(var: impl Into<Ident>, first: Cmd, rest: Cmd) -> Self {
+        Cmd::Bind {
+            var: var.into(),
+            first: Box::new(first),
+            rest: Box::new(rest),
+        }
+    }
+
+    /// Number of AST nodes in this command (used by LOC/size reports).
+    pub fn size(&self) -> usize {
+        match self {
+            Cmd::Ret(_) | Cmd::Call { .. } | Cmd::Sample { .. } => 1,
+            Cmd::Bind { first, rest, .. } => 1 + first.size() + rest.size(),
+            Cmd::Branch {
+                then_cmd, else_cmd, ..
+            } => 1 + then_cmd.size() + else_cmd.size(),
+        }
+    }
+
+    /// The set of channels this command communicates on.
+    pub fn channels(&self) -> Vec<ChannelName> {
+        let mut out = Vec::new();
+        self.collect_channels(&mut out);
+        out
+    }
+
+    fn collect_channels(&self, out: &mut Vec<ChannelName>) {
+        match self {
+            Cmd::Ret(_) | Cmd::Call { .. } => {}
+            Cmd::Bind { first, rest, .. } => {
+                first.collect_channels(out);
+                rest.collect_channels(out);
+            }
+            Cmd::Sample { chan, .. } => {
+                if !out.contains(chan) {
+                    out.push(chan.clone());
+                }
+            }
+            Cmd::Branch {
+                chan,
+                then_cmd,
+                else_cmd,
+                ..
+            } => {
+                if !out.contains(chan) {
+                    out.push(chan.clone());
+                }
+                then_cmd.collect_channels(out);
+                else_cmd.collect_channels(out);
+            }
+        }
+    }
+}
+
+/// A procedure declaration
+/// `fix{a; b}(f. x̄. m)` / `proc f(x̄) consume a provide b = m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proc {
+    /// The procedure name.
+    pub name: Ident,
+    /// The typed parameters.
+    pub params: Vec<(Ident, BaseType)>,
+    /// The declared result type.
+    pub ret_ty: BaseType,
+    /// The channel this procedure consumes, if any.
+    pub consumes: Option<ChannelName>,
+    /// The channel this procedure provides, if any.
+    pub provides: Option<ChannelName>,
+    /// The procedure body.
+    pub body: Cmd,
+}
+
+impl Proc {
+    /// All channels mentioned in the header.
+    pub fn declared_channels(&self) -> Vec<&ChannelName> {
+        self.consumes.iter().chain(self.provides.iter()).collect()
+    }
+}
+
+/// A program: a collection of (mutually recursive) procedures.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The procedures in declaration order.
+    pub procs: Vec<Proc>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program { procs: Vec::new() }
+    }
+
+    /// Adds a procedure, returning `self` for chaining.
+    pub fn with_proc(mut self, p: Proc) -> Self {
+        self.procs.push(p);
+        self
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &Ident) -> Option<&Proc> {
+        self.procs.iter().find(|p| &p.name == name)
+    }
+
+    /// Looks up a procedure by string name.
+    pub fn proc_named(&self, name: &str) -> Option<&Proc> {
+        self.procs.iter().find(|p| p.name.as_str() == name)
+    }
+
+    /// Iterates over procedure names.
+    pub fn proc_names(&self) -> impl Iterator<Item = &Ident> {
+        self.procs.iter().map(|p| &p.name)
+    }
+
+    /// Merges the procedures of `other` into this program (used to put a
+    /// model and its guide in one procedure table).
+    pub fn merged_with(mut self, other: Program) -> Program {
+        self.procs.extend(other.procs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_display_and_conversion() {
+        let x: Ident = "latent".into();
+        assert_eq!(x.as_str(), "latent");
+        assert_eq!(x.to_string(), "latent");
+        assert_eq!(Ident::from(String::from("y")).as_str(), "y");
+    }
+
+    #[test]
+    fn base_type_classification() {
+        assert!(BaseType::UnitInterval.is_real_like());
+        assert!(BaseType::PosReal.is_real_like());
+        assert!(!BaseType::Nat.is_real_like());
+        assert!(BaseType::FinNat(4).is_nat_like());
+        assert!(BaseType::Unit.is_scalar());
+        assert!(!BaseType::arrow(BaseType::Real, BaseType::Real).is_scalar());
+        assert!(!BaseType::dist(BaseType::Real).is_scalar());
+    }
+
+    #[test]
+    fn base_type_display() {
+        assert_eq!(BaseType::dist(BaseType::UnitInterval).to_string(), "dist(ureal)");
+        assert_eq!(
+            BaseType::arrow(BaseType::Nat, BaseType::Bool).to_string(),
+            "(nat -> bool)"
+        );
+        assert_eq!(BaseType::FinNat(3).to_string(), "nat[3]");
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Mul.is_arithmetic());
+        assert_eq!(BinOp::Le.symbol(), "<=");
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // let x = y in (λ z. x + z) w
+        let e = Expr::Let(
+            "x".into(),
+            Box::new(Expr::var("y")),
+            Box::new(Expr::App(
+                Box::new(Expr::Lam(
+                    "z".into(),
+                    BaseType::Real,
+                    Box::new(Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("z"))),
+                )),
+                Box::new(Expr::var("w")),
+            )),
+        );
+        let fv = e.free_vars();
+        assert!(fv.contains(&"y".into()));
+        assert!(fv.contains(&"w".into()));
+        assert!(!fv.contains(&"x".into()));
+        assert!(!fv.contains(&"z".into()));
+    }
+
+    #[test]
+    fn dist_expr_args_and_constructor() {
+        let d = DistExpr::Normal(Box::new(Expr::Real(0.0)), Box::new(Expr::Real(1.0)));
+        assert_eq!(d.constructor(), "Normal");
+        assert_eq!(d.args().len(), 2);
+        assert_eq!(DistExpr::Uniform.args().len(), 0);
+        let c = DistExpr::Categorical(vec![Expr::Real(1.0), Expr::Real(2.0), Expr::Real(3.0)]);
+        assert_eq!(c.args().len(), 3);
+    }
+
+    #[test]
+    fn cmd_channels_and_size() {
+        let m = Cmd::bind(
+            "v",
+            Cmd::Sample {
+                dir: Dir::Recv,
+                chan: "latent".into(),
+                dist: Expr::Dist(DistExpr::Uniform),
+            },
+            Cmd::Branch {
+                dir: Dir::Send,
+                chan: "latent".into(),
+                pred: Some(Expr::binop(BinOp::Lt, Expr::var("v"), Expr::Real(0.5))),
+                then_cmd: Box::new(Cmd::Ret(Expr::Triv)),
+                else_cmd: Box::new(Cmd::Sample {
+                    dir: Dir::Send,
+                    chan: "obs".into(),
+                    dist: Expr::Dist(DistExpr::Uniform),
+                }),
+            },
+        );
+        let chans = m.channels();
+        assert_eq!(chans.len(), 2);
+        assert!(chans.contains(&"latent".into()));
+        assert!(chans.contains(&"obs".into()));
+        assert_eq!(m.size(), 5);
+    }
+
+    #[test]
+    fn program_lookup_and_merge() {
+        let p = Proc {
+            name: "Model".into(),
+            params: vec![],
+            ret_ty: BaseType::Unit,
+            consumes: Some("latent".into()),
+            provides: Some("obs".into()),
+            body: Cmd::Ret(Expr::Triv),
+        };
+        let q = Proc {
+            name: "Guide".into(),
+            params: vec![("theta".into(), BaseType::PosReal)],
+            ret_ty: BaseType::Unit,
+            consumes: None,
+            provides: Some("latent".into()),
+            body: Cmd::Ret(Expr::Triv),
+        };
+        let prog = Program::new().with_proc(p.clone());
+        let both = prog.merged_with(Program::new().with_proc(q.clone()));
+        assert_eq!(both.procs.len(), 2);
+        assert_eq!(both.proc_named("Model"), Some(&p));
+        assert_eq!(both.proc(&"Guide".into()), Some(&q));
+        assert!(both.proc_named("Nope").is_none());
+        assert_eq!(p.declared_channels().len(), 2);
+        assert_eq!(q.declared_channels().len(), 1);
+        assert_eq!(both.proc_names().count(), 2);
+    }
+}

@@ -1,0 +1,408 @@
+//! Lexer for the surface syntax of the guide-types PPL.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A natural-number literal.
+    Nat(u64),
+    /// A real literal (contains a decimal point or exponent).
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `<-`
+    LeftArrow,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `=`
+    Eq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Nat(n) => write!(f, "{n}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::LeftArrow => write!(f, "<-"),
+            Token::Arrow => write!(f, "->"),
+            Token::FatArrow => write!(f, "=>"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Eq => write!(f, "="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// A lexical error (unexpected character or malformed number).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises a source string.
+///
+/// Line comments start with `//` and run to the end of the line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unexpected characters or malformed numeric
+/// literals.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let err = |message: String, line: usize, col: usize| LexError { message, line, col };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, col: &mut usize| {
+            *i += 1;
+            *col += 1;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(&mut i, &mut col),
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Spanned {
+                    token: Token::Ident(text),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_real = false;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                if i < chars.len() && chars[i] == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()
+                {
+                    is_real = true;
+                    i += 1;
+                    col += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    is_real = true;
+                    i += 1;
+                    col += 1;
+                    if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+                        i += 1;
+                        col += 1;
+                    }
+                    if i >= chars.len() || !chars[i].is_ascii_digit() {
+                        return Err(err("malformed exponent".into(), tline, tcol));
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let token = if is_real {
+                    Token::Real(
+                        text.parse::<f64>()
+                            .map_err(|e| err(format!("bad real literal {text}: {e}"), tline, tcol))?,
+                    )
+                } else {
+                    Token::Nat(
+                        text.parse::<u64>()
+                            .map_err(|e| err(format!("bad integer literal {text}: {e}"), tline, tcol))?,
+                    )
+                };
+                tokens.push(Spanned {
+                    token,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                // Punctuation and operators.
+                let two: Option<Token> = if i + 1 < chars.len() {
+                    match (c, chars[i + 1]) {
+                        ('<', '-') => Some(Token::LeftArrow),
+                        ('-', '>') => Some(Token::Arrow),
+                        ('=', '>') => Some(Token::FatArrow),
+                        ('<', '=') => Some(Token::Le),
+                        ('>', '=') => Some(Token::Ge),
+                        ('=', '=') => Some(Token::EqEq),
+                        ('&', '&') => Some(Token::AndAnd),
+                        ('|', '|') => Some(Token::OrOr),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(t) = two {
+                    tokens.push(Spanned {
+                        token: t,
+                        line: tline,
+                        col: tcol,
+                    });
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                let one = match c {
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    ',' => Token::Comma,
+                    ';' => Token::Semi,
+                    ':' => Token::Colon,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    '/' => Token::Slash,
+                    '<' => Token::Lt,
+                    '>' => Token::Gt,
+                    '=' => Token::Eq,
+                    '!' => Token::Bang,
+                    other => {
+                        return Err(err(format!("unexpected character '{other}'"), tline, tcol));
+                    }
+                };
+                tokens.push(Spanned {
+                    token: one,
+                    line: tline,
+                    col: tcol,
+                });
+                i += 1;
+                col += 1;
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lex_identifiers_and_keywords() {
+        assert_eq!(
+            toks("proc Model latent _x"),
+            vec![
+                Token::Ident("proc".into()),
+                Token::Ident("Model".into()),
+                Token::Ident("latent".into()),
+                Token::Ident("_x".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2"),
+            vec![
+                Token::Nat(42),
+                Token::Real(3.5),
+                Token::Real(1000.0),
+                Token::Real(0.025),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators_and_punctuation() {
+        assert_eq!(
+            toks("<- -> => <= >= == && || < > = ! ; : , ( ) { } [ ]"),
+            vec![
+                Token::LeftArrow,
+                Token::Arrow,
+                Token::FatArrow,
+                Token::Le,
+                Token::Ge,
+                Token::EqEq,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Bang,
+                Token::Semi,
+                Token::Colon,
+                Token::Comma,
+                Token::LParen,
+                Token::RParen,
+                Token::LBrace,
+                Token::RBrace,
+                Token::LBracket,
+                Token::RBracket,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_positions() {
+        let tokens = lex("x // comment\n  y").unwrap();
+        assert_eq!(tokens.len(), 3);
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].token, Token::Ident("y".into()));
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[1].col, 3);
+    }
+
+    #[test]
+    fn lex_arithmetic_expression() {
+        assert_eq!(
+            toks("v < 2.0 + x * 3"),
+            vec![
+                Token::Ident("v".into()),
+                Token::Lt,
+                Token::Real(2.0),
+                Token::Plus,
+                Token::Ident("x".into()),
+                Token::Star,
+                Token::Nat(3),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_error_reports_position() {
+        let e = lex("abc\n  #").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 3);
+        assert!(e.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn lex_malformed_exponent() {
+        assert!(lex("1e").is_err());
+        assert!(lex("1e+").is_err());
+    }
+}

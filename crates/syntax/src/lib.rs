@@ -1,0 +1,35 @@
+//! Abstract syntax, surface-syntax parser, and pretty-printer for the
+//! guide-types PPL (the core calculus of *Sound Probabilistic Inference via
+//! Guide Types*, PLDI 2021, Fig. 7).
+//!
+//! The crate is purely syntactic: typing lives in `ppl-types` and execution
+//! in `ppl-semantics` / `ppl-runtime`.
+//!
+//! # Example
+//!
+//! ```
+//! use ppl_syntax::{parse_program, pretty};
+//!
+//! let src = r#"
+//!     proc Flip() provide latent {
+//!       let b <- sample send latent (Ber(0.5));
+//!       return ()
+//!     }
+//! "#;
+//! let program = parse_program(src)?;
+//! assert_eq!(program.procs.len(), 1);
+//! let printed = pretty::print_program(&program);
+//! assert_eq!(parse_program(&printed)?, program);
+//! # Ok::<(), ppl_syntax::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{
+    BaseType, BinOp, ChannelName, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp,
+};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_expr, parse_program, ParseError};

@@ -1,0 +1,837 @@
+//! Recursive-descent parser for the surface syntax.
+//!
+//! The surface syntax mirrors the paper's presentation (Fig. 5, Fig. 6,
+//! Fig. 10) with ASCII spellings:
+//!
+//! ```text
+//! proc Model() : real consume latent provide obs {
+//!   let v <- sample recv latent (Gamma(2.0, 1.0));
+//!   if send latent (v < 2.0) {
+//!     let _ <- sample send obs (Normal(-1.0, 1.0));
+//!     return v
+//!   } else {
+//!     let m <- sample recv latent (Beta(3.0, 1.0));
+//!     let _ <- sample send obs (Normal(m, 1.0));
+//!     return v
+//!   }
+//! }
+//! ```
+
+use crate::ast::{BaseType, BinOp, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use std::fmt;
+
+/// A parse error with source position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a whole program (a sequence of procedure declarations).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Example
+///
+/// ```
+/// let src = "proc Main() { return () }";
+/// let prog = ppl_syntax::parse_program(src)?;
+/// assert_eq!(prog.procs.len(), 1);
+/// # Ok::<(), ppl_syntax::ParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+/// Parses a single expression (useful in tests and the REPL-style examples).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a single well-formed
+/// expression.
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "proc", "consume", "provide", "let", "in", "return", "sample", "send", "recv", "call", "if",
+    "else", "then", "fn", "true", "false", "unit", "bool", "ureal", "preal", "real", "nat",
+    "dist", "exp", "ln", "sqrt", "Ber", "Unif", "Beta", "Gamma", "Normal", "Cat", "Geo", "Pois",
+];
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        let i = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[i].token
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        (s.line, s.col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), ParseError> {
+        if self.peek() == expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{expected}', found '{}'", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected keyword '{kw}', found '{other}'"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<Ident, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                if KEYWORDS.contains(&s.as_str()) && s != "_" {
+                    return Err(self.error(format!("'{s}' is a reserved keyword")));
+                }
+                self.advance();
+                Ok(Ident::new(s))
+            }
+            other => Err(self.error(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input '{}'", self.peek())))
+        }
+    }
+
+    // ---------------------------------------------------------------- program
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::new();
+        while !matches!(self.peek(), Token::Eof) {
+            prog.procs.push(self.proc_decl()?);
+        }
+        Ok(prog)
+    }
+
+    fn proc_decl(&mut self) -> Result<Proc, ParseError> {
+        self.eat_keyword("proc")?;
+        let name = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.eat(&Token::Colon)?;
+                let ty = self.base_type()?;
+                params.push((pname, ty));
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        let ret_ty = if matches!(self.peek(), Token::Colon) {
+            self.advance();
+            self.base_type()?
+        } else {
+            BaseType::Unit
+        };
+        let mut consumes = None;
+        let mut provides = None;
+        if self.at_keyword("consume") {
+            self.advance();
+            consumes = Some(self.ident()?);
+        }
+        if self.at_keyword("provide") {
+            self.advance();
+            provides = Some(self.ident()?);
+        }
+        let body = self.block()?;
+        Ok(Proc {
+            name,
+            params,
+            ret_ty,
+            consumes,
+            provides,
+            body,
+        })
+    }
+
+    // ------------------------------------------------------------------ types
+
+    fn base_type(&mut self) -> Result<BaseType, ParseError> {
+        let head = match self.peek().clone() {
+            Token::Ident(s) => s,
+            Token::LParen => {
+                self.advance();
+                let a = self.base_type()?;
+                self.eat(&Token::Arrow)?;
+                let b = self.base_type()?;
+                self.eat(&Token::RParen)?;
+                return Ok(BaseType::arrow(a, b));
+            }
+            other => return Err(self.error(format!("expected a type, found '{other}'"))),
+        };
+        self.advance();
+        let ty = match head.as_str() {
+            "unit" => BaseType::Unit,
+            "bool" => BaseType::Bool,
+            "ureal" => BaseType::UnitInterval,
+            "preal" => BaseType::PosReal,
+            "real" => BaseType::Real,
+            "nat" => {
+                if matches!(self.peek(), Token::LBracket) {
+                    self.advance();
+                    let n = match self.advance() {
+                        Token::Nat(n) => n as usize,
+                        other => {
+                            return Err(
+                                self.error(format!("expected bound in nat[..], found '{other}'"))
+                            )
+                        }
+                    };
+                    self.eat(&Token::RBracket)?;
+                    BaseType::FinNat(n)
+                } else {
+                    BaseType::Nat
+                }
+            }
+            "dist" => {
+                self.eat(&Token::LParen)?;
+                let inner = self.base_type()?;
+                self.eat(&Token::RParen)?;
+                BaseType::dist(inner)
+            }
+            other => return Err(self.error(format!("unknown type '{other}'"))),
+        };
+        Ok(ty)
+    }
+
+    // --------------------------------------------------------------- commands
+
+    fn block(&mut self) -> Result<Cmd, ParseError> {
+        self.eat(&Token::LBrace)?;
+        let cmd = self.cmd_seq()?;
+        self.eat(&Token::RBrace)?;
+        Ok(cmd)
+    }
+
+    fn cmd_seq(&mut self) -> Result<Cmd, ParseError> {
+        // let x <- item ; seq   |   item ; seq   |   item
+        if self.at_keyword("let") && matches!(self.peek_at(2), Token::LeftArrow) {
+            self.advance(); // let
+            let var = self.ident()?;
+            self.eat(&Token::LeftArrow)?;
+            let first = self.cmd_item()?;
+            self.eat(&Token::Semi)?;
+            let rest = self.cmd_seq()?;
+            return Ok(Cmd::Bind {
+                var,
+                first: Box::new(first),
+                rest: Box::new(rest),
+            });
+        }
+        let first = self.cmd_item()?;
+        if matches!(self.peek(), Token::Semi) {
+            self.advance();
+            let rest = self.cmd_seq()?;
+            Ok(Cmd::Bind {
+                var: Ident::new("_"),
+                first: Box::new(first),
+                rest: Box::new(rest),
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn cmd_item(&mut self) -> Result<Cmd, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) if s == "return" => {
+                self.advance();
+                let e = if matches!(self.peek(), Token::LParen)
+                    && matches!(self.peek_at(1), Token::RParen)
+                {
+                    self.advance();
+                    self.advance();
+                    Expr::Triv
+                } else {
+                    self.expr()?
+                };
+                Ok(Cmd::Ret(e))
+            }
+            Token::Ident(s) if s == "sample" => {
+                self.advance();
+                let dir = self.direction()?;
+                let chan = self.ident()?;
+                self.eat(&Token::LParen)?;
+                let dist = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(Cmd::Sample { dir, chan, dist })
+            }
+            Token::Ident(s) if s == "call" => {
+                self.advance();
+                let proc = self.ident()?;
+                self.eat(&Token::LParen)?;
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Token::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if matches!(self.peek(), Token::Comma) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&Token::RParen)?;
+                Ok(Cmd::Call { proc, args })
+            }
+            Token::Ident(s) if s == "if" => {
+                self.advance();
+                let dir = self.direction()?;
+                let chan = self.ident()?;
+                let pred = if dir == Dir::Send {
+                    self.eat(&Token::LParen)?;
+                    let e = self.expr()?;
+                    self.eat(&Token::RParen)?;
+                    Some(e)
+                } else {
+                    None
+                };
+                let then_cmd = self.block()?;
+                self.eat_keyword("else")?;
+                let else_cmd = self.block()?;
+                Ok(Cmd::Branch {
+                    dir,
+                    chan,
+                    pred,
+                    then_cmd: Box::new(then_cmd),
+                    else_cmd: Box::new(else_cmd),
+                })
+            }
+            Token::LBrace => self.block(),
+            other => Err(self.error(format!(
+                "expected a command (return / sample / call / if / block), found '{other}'"
+            ))),
+        }
+    }
+
+    fn direction(&mut self) -> Result<Dir, ParseError> {
+        if self.at_keyword("send") {
+            self.advance();
+            Ok(Dir::Send)
+        } else if self.at_keyword("recv") {
+            self.advance();
+            Ok(Dir::Recv)
+        } else {
+            Err(self.error(format!("expected 'send' or 'recv', found '{}'", self.peek())))
+        }
+    }
+
+    // ------------------------------------------------------------ expressions
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Token::OrOr) {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Expr::binop(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Token::AndAnd) {
+            self.advance();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::binop(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Token::Lt => Some(BinOp::Lt),
+            Token::Le => Some(BinOp::Le),
+            Token::Gt => Some(BinOp::Gt),
+            Token::Ge => Some(BinOp::Ge),
+            Token::EqEq => Some(BinOp::Eq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.add_expr()?;
+            Ok(Expr::binop(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.advance();
+                let e = self.unary_expr()?;
+                Ok(Expr::unop(UnOp::Neg, e))
+            }
+            Token::Bang => {
+                self.advance();
+                let e = self.unary_expr()?;
+                Ok(Expr::unop(UnOp::Not, e))
+            }
+            _ => self.atom_expr(),
+        }
+    }
+
+    fn dist_two_args(&mut self) -> Result<(Expr, Expr), ParseError> {
+        self.eat(&Token::LParen)?;
+        let a = self.expr()?;
+        if matches!(self.peek(), Token::Comma | Token::Semi) {
+            self.advance();
+        } else {
+            return Err(self.error("expected ',' between distribution parameters"));
+        }
+        let b = self.expr()?;
+        self.eat(&Token::RParen)?;
+        Ok((a, b))
+    }
+
+    fn dist_one_arg(&mut self) -> Result<Expr, ParseError> {
+        self.eat(&Token::LParen)?;
+        let a = self.expr()?;
+        self.eat(&Token::RParen)?;
+        Ok(a)
+    }
+
+    fn atom_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Nat(n) => {
+                self.advance();
+                Ok(Expr::Nat(n))
+            }
+            Token::Real(r) => {
+                self.advance();
+                Ok(Expr::Real(r))
+            }
+            Token::LParen => {
+                self.advance();
+                if matches!(self.peek(), Token::RParen) {
+                    self.advance();
+                    return Ok(Expr::Triv);
+                }
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(s) => match s.as_str() {
+                "true" => {
+                    self.advance();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Expr::Bool(false))
+                }
+                "if" => {
+                    self.advance();
+                    let c = self.expr()?;
+                    self.eat_keyword("then")?;
+                    let a = self.expr()?;
+                    self.eat_keyword("else")?;
+                    let b = self.expr()?;
+                    Ok(Expr::If(Box::new(c), Box::new(a), Box::new(b)))
+                }
+                "let" => {
+                    self.advance();
+                    let x = self.ident()?;
+                    self.eat(&Token::Eq)?;
+                    let e1 = self.expr()?;
+                    self.eat_keyword("in")?;
+                    let e2 = self.expr()?;
+                    Ok(Expr::Let(x, Box::new(e1), Box::new(e2)))
+                }
+                "fn" => {
+                    self.advance();
+                    self.eat(&Token::LParen)?;
+                    let x = self.ident()?;
+                    self.eat(&Token::Colon)?;
+                    let ty = self.base_type()?;
+                    self.eat(&Token::RParen)?;
+                    self.eat(&Token::FatArrow)?;
+                    let body = self.expr()?;
+                    Ok(Expr::Lam(x, ty, Box::new(body)))
+                }
+                "exp" | "ln" | "sqrt" | "real" => {
+                    self.advance();
+                    let op = match s.as_str() {
+                        "exp" => UnOp::Exp,
+                        "ln" => UnOp::Ln,
+                        "sqrt" => UnOp::Sqrt,
+                        _ => UnOp::ToReal,
+                    };
+                    let e = self.dist_one_arg()?;
+                    Ok(Expr::unop(op, e))
+                }
+                "Ber" => {
+                    self.advance();
+                    Ok(Expr::Dist(DistExpr::Bernoulli(Box::new(self.dist_one_arg()?))))
+                }
+                "Unif" => {
+                    self.advance();
+                    Ok(Expr::Dist(DistExpr::Uniform))
+                }
+                "Beta" => {
+                    self.advance();
+                    let (a, b) = self.dist_two_args()?;
+                    Ok(Expr::Dist(DistExpr::Beta(Box::new(a), Box::new(b))))
+                }
+                "Gamma" => {
+                    self.advance();
+                    let (a, b) = self.dist_two_args()?;
+                    Ok(Expr::Dist(DistExpr::Gamma(Box::new(a), Box::new(b))))
+                }
+                "Normal" => {
+                    self.advance();
+                    let (a, b) = self.dist_two_args()?;
+                    Ok(Expr::Dist(DistExpr::Normal(Box::new(a), Box::new(b))))
+                }
+                "Cat" => {
+                    self.advance();
+                    self.eat(&Token::LParen)?;
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.expr()?);
+                        if matches!(self.peek(), Token::Comma | Token::Semi) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat(&Token::RParen)?;
+                    Ok(Expr::Dist(DistExpr::Categorical(args)))
+                }
+                "Geo" => {
+                    self.advance();
+                    Ok(Expr::Dist(DistExpr::Geometric(Box::new(self.dist_one_arg()?))))
+                }
+                "Pois" => {
+                    self.advance();
+                    Ok(Expr::Dist(DistExpr::Poisson(Box::new(self.dist_one_arg()?))))
+                }
+                _ => {
+                    let name = self.ident()?;
+                    if matches!(self.peek(), Token::LParen) {
+                        self.advance();
+                        let arg = self.expr()?;
+                        self.eat(&Token::RParen)?;
+                        Ok(Expr::App(Box::new(Expr::Var(name)), Box::new(arg)))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            other => Err(self.error(format!("expected an expression, found '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_expressions() {
+        assert_eq!(parse_expr("1 + 2 * 3").unwrap(), {
+            Expr::binop(
+                BinOp::Add,
+                Expr::Nat(1),
+                Expr::binop(BinOp::Mul, Expr::Nat(2), Expr::Nat(3)),
+            )
+        });
+        assert_eq!(
+            parse_expr("v < 2.0").unwrap(),
+            Expr::binop(BinOp::Lt, Expr::var("v"), Expr::Real(2.0))
+        );
+        assert_eq!(parse_expr("()").unwrap(), Expr::Triv);
+        assert_eq!(
+            parse_expr("-1.0").unwrap(),
+            Expr::unop(UnOp::Neg, Expr::Real(1.0))
+        );
+    }
+
+    #[test]
+    fn parse_distribution_expressions() {
+        assert_eq!(parse_expr("Unif").unwrap(), Expr::Dist(DistExpr::Uniform));
+        let g = parse_expr("Gamma(2.0, 1.0)").unwrap();
+        assert!(matches!(g, Expr::Dist(DistExpr::Gamma(..))));
+        let c = parse_expr("Cat(1.0, 2.0, 3.0)").unwrap();
+        match c {
+            Expr::Dist(DistExpr::Categorical(args)) => assert_eq!(args.len(), 3),
+            _ => panic!("expected categorical"),
+        }
+    }
+
+    #[test]
+    fn parse_if_let_and_lambda_expressions() {
+        let e = parse_expr("if b then 1.0 else 2.0").unwrap();
+        assert!(matches!(e, Expr::If(..)));
+        let e = parse_expr("let x = 2.0 in x * x").unwrap();
+        assert!(matches!(e, Expr::Let(..)));
+        let e = parse_expr("fn (x : real) => x + 1.0").unwrap();
+        assert!(matches!(e, Expr::Lam(..)));
+        let e = parse_expr("f(3.0)").unwrap();
+        assert!(matches!(e, Expr::App(..)));
+        let e = parse_expr("exp(-1.0 * lambda)").unwrap();
+        assert!(matches!(e, Expr::UnOp(UnOp::Exp, _)));
+    }
+
+    #[test]
+    fn parse_fig5_model() {
+        let src = r#"
+            proc Model() : real consume latent provide obs {
+              let v <- sample recv latent (Gamma(2.0, 1.0));
+              if send latent (v < 2.0) {
+                let _ <- sample send obs (Normal(-1.0, 1.0));
+                return v
+              } else {
+                let m <- sample recv latent (Beta(3.0, 1.0));
+                let _ <- sample send obs (Normal(m, 1.0));
+                return v
+              }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.procs.len(), 1);
+        let model = prog.proc_named("Model").unwrap();
+        assert_eq!(model.ret_ty, BaseType::Real);
+        assert_eq!(model.consumes, Some("latent".into()));
+        assert_eq!(model.provides, Some("obs".into()));
+        // body: bind(sample; v. branch)
+        match &model.body {
+            Cmd::Bind { var, first, rest } => {
+                assert_eq!(var.as_str(), "v");
+                assert!(matches!(**first, Cmd::Sample { dir: Dir::Recv, .. }));
+                assert!(matches!(**rest, Cmd::Branch { dir: Dir::Send, .. }));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fig5_guide() {
+        let src = r#"
+            proc Guide1() provide latent {
+              let v <- sample send latent (Gamma(1.0, 1.0));
+              if recv latent {
+                return ()
+              } else {
+                let _ <- sample send latent (Unif);
+                return ()
+              }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let guide = prog.proc_named("Guide1").unwrap();
+        assert_eq!(guide.ret_ty, BaseType::Unit);
+        assert_eq!(guide.consumes, None);
+        assert_eq!(guide.provides, Some("latent".into()));
+        match &guide.body {
+            Cmd::Bind { rest, .. } => match rest.as_ref() {
+                Cmd::Branch { dir, pred, .. } => {
+                    assert_eq!(*dir, Dir::Recv);
+                    assert!(pred.is_none());
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_recursive_pcfg() {
+        let src = r#"
+            proc Pcfg() : real consume latent {
+              let k <- sample recv latent (Beta(3.0, 1.0));
+              call PcfgGen(k)
+            }
+            proc PcfgGen(k : ureal) : real consume latent {
+              let u <- sample recv latent (Unif);
+              if send latent (u < k) {
+                let v <- sample recv latent (Normal(0.0, 1.0));
+                return v
+              } else {
+                let lhs <- call PcfgGen(k);
+                let rhs <- call PcfgGen(k);
+                return lhs + rhs
+              }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.procs.len(), 2);
+        let gen = prog.proc_named("PcfgGen").unwrap();
+        assert_eq!(gen.params.len(), 1);
+        assert_eq!(gen.params[0].1, BaseType::UnitInterval);
+    }
+
+    #[test]
+    fn parse_anonymous_sequencing() {
+        let src = r#"
+            proc P() provide obs {
+              sample send obs (Normal(0.0, 1.0));
+              return ()
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        match &prog.procs[0].body {
+            Cmd::Bind { var, .. } => assert_eq!(var.as_str(), "_"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multi_param_proc_and_type_annotations() {
+        let src = r#"
+            proc Guide2(t1 : preal, t2 : preal, t3 : preal, t4 : preal) provide latent {
+              let v <- sample send latent (Gamma(t1, t2));
+              if recv latent {
+                return ()
+              } else {
+                let _ <- sample send latent (Beta(t3, t4));
+                return ()
+              }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.procs[0].params.len(), 4);
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse_program("proc P( { }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_program("proc 3() {}").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("Beta(1.0)").is_err());
+        assert!(parse_expr("if x then 1.0").is_err());
+    }
+
+    #[test]
+    fn keywords_cannot_be_identifiers() {
+        assert!(parse_program("proc sample() { return () }").is_err());
+    }
+
+    #[test]
+    fn nat_bracket_type() {
+        let src = "proc P(k : nat[4]) { return () }";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.procs[0].params[0].1, BaseType::FinNat(4));
+    }
+}

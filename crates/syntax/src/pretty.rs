@@ -1,0 +1,271 @@
+//! Pretty-printer: renders AST back into surface syntax.
+//!
+//! The printer produces text that re-parses to the same AST (round-trip
+//! property, checked in the test suite), and is used to report model LOC in
+//! the Table 1 harness.
+
+use crate::ast::{BaseType, Cmd, Dir, DistExpr, Expr, Proc, Program};
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, proc) in p.procs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_proc(proc));
+    }
+    out
+}
+
+/// Renders a single procedure.
+pub fn print_proc(p: &Proc) -> String {
+    let mut out = String::new();
+    let params = p
+        .params
+        .iter()
+        .map(|(x, t)| format!("{x} : {t}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = write!(out, "proc {}({})", p.name, params);
+    if p.ret_ty != BaseType::Unit {
+        let _ = write!(out, " : {}", p.ret_ty);
+    }
+    if let Some(c) = &p.consumes {
+        let _ = write!(out, " consume {c}");
+    }
+    if let Some(c) = &p.provides {
+        let _ = write!(out, " provide {c}");
+    }
+    out.push_str(" {\n");
+    print_cmd(&p.body, 1, &mut out);
+    out.push_str("\n}\n");
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Renders a command at the given indentation level.
+pub fn print_cmd(cmd: &Cmd, level: usize, out: &mut String) {
+    match cmd {
+        Cmd::Ret(e) => {
+            indent(level, out);
+            if *e == Expr::Triv {
+                out.push_str("return ()");
+            } else {
+                let _ = write!(out, "return {}", print_expr(e));
+            }
+        }
+        Cmd::Bind { var, first, rest } => {
+            indent(level, out);
+            if var.as_str() == "_" {
+                let _ = write!(out, "{};\n", print_cmd_inline(first, level));
+            } else {
+                let _ = write!(out, "let {var} <- {};\n", print_cmd_inline(first, level));
+            }
+            print_cmd(rest, level, out);
+        }
+        Cmd::Call { proc, args } => {
+            indent(level, out);
+            let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            let _ = write!(out, "call {proc}({args})");
+        }
+        Cmd::Sample { dir, chan, dist } => {
+            indent(level, out);
+            let _ = write!(out, "sample {dir} {chan} ({})", print_expr(dist));
+        }
+        Cmd::Branch {
+            dir,
+            chan,
+            pred,
+            then_cmd,
+            else_cmd,
+        } => {
+            indent(level, out);
+            match (dir, pred) {
+                (Dir::Send, Some(p)) => {
+                    let _ = write!(out, "if send {chan} ({}) {{\n", print_expr(p));
+                }
+                _ => {
+                    let _ = write!(out, "if recv {chan} {{\n");
+                }
+            }
+            print_cmd(then_cmd, level + 1, out);
+            out.push('\n');
+            indent(level, out);
+            out.push_str("} else {\n");
+            print_cmd(else_cmd, level + 1, out);
+            out.push('\n');
+            indent(level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn print_cmd_inline(cmd: &Cmd, level: usize) -> String {
+    let mut s = String::new();
+    print_cmd(cmd, 0, &mut s);
+    // Nested multi-line commands (branches / blocks) keep their indentation
+    // relative to the binder line.
+    if s.contains('\n') {
+        let pad = "  ".repeat(level);
+        s = s.replace('\n', &format!("\n{pad}"));
+    }
+    s.trim_start().to_string()
+}
+
+/// Renders an expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Var(x) => x.to_string(),
+        Expr::Triv => "()".to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Real(r) => {
+            if r.fract() == 0.0 && r.abs() < 1e15 {
+                format!("{r:.1}")
+            } else {
+                format!("{r}")
+            }
+        }
+        Expr::Nat(n) => n.to_string(),
+        Expr::If(c, a, b) => format!(
+            "if {} then {} else {}",
+            print_expr(c),
+            print_expr(a),
+            print_expr(b)
+        ),
+        Expr::BinOp(op, a, b) => format!("({} {} {})", print_expr(a), op.symbol(), print_expr(b)),
+        Expr::UnOp(op, a) => match op {
+            crate::ast::UnOp::Neg => format!("(-{})", print_expr(a)),
+            crate::ast::UnOp::Not => format!("(!{})", print_expr(a)),
+            other => format!("{}({})", other.name(), print_expr(a)),
+        },
+        Expr::Lam(x, t, body) => format!("fn ({x} : {t}) => {}", print_expr(body)),
+        Expr::App(f, a) => format!("{}({})", print_expr(f), print_expr(a)),
+        Expr::Let(x, e1, e2) => format!("let {x} = {} in {}", print_expr(e1), print_expr(e2)),
+        Expr::Dist(d) => print_dist(d),
+    }
+}
+
+fn print_dist(d: &DistExpr) -> String {
+    match d {
+        DistExpr::Uniform => "Unif".to_string(),
+        DistExpr::Bernoulli(e) => format!("Ber({})", print_expr(e)),
+        DistExpr::Geometric(e) => format!("Geo({})", print_expr(e)),
+        DistExpr::Poisson(e) => format!("Pois({})", print_expr(e)),
+        DistExpr::Beta(a, b) => format!("Beta({}, {})", print_expr(a), print_expr(b)),
+        DistExpr::Gamma(a, b) => format!("Gamma({}, {})", print_expr(a), print_expr(b)),
+        DistExpr::Normal(a, b) => format!("Normal({}, {})", print_expr(a), print_expr(b)),
+        DistExpr::Categorical(es) => {
+            let args = es.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("Cat({args})")
+        }
+    }
+}
+
+/// Counts the number of non-blank lines of the pretty-printed program; the
+/// "LOC" metric used by Table 1.
+pub fn loc(p: &Program) -> usize {
+    print_program(p)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const FIG5: &str = r#"
+        proc Model() : real consume latent provide obs {
+          let v <- sample recv latent (Gamma(2.0, 1.0));
+          if send latent (v < 2.0) {
+            let _ <- sample send obs (Normal(-1.0, 1.0));
+            return v
+          } else {
+            let m <- sample recv latent (Beta(3.0, 1.0));
+            let _ <- sample send obs (Normal(m, 1.0));
+            return v
+          }
+        }
+        proc Guide1() provide latent {
+          let v <- sample send latent (Gamma(1.0, 1.0));
+          if recv latent {
+            return ()
+          } else {
+            let _ <- sample send latent (Unif);
+            return ()
+          }
+        }
+    "#;
+
+    #[test]
+    fn round_trip_fig5() {
+        let prog = parse_program(FIG5).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn round_trip_recursive_program() {
+        let src = r#"
+            proc PcfgGen(k : ureal) : real consume latent {
+              let u <- sample recv latent (Unif);
+              if send latent (u < k) {
+                let v <- sample recv latent (Normal(0.0, 1.0));
+                return v
+              } else {
+                let lhs <- call PcfgGen(k);
+                let rhs <- call PcfgGen(k);
+                return lhs + rhs
+              }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn expr_printing() {
+        assert_eq!(print_expr(&Expr::Triv), "()");
+        assert_eq!(print_expr(&Expr::Real(2.0)), "2.0");
+        assert_eq!(print_expr(&Expr::Real(0.25)), "0.25");
+        assert_eq!(print_expr(&Expr::Nat(3)), "3");
+        let e = crate::parser::parse_expr("exp(-(x))").unwrap();
+        assert!(print_expr(&e).starts_with("exp("));
+    }
+
+    #[test]
+    fn loc_counts_nonblank_lines() {
+        let prog = parse_program(FIG5).unwrap();
+        let n = loc(&prog);
+        assert!(n >= 15 && n <= 30, "loc {n}");
+    }
+
+    #[test]
+    fn categorical_and_unary_round_trip() {
+        let src = r#"
+            proc P(lam : preal) : real consume latent {
+              let k <- sample recv latent (Cat(1.0, 2.0, 3.0));
+              let x <- sample recv latent (Pois(exp(-(lam))));
+              return real(k) + real(x)
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(prog, reparsed);
+    }
+}

@@ -1,0 +1,54 @@
+//! Type-error reporting for both the base-type checker and the guide-type
+//! checker.
+
+use std::fmt;
+
+/// A type error produced by the base-type checker or the guide-type
+/// inference algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Human-readable description of the error.
+    pub message: String,
+    /// The procedure in which the error occurred, when known.
+    pub in_proc: Option<String>,
+}
+
+impl TypeError {
+    /// Creates an error without procedure context.
+    pub fn new(message: impl Into<String>) -> Self {
+        TypeError {
+            message: message.into(),
+            in_proc: None,
+        }
+    }
+
+    /// Attaches the name of the procedure being checked.
+    pub fn in_proc(mut self, name: impl Into<String>) -> Self {
+        self.in_proc = Some(name.into());
+        self
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.in_proc {
+            Some(p) => write!(f, "type error in procedure '{p}': {}", self.message),
+            None => write!(f, "type error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_proc() {
+        let e = TypeError::new("mismatch");
+        assert_eq!(e.to_string(), "type error: mismatch");
+        let e = e.in_proc("Model");
+        assert!(e.to_string().contains("'Model'"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Whole-program guide-type inference (§4, "Type-inference algorithm") and
+//! model–guide compatibility checking (the premise of Theorem 5.2).
+//!
+//! For every procedure `fix{a; b}(f. x̄. m)` the algorithm creates fresh type
+//! operators `T_f_a`, `T_f_b` and fresh continuation variables `X_f_a`,
+//! `X_f_b`, runs the backward checker on the body, and records the resulting
+//! prefix types as the operator definitions.  The protocol of a channel for
+//! a *top-level* run of procedure `f` is then the instantiation `T_f_c[1]`.
+
+use crate::base::{is_subtype, TypingCtx};
+use crate::check::{check_cmd, ChannelTypes, CheckCtx, ProcSignature, Sigma};
+use crate::error::TypeError;
+use crate::guide::{GuideType, TypeDef, TypeDefs};
+use ppl_syntax::ast::{Ident, Program};
+use std::collections::HashMap;
+
+/// The result of guide-type inference over a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    /// Procedure signatures `Σ`.
+    pub sigma: Sigma,
+    /// Inferred type-operator definitions `T`.
+    pub defs: TypeDefs,
+    /// The inferred value type of each procedure body.
+    pub value_types: HashMap<Ident, ppl_syntax::ast::BaseType>,
+}
+
+impl TypeEnv {
+    /// The protocol of the channel *consumed* by procedure `name` when run
+    /// at top level (continuation `1`), or `None` if the procedure consumes
+    /// no channel or is unknown.
+    pub fn consumed_protocol(&self, name: &Ident) -> Option<GuideType> {
+        let sig = self.sigma.get(name)?;
+        let (_, op) = sig.consumes.as_ref()?;
+        Some(GuideType::app(op.clone(), GuideType::End))
+    }
+
+    /// The protocol of the channel *provided* by procedure `name` when run
+    /// at top level, or `None`.
+    pub fn provided_protocol(&self, name: &Ident) -> Option<GuideType> {
+        let sig = self.sigma.get(name)?;
+        let (_, op) = sig.provides.as_ref()?;
+        Some(GuideType::app(op.clone(), GuideType::End))
+    }
+}
+
+/// Infers guide types for every procedure in the program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered (ill-typed expressions,
+/// undeclared channels, protocol mismatches between conditional branches,
+/// result-type mismatches, …).
+///
+/// # Example
+///
+/// ```
+/// use ppl_syntax::parse_program;
+/// use ppl_types::infer_program;
+///
+/// let prog = parse_program(
+///     "proc P() : ureal consume latent { let x <- sample recv latent (Unif); return x }",
+/// ).unwrap();
+/// let env = infer_program(&prog)?;
+/// let latent = env.consumed_protocol(&"P".into()).unwrap();
+/// assert_eq!(latent.to_string(), "T_P_latent[1]");
+/// # Ok::<(), ppl_types::TypeError>(())
+/// ```
+pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
+    let mut sigma = Sigma::new();
+    for p in &program.procs {
+        if sigma.contains_key(&p.name) {
+            return Err(TypeError::new(format!(
+                "duplicate procedure name '{}'",
+                p.name
+            )));
+        }
+        if p.consumes.is_some() && p.consumes == p.provides {
+            return Err(TypeError::new(format!(
+                "procedure '{}' consumes and provides the same channel",
+                p.name
+            ))
+            .in_proc(p.name.as_str()));
+        }
+        sigma.insert(p.name.clone(), ProcSignature::for_proc(p));
+    }
+
+    let mut defs = TypeDefs::new();
+    let mut value_types = HashMap::new();
+
+    for p in &program.procs {
+        let ctx = CheckCtx {
+            sigma: &sigma,
+            consumes: p.consumes.clone(),
+            provides: p.provides.clone(),
+        };
+        let gamma = TypingCtx::from_params(&p.params);
+        let cont_a_var = p
+            .consumes
+            .as_ref()
+            .map(|c| format!("X_{}_{}", p.name, c));
+        let cont_b_var = p
+            .provides
+            .as_ref()
+            .map(|c| format!("X_{}_{}", p.name, c));
+        let after = ChannelTypes {
+            consumed: cont_a_var
+                .clone()
+                .map(GuideType::Var)
+                .unwrap_or(GuideType::End),
+            provided: cont_b_var
+                .clone()
+                .map(GuideType::Var)
+                .unwrap_or(GuideType::End),
+        };
+        let typing = check_cmd(&ctx, &gamma, &p.body, &after)
+            .map_err(|e| e.in_proc(p.name.as_str()))?;
+        if !is_subtype(&typing.value_ty, &p.ret_ty) {
+            return Err(TypeError::new(format!(
+                "body has value type {}, but the declared result type is {}",
+                typing.value_ty, p.ret_ty
+            ))
+            .in_proc(p.name.as_str()));
+        }
+        value_types.insert(p.name.clone(), typing.value_ty);
+
+        let sig = &sigma[&p.name];
+        if let (Some(var), Some((_, op))) = (&cont_a_var, &sig.consumes) {
+            defs.insert(TypeDef {
+                name: op.clone(),
+                param: var.clone(),
+                body: typing.before.consumed.clone(),
+            });
+        }
+        if let (Some(var), Some((_, op))) = (&cont_b_var, &sig.provides) {
+            defs.insert(TypeDef {
+                name: op.clone(),
+                param: var.clone(),
+                body: typing.before.provided.clone(),
+            });
+        }
+    }
+
+    Ok(TypeEnv {
+        sigma,
+        defs,
+        value_types,
+    })
+}
+
+/// The outcome of a model–guide compatibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compatibility {
+    /// The latent-channel protocol inferred from the model.
+    pub model_latent: GuideType,
+    /// The latent-channel protocol inferred from the guide.
+    pub guide_latent: GuideType,
+    /// The observation-channel protocol inferred from the model, if any.
+    pub model_obs: Option<GuideType>,
+    /// Whether the two latent protocols are equal (the premise of
+    /// Theorem 5.2, which yields absolute continuity).
+    pub compatible: bool,
+    /// Whether the model satisfies the `⊕`/`&`-freeness side conditions of
+    /// Theorem 5.2 (the model receives no branch selections).
+    pub model_branch_free: bool,
+}
+
+/// Checks that a model procedure and a guide procedure agree on the protocol
+/// of the latent channel, and that the side conditions of Theorem 5.2 hold.
+///
+/// `model_env`/`guide_env` are the inference results for the programs
+/// containing the two procedures (they may be the same [`TypeEnv`]).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if either procedure is unknown, the model does
+/// not consume a latent channel, or the guide does not provide one.
+pub fn check_model_guide(
+    model_env: &TypeEnv,
+    model_proc: &Ident,
+    guide_env: &TypeEnv,
+    guide_proc: &Ident,
+) -> Result<Compatibility, TypeError> {
+    let model_latent = model_env.consumed_protocol(model_proc).ok_or_else(|| {
+        TypeError::new(format!(
+            "model procedure '{model_proc}' does not consume a latent channel"
+        ))
+    })?;
+    let guide_latent = guide_env.provided_protocol(guide_proc).ok_or_else(|| {
+        TypeError::new(format!(
+            "guide procedure '{guide_proc}' does not provide a latent channel"
+        ))
+    })?;
+    let model_obs = model_env.provided_protocol(model_proc);
+
+    let compatible = model_env
+        .defs
+        .equal(&model_latent, &guide_latent, &guide_env.defs);
+
+    // Side conditions of Theorem 5.2: the latent protocol is ⊕-free (the
+    // provider, i.e. the guide, never sends branch selections) and the obs
+    // protocol is &-free (the model, its provider, never receives them).
+    let latent_offer_free = model_env.defs.is_offer_free(&model_latent);
+    let obs_accept_free = model_obs
+        .as_ref()
+        .map(|t| model_env.defs.is_accept_free(t))
+        .unwrap_or(true);
+
+    Ok(Compatibility {
+        model_latent,
+        guide_latent,
+        model_obs,
+        compatible,
+        model_branch_free: latent_offer_free && obs_accept_free,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl_syntax::parse_program;
+
+    const FIG5_MODEL: &str = r#"
+        proc Model() : real consume latent provide obs {
+          let v <- sample recv latent (Gamma(2.0, 1.0));
+          if send latent (v < 2.0) {
+            let _ <- sample send obs (Normal(-1.0, 1.0));
+            return v
+          } else {
+            let m <- sample recv latent (Beta(3.0, 1.0));
+            let _ <- sample send obs (Normal(m, 1.0));
+            return v
+          }
+        }
+    "#;
+
+    const FIG5_GUIDE: &str = r#"
+        proc Guide1() provide latent {
+          let v <- sample send latent (Gamma(1.0, 1.0));
+          if recv latent {
+            return ()
+          } else {
+            let _ <- sample send latent (Unif);
+            return ()
+          }
+        }
+    "#;
+
+    const UNSOUND_GUIDE: &str = r#"
+        proc GuideBad() provide latent {
+          let v <- sample send latent (Pois(4.0));
+          if recv latent {
+            return ()
+          } else {
+            let _ <- sample send latent (Unif);
+            return ()
+          }
+        }
+    "#;
+
+    const PCFG: &str = r#"
+        proc Pcfg() : real consume latent {
+          let k <- sample recv latent (Beta(3.0, 1.0));
+          let t <- call PcfgGen(k);
+          return t
+        }
+        proc PcfgGen(k : ureal) : real consume latent {
+          let u <- sample recv latent (Unif);
+          if send latent (u < k) {
+            let v <- sample recv latent (Normal(0.0, 1.0));
+            return v
+          } else {
+            let lhs <- call PcfgGen(k);
+            let rhs <- call PcfgGen(k);
+            return lhs + rhs
+          }
+        }
+    "#;
+
+    const PCFG_GUIDE: &str = r#"
+        proc PcfgGuide() provide latent {
+          let k <- sample send latent (Beta(2.0, 2.0));
+          let t <- call PcfgGenGuide();
+          return ()
+        }
+        proc PcfgGenGuide() provide latent {
+          let u <- sample send latent (Unif);
+          if recv latent {
+            let v <- sample send latent (Normal(0.0, 2.0));
+            return ()
+          } else {
+            let _ <- call PcfgGenGuide();
+            let _ <- call PcfgGenGuide();
+            return ()
+          }
+        }
+    "#;
+
+    #[test]
+    fn fig5_model_and_guide_are_compatible() {
+        let model = infer_program(&parse_program(FIG5_MODEL).unwrap()).unwrap();
+        let guide = infer_program(&parse_program(FIG5_GUIDE).unwrap()).unwrap();
+        let compat =
+            check_model_guide(&model, &"Model".into(), &guide, &"Guide1".into()).unwrap();
+        assert!(compat.compatible, "{compat:?}");
+        assert!(compat.model_branch_free);
+        assert!(compat.model_obs.is_some());
+    }
+
+    #[test]
+    fn fig3_unsound_guide_is_rejected() {
+        let model = infer_program(&parse_program(FIG5_MODEL).unwrap()).unwrap();
+        let guide = infer_program(&parse_program(UNSOUND_GUIDE).unwrap()).unwrap();
+        let compat =
+            check_model_guide(&model, &"Model".into(), &guide, &"GuideBad".into()).unwrap();
+        assert!(!compat.compatible);
+    }
+
+    #[test]
+    fn fig4_vi_guides() {
+        // Sound parameterised guide (Guide2).
+        let guide2 = r#"
+            proc Guide2(t1 : preal, t2 : preal, t3 : preal, t4 : preal) provide latent {
+              let v <- sample send latent (Gamma(t1, t2));
+              if recv latent {
+                return ()
+              } else {
+                let _ <- sample send latent (Beta(t3, t4));
+                return ()
+              }
+            }
+        "#;
+        // Unsound guide (Guide2'): samples @x from a Normal.
+        let guide2p = r#"
+            proc Guide2p(t1 : real, t2 : preal) provide latent {
+              let v <- sample send latent (Normal(t1, t2));
+              if recv latent {
+                return ()
+              } else {
+                let _ <- sample send latent (Unif);
+                return ()
+              }
+            }
+        "#;
+        let model = infer_program(&parse_program(FIG5_MODEL).unwrap()).unwrap();
+        let g2 = infer_program(&parse_program(guide2).unwrap()).unwrap();
+        let g2p = infer_program(&parse_program(guide2p).unwrap()).unwrap();
+        assert!(
+            check_model_guide(&model, &"Model".into(), &g2, &"Guide2".into())
+                .unwrap()
+                .compatible
+        );
+        assert!(
+            !check_model_guide(&model, &"Model".into(), &g2p, &"Guide2p".into())
+                .unwrap()
+                .compatible
+        );
+    }
+
+    #[test]
+    fn recursive_pcfg_infers_parameterised_operator() {
+        let env = infer_program(&parse_program(PCFG).unwrap()).unwrap();
+        // The operator for PcfgGen's latent channel should mention itself
+        // (recursive protocol) and be parameterised by its continuation.
+        let def = env.defs.get("T_PcfgGen_latent").unwrap();
+        assert!(def.body.mentions_var(&def.param));
+        let printed = def.body.to_string();
+        assert!(printed.contains("T_PcfgGen_latent["), "{printed}");
+        // Pcfg's protocol: ℝ(0,1) ∧ T_PcfgGen_latent[X].
+        let top = env.defs.get("T_Pcfg_latent").unwrap();
+        assert!(top.body.to_string().starts_with("ureal /\\ T_PcfgGen_latent["));
+    }
+
+    #[test]
+    fn recursive_model_guide_compatibility() {
+        let model = infer_program(&parse_program(PCFG).unwrap()).unwrap();
+        let guide = infer_program(&parse_program(PCFG_GUIDE).unwrap()).unwrap();
+        let compat =
+            check_model_guide(&model, &"Pcfg".into(), &guide, &"PcfgGuide".into()).unwrap();
+        assert!(compat.compatible, "{compat:?}");
+        assert!(compat.model_branch_free);
+    }
+
+    #[test]
+    fn recursive_guide_with_missing_recursion_is_incompatible() {
+        let bad_guide = r#"
+            proc PcfgGuide() provide latent {
+              let k <- sample send latent (Beta(2.0, 2.0));
+              let _ <- call PcfgGenGuide();
+              return ()
+            }
+            proc PcfgGenGuide() provide latent {
+              let u <- sample send latent (Unif);
+              if recv latent {
+                let v <- sample send latent (Normal(0.0, 2.0));
+                return ()
+              } else {
+                let _ <- call PcfgGenGuide();
+                return ()
+              }
+            }
+        "#;
+        let model = infer_program(&parse_program(PCFG).unwrap()).unwrap();
+        let guide = infer_program(&parse_program(bad_guide).unwrap()).unwrap();
+        let compat =
+            check_model_guide(&model, &"Pcfg".into(), &guide, &"PcfgGuide".into()).unwrap();
+        assert!(!compat.compatible);
+    }
+
+    #[test]
+    fn value_type_mismatch_is_reported() {
+        let src = r#"
+            proc P() : bool consume latent {
+              let x <- sample recv latent (Unif);
+              return x
+            }
+        "#;
+        let err = infer_program(&parse_program(src).unwrap()).unwrap_err();
+        assert!(err.message.contains("declared result type"), "{err}");
+        assert_eq!(err.in_proc.as_deref(), Some("P"));
+    }
+
+    #[test]
+    fn duplicate_procedures_and_same_channel_errors() {
+        let dup = "proc P() { return () } proc P() { return () }";
+        assert!(infer_program(&parse_program(dup).unwrap()).is_err());
+        let same = "proc P() consume c provide c { return () }";
+        assert!(infer_program(&parse_program(same).unwrap()).is_err());
+    }
+
+    #[test]
+    fn outlier_example_control_flow_divergence() {
+        // §2.2 "Control-flow divergence": model is straight-line, guide
+        // branches on data from the old sample; both have protocol
+        // ℝ(0,1) ∧ 𝟚 ∧ 1.
+        let model = r#"
+            proc OutlierModel() consume latent provide obs {
+              let prob_outlier <- sample recv latent (Unif);
+              let is_outlier <- sample recv latent (Ber(prob_outlier));
+              let _ <- sample send obs (Normal(0.0, 1.0));
+              return ()
+            }
+        "#;
+        let guide = r#"
+            proc OutlierGuide(old_is_outlier : bool) provide latent {
+              let prob_outlier <- sample send latent (Beta(2.0, 5.0));
+              if old_is_outlier then {
+                let is_outlier <- sample send latent (Ber(0.1));
+                return ()
+              } else {
+                let is_outlier <- sample send latent (Ber(0.9));
+                return ()
+              }
+            }
+        "#;
+        // NOTE: the guide's branch is *local* (not communicated), which in
+        // the core calculus is expressed with a pure conditional expression
+        // on the Bernoulli parameter instead of a branching command.
+        let guide = guide.replace(
+            "if old_is_outlier then {\n                let is_outlier <- sample send latent (Ber(0.1));\n                return ()\n              } else {\n                let is_outlier <- sample send latent (Ber(0.9));\n                return ()\n              }",
+            "let is_outlier <- sample send latent (Ber(if old_is_outlier then 0.1 else 0.9));\n              return ()",
+        );
+        let model_env = infer_program(&parse_program(model).unwrap()).unwrap();
+        let guide_env = infer_program(&parse_program(&guide).unwrap()).unwrap();
+        let compat = check_model_guide(
+            &model_env,
+            &"OutlierModel".into(),
+            &guide_env,
+            &"OutlierGuide".into(),
+        )
+        .unwrap();
+        assert!(compat.compatible, "{compat:?}");
+    }
+
+    #[test]
+    fn missing_channels_are_reported() {
+        let model = infer_program(&parse_program("proc M() { return () }").unwrap()).unwrap();
+        let guide = infer_program(&parse_program(FIG5_GUIDE).unwrap()).unwrap();
+        assert!(check_model_guide(&model, &"M".into(), &guide, &"Guide1".into()).is_err());
+        let model2 = infer_program(&parse_program(FIG5_MODEL).unwrap()).unwrap();
+        let noguide = infer_program(&parse_program("proc G() { return () }").unwrap()).unwrap();
+        assert!(check_model_guide(&model2, &"Model".into(), &noguide, &"G".into()).is_err());
+    }
+
+    #[test]
+    fn ptrace_recursive_model_from_fig10() {
+        let src = r#"
+            proc Ptrace(lam : preal) : real consume latent provide obs {
+              let k <- call PtraceHelper(exp(-(lam)), 0.0, 1.0);
+              let _ <- sample send obs (Normal(k, 0.1));
+              return k
+            }
+            proc PtraceHelper(l : preal, k : real, p : preal) : real consume latent {
+              let u <- sample recv latent (Unif);
+              if send latent (p * u <= l) {
+                return k
+              } else {
+                let r <- call PtraceHelper(l, k + 1.0, p * u)
+                return r
+              }
+            }
+        "#;
+        // Small fix: the parser requires a semicolon after a bound call.
+        let src = src.replace(
+            "let r <- call PtraceHelper(l, k + 1.0, p * u)\n                return r",
+            "let r <- call PtraceHelper(l, k + 1.0, p * u);\n                return r",
+        );
+        let env = infer_program(&parse_program(&src).unwrap()).unwrap();
+        let def = env.defs.get("T_PtraceHelper_latent").unwrap();
+        assert!(def.body.mentions_var(&def.param));
+        assert!(env.consumed_protocol(&"Ptrace".into()).is_some());
+        assert!(env.provided_protocol(&"Ptrace".into()).is_some());
+    }
+}

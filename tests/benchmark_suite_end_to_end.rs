@@ -1,0 +1,134 @@
+//! End-to-end inference over the whole benchmark registry: every
+//! expressible benchmark runs its designated inference algorithm with small
+//! budgets and produces sane results.
+
+use guide_ppl::inference::{ParamSpec, ViConfig};
+use guide_ppl::Session;
+use ppl_dist::rng::Pcg32;
+use ppl_models::{all_benchmarks, benchmark, InferenceKind};
+
+#[test]
+fn importance_sampling_runs_on_every_is_benchmark() {
+    for b in all_benchmarks() {
+        if !b.expressible || b.inference != InferenceKind::ImportanceSampling {
+            continue;
+        }
+        let session = Session::from_benchmark(b.name).unwrap();
+        let mut rng = Pcg32::seed_from_u64(0xC0FFEE);
+        let result = session
+            .importance_sampling(b.observations.clone(), 500, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(result.particles.len(), 500, "{}", b.name);
+        assert!(
+            result.normalized_weights.is_some(),
+            "{}: all particles had zero weight",
+            b.name
+        );
+        assert!(result.ess >= 1.0, "{}: ess {}", b.name, result.ess);
+        assert!(result.log_evidence.is_finite(), "{}", b.name);
+    }
+}
+
+#[test]
+fn variational_inference_runs_on_every_vi_benchmark() {
+    for b in all_benchmarks() {
+        if !b.expressible || b.inference != InferenceKind::VariationalInference {
+            continue;
+        }
+        let session = Session::from_benchmark(b.name).unwrap();
+        let params: Vec<ParamSpec> = b
+            .guide_params
+            .iter()
+            .map(|p| {
+                if p.positive {
+                    ParamSpec::positive(p.name, p.init)
+                } else {
+                    ParamSpec::unconstrained(p.name, p.init)
+                }
+            })
+            .collect();
+        let config = ViConfig {
+            iterations: 60,
+            samples_per_iteration: 6,
+            learning_rate: 0.08,
+            fd_epsilon: 1e-4,
+        };
+        let mut rng = Pcg32::seed_from_u64(0xBEEF);
+        let result = session
+            .variational_inference(b.observations.clone(), &params, config, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(result.params.len(), b.guide_params.len(), "{}", b.name);
+        assert!(result.final_elbo().is_finite(), "{}", b.name);
+        // Positivity constraints are respected.
+        for (value, spec) in result.params.iter().zip(&b.guide_params) {
+            if spec.positive {
+                assert!(*value > 0.0, "{}: parameter {} went non-positive", b.name, spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn mcmc_runs_on_the_outlier_benchmark() {
+    let b = benchmark("outlier").unwrap();
+    assert_eq!(b.inference, InferenceKind::Mcmc);
+    let session = Session::from_benchmark("outlier").unwrap();
+    // The MCMC guide takes the old is_outlier as an argument; for the
+    // independence-MH smoke test we fix it to `false` via default args.
+    use guide_ppl::inference::GuidedMh;
+    use guide_ppl::runtime::JointSpec;
+    use guide_ppl::semantics::{Trace, Value};
+    let executor = session.executor(b.observations.clone());
+    let spec = JointSpec::new(b.model_proc, b.guide_proc);
+    let extract = |trace: &Trace| -> Vec<Value> {
+        vec![Value::Bool(
+            trace
+                .provider_samples()
+                .get(1)
+                .and_then(|s| s.as_bool())
+                .unwrap_or(false),
+        )]
+    };
+    let mut rng = Pcg32::seed_from_u64(21);
+    let result = GuidedMh::new(2_000, 500, &extract)
+        .run(&executor, &spec, &mut rng)
+        .unwrap();
+    assert!(!result.chain.is_empty());
+    assert!(result.acceptance_rate > 0.01);
+}
+
+#[test]
+fn posterior_quality_spot_checks() {
+    // coin: Beta(2,2) prior with 3 heads / 1 tail → posterior mean 5/8.
+    let session = Session::from_benchmark("coin").unwrap();
+    let b = benchmark("coin").unwrap();
+    let mut rng = Pcg32::seed_from_u64(13);
+    let result = session
+        .importance_sampling(b.observations.clone(), 40_000, &mut rng)
+        .unwrap();
+    let mean = result.posterior_mean_of_sample(0).unwrap();
+    assert!((mean - 0.625).abs() < 0.02, "coin posterior mean {mean}");
+
+    // sprinkler: observing wet grass raises P(rain) well above its prior 0.2.
+    let session = Session::from_benchmark("sprinkler").unwrap();
+    let b = benchmark("sprinkler").unwrap();
+    let result = session
+        .importance_sampling(b.observations.clone(), 40_000, &mut rng)
+        .unwrap();
+    let p_rain = result
+        .posterior_probability(|p| p.samples[0].as_bool() == Some(true))
+        .unwrap();
+    assert!(p_rain > 0.25 && p_rain < 0.95, "P(rain | wet) = {p_rain}");
+
+    // geometric: observing 2.0 through N(n, 1) keeps the posterior mean of
+    // the counter near 1–3.
+    let session = Session::from_benchmark("geometric").unwrap();
+    let b = benchmark("geometric").unwrap();
+    let result = session
+        .importance_sampling(b.observations.clone(), 20_000, &mut rng)
+        .unwrap();
+    let mean_n = result
+        .posterior_expectation(|p| p.model_value)
+        .unwrap();
+    assert!(mean_n > 0.5 && mean_n < 3.5, "geometric posterior mean {mean_n}");
+}

@@ -1,0 +1,193 @@
+//! End-to-end pipeline integration tests: parse → guide-type inference →
+//! compatibility check → compilation → inference, across the paper's
+//! example programs (Figs. 1–6) and the benchmark registry.
+
+use guide_ppl::{Session, SessionError, Style};
+use ppl_dist::rng::Pcg32;
+use ppl_dist::Sample;
+use ppl_models::sources;
+
+#[test]
+fn fig5_pair_passes_the_whole_pipeline() {
+    let session = Session::from_sources(sources::EX1_MODEL, "Model", sources::EX1_GUIDE, "Guide1")
+        .expect("the Fig. 5 pair is well-typed and compatible");
+    // The protocol of eq. (3): ℝ+ ∧ (1 & (ℝ(0,1) ∧ 1)).
+    let protocol = session.latent_protocol();
+    assert!(protocol.contains("preal"), "{protocol}");
+    assert!(protocol.contains("&"), "{protocol}");
+    assert!(protocol.contains("ureal"), "{protocol}");
+    // The obs protocol of eq. (4): ℝ ∧ 1 (unfold the top-level operator).
+    let obs_ty = session
+        .compatibility()
+        .model_obs
+        .clone()
+        .expect("the model provides obs");
+    let unfolded = match &obs_ty {
+        guide_ppl::types::GuideType::App(op, arg) => session
+            .model_types()
+            .defs
+            .unfold(op, arg)
+            .expect("obs operator is defined"),
+        other => other.clone(),
+    };
+    assert_eq!(unfolded.to_string(), "real /\\ 1");
+
+    // Compilation to both Pyro styles succeeds and produces plausible code.
+    let coro = session.compile_to_pyro(Style::Coroutine);
+    let plain = session.compile_to_pyro(Style::Plain);
+    assert!(coro.generated_loc > plain.generated_loc);
+    assert!(coro.model_code.contains("greenlet"));
+
+    // Inference: posterior mass moves toward the else branch under z = 0.8.
+    let mut rng = Pcg32::seed_from_u64(1);
+    let posterior = session
+        .importance_sampling(vec![Sample::Real(0.8)], 20_000, &mut rng)
+        .unwrap();
+    let p_else = posterior
+        .posterior_probability(|p| p.samples[0].as_f64() >= 2.0)
+        .unwrap();
+    assert!(p_else > 0.5, "posterior else-branch probability {p_else}");
+}
+
+#[test]
+fn fig3_unsound_is_guide_is_rejected_statically() {
+    let err = Session::from_sources(
+        sources::EX1_MODEL,
+        "Model",
+        sources::EX1_BAD_GUIDE,
+        "Guide1Bad",
+    )
+    .unwrap_err();
+    match err {
+        SessionError::Incompatible {
+            model_latent,
+            guide_latent,
+        } => {
+            // The model's @x is ℝ+-valued, the bad guide proposes ℕ.
+            assert!(model_latent.contains("preal"), "{model_latent}");
+            assert!(guide_latent.contains("nat"), "{guide_latent}");
+        }
+        other => panic!("expected an incompatibility, got {other}"),
+    }
+}
+
+#[test]
+fn fig4_unsound_vi_guide_is_rejected_statically() {
+    // Guide2' proposes @x from a Normal (support ℝ) instead of ℝ+.
+    let guide2_prime = r#"
+        proc Guide2p(t1 : real, t2 : preal) provide latent {
+          let v <- sample send latent (Normal(t1, t2));
+          if recv latent {
+            return ()
+          } else {
+            let _ <- sample send latent (Unif);
+            return ()
+          }
+        }
+    "#;
+    assert!(matches!(
+        Session::from_sources(sources::EX1_MODEL, "Model", guide2_prime, "Guide2p"),
+        Err(SessionError::Incompatible { .. })
+    ));
+    // Guide2 (Gamma/Beta with positive parameters) is accepted.
+    let guide2 = r#"
+        proc Guide2(t1 : preal, t2 : preal, t3 : preal, t4 : preal) provide latent {
+          let v <- sample send latent (Gamma(t1, t2));
+          if recv latent {
+            return ()
+          } else {
+            let _ <- sample send latent (Beta(t3, t4));
+            return ()
+          }
+        }
+    "#;
+    assert!(Session::from_sources(sources::EX1_MODEL, "Model", guide2, "Guide2").is_ok());
+}
+
+#[test]
+fn guide_with_wrong_branch_structure_is_rejected() {
+    // A guide that never samples @y even when the model needs it.
+    let guide = r#"
+        proc GuideMissing() provide latent {
+          let v <- sample send latent (Gamma(1.0, 1.0));
+          if recv latent {
+            return ()
+          } else {
+            return ()
+          }
+        }
+    "#;
+    assert!(matches!(
+        Session::from_sources(sources::EX1_MODEL, "Model", guide, "GuideMissing"),
+        Err(SessionError::Incompatible { .. })
+    ));
+}
+
+#[test]
+fn every_expressible_benchmark_builds_a_session_and_compiles() {
+    for b in ppl_models::all_benchmarks() {
+        if !b.expressible {
+            continue;
+        }
+        let session = Session::from_benchmark(b.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let compiled = session.compile_to_pyro(Style::Coroutine);
+        assert!(compiled.generated_loc > 10, "{}", b.name);
+        assert!(
+            compiled.model_code.contains("pyro"),
+            "{}: generated code should target Pyro",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn recursive_benchmarks_infer_recursive_operators() {
+    for name in ["ex-2", "gp-dsl", "marsaglia", "ptrace", "geometric"] {
+        let session = Session::from_benchmark(name).unwrap();
+        let has_recursive_def = session
+            .model_types()
+            .defs
+            .iter()
+            .any(|def| def.body.to_string().contains(&format!("{}[", def.name)));
+        assert!(has_recursive_def, "{name}: expected a recursive type operator");
+    }
+}
+
+#[test]
+fn type_inference_is_fast_in_practice() {
+    // §6: "type inference completes in several milliseconds on all of the
+    // benchmarks"; allow a generous bound to avoid flakiness on slow CI.
+    let start = std::time::Instant::now();
+    for b in ppl_models::all_benchmarks() {
+        if !b.expressible {
+            continue;
+        }
+        let model = b.parsed_model().unwrap().unwrap();
+        let guide = b.parsed_guide().unwrap().unwrap();
+        ppl_types::infer_program(&model).unwrap();
+        ppl_types::infer_program(&guide).unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_millis() < 2_000,
+        "type inference over the whole suite took {elapsed:?}"
+    );
+}
+
+#[test]
+fn mcmc_and_is_agree_on_the_normal_normal_posterior() {
+    let session = Session::from_benchmark("normal-normal").unwrap();
+    let mut rng = Pcg32::seed_from_u64(10);
+    let is = session
+        .importance_sampling(vec![Sample::Real(1.0)], 20_000, &mut rng)
+        .unwrap();
+    let mh = session
+        .metropolis_hastings(vec![Sample::Real(1.0)], 20_000, 2_000, &mut rng)
+        .unwrap();
+    let is_mean = is.posterior_mean_of_sample(0).unwrap();
+    let mh_mean = mh.posterior_mean_of_sample(0).unwrap();
+    assert!((is_mean - 0.5).abs() < 0.05, "IS mean {is_mean}");
+    assert!((mh_mean - 0.5).abs() < 0.05, "MH mean {mh_mean}");
+    assert!((is_mean - mh_mean).abs() < 0.08);
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the paper's metatheory, instantiated on the
+//! benchmark programs:
+//!
+//! * **Theorem 4.4** — evaluation of a well-typed command against any
+//!   traces produces well-typed traces and a well-typed value;
+//! * **Theorems 4.5/4.6** — every well-typed trace drives evaluation to
+//!   completion, with strictly positive weight when the relevant protocols
+//!   are ⊕-/&-free;
+//! * **Theorem B.8 / Corollary B.9** — the reduction relation holds exactly
+//!   when evaluation yields a positive weight;
+//! * **Theorem 5.2** — model and guide have the same set of possible latent
+//!   traces (absolute continuity), exercised by cross-scoring traces
+//!   generated from either program.
+
+use ppl_dist::rng::Pcg32;
+use ppl_dist::Sample;
+use ppl_semantics::{
+    generate_trace, trace_has_type, EvalError, Evaluator, GeneratorConfig, Trace,
+};
+use ppl_types::infer_program;
+
+
+/// The latent protocol of a top-level run: the inferred operator
+/// instantiation `T[1]`, unfolded once (a top-level run does not consume a
+/// leading `fold` marker, cf. the (EM:Call) rule which only applies to
+/// inner calls).
+fn top_level_protocol(env: &ppl_types::TypeEnv, ty: &ppl_types::GuideType) -> ppl_types::GuideType {
+    match ty {
+        ppl_types::GuideType::App(op, arg) => env.defs.unfold(op, arg).expect("defined operator"),
+        other => other.clone(),
+    }
+}
+
+/// Builds (model program, guide program, benchmark) triples for a selection
+/// of benchmarks with non-trivial control flow.
+fn selected_benchmarks() -> Vec<(ppl_syntax::Program, ppl_syntax::Program, ppl_models::Benchmark)> {
+    ["ex-1", "branching", "coin", "hmm", "geometric", "ex-2"]
+        .iter()
+        .map(|name| {
+            let b = ppl_models::benchmark(name).unwrap();
+            (
+                b.parsed_model().unwrap().unwrap(),
+                b.parsed_guide().unwrap().unwrap(),
+                b,
+            )
+        })
+        .collect()
+}
+
+/// Generates a random observation trace matching the model's obs protocol.
+fn obs_trace(b: &ppl_models::Benchmark) -> Trace {
+    use ppl_semantics::Message;
+    Trace::from_messages(
+        b.observations
+            .iter()
+            .map(|s| Message::ValP(*s))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn theorem_4_5_and_4_6_well_typed_traces_evaluate_with_positive_weight() {
+    let config = GeneratorConfig {
+        then_probability: 0.7,
+        max_messages: 2_000,
+    };
+    let mut rng = Pcg32::seed_from_u64(17);
+    for (model, guide, b) in selected_benchmarks() {
+        let model_env = infer_program(&model).unwrap();
+        let guide_env = infer_program(&guide).unwrap();
+        let latent_ty = top_level_protocol(
+            &model_env,
+            &model_env
+                .consumed_protocol(&b.model_proc.into())
+                .expect("model consumes latent"),
+        );
+        let guide_latent_ty = top_level_protocol(
+            &guide_env,
+            &guide_env
+                .provided_protocol(&b.guide_proc.into())
+                .expect("guide provides latent"),
+        );
+        let model_eval = Evaluator::new(&model);
+        let guide_eval = Evaluator::new(&guide);
+        let obs = obs_trace(&b);
+        let mut successes = 0;
+        for _ in 0..200 {
+            // Generate a latent trace that is well-typed at the *model's*
+            // protocol.  The generator follows the guide-type structure, so
+            // the trace is the body of an inner call; prepend no fold (the
+            // protocol is already the top-level instantiation T[1]).
+            let Some(latent) = generate_trace(&model_env.defs, &latent_ty, &mut rng, &config)
+            else {
+                continue;
+            };
+            assert!(
+                trace_has_type(&model_env.defs, &latent, &latent_ty),
+                "{}: generator produced an ill-typed trace",
+                b.name
+            );
+            // Theorem 4.5 for the model: evaluation of a well-typed trace
+            // always succeeds.  (Theorem 4.6's strict positivity does *not*
+            // apply to the model, whose latent protocol contains `&`: a
+            // randomly generated branch selection may contradict the
+            // predicate, giving weight zero.)
+            let result = model_eval
+                .run_proc(&b.model_proc.into(), &[], &latent, &obs)
+                .unwrap_or_else(|e| panic!("{}: model stuck on a well-typed trace: {e}", b.name));
+            let model_positive = result.log_weight > f64::NEG_INFINITY;
+            // Theorem 5.2 direction 1: the same latent trace is possible for
+            // the guide (same support), provided the trace also matches the
+            // guide's (equal) protocol.
+            assert!(
+                trace_has_type(&guide_env.defs, &latent, &guide_latent_ty),
+                "{}: model-typed trace is not guide-typed",
+                b.name
+            );
+            if b.guide_params.is_empty() {
+                // Theorem 4.6 for the guide: its provided latent protocol is
+                // ⊕-free, so evaluation succeeds with strictly positive
+                // weight.
+                let guide_result = guide_eval
+                    .run_proc(&b.guide_proc.into(), &[], &Trace::new(), &latent)
+                    .unwrap_or_else(|e| {
+                        panic!("{}: guide stuck on a model-supported trace: {e}", b.name)
+                    });
+                assert!(guide_result.log_weight > f64::NEG_INFINITY, "{}", b.name);
+            }
+            if model_positive {
+                successes += 1;
+            }
+        }
+        // Some generated traces agree with the model's branch predicates, so
+        // a healthy fraction must have strictly positive model weight.
+        assert!(successes > 20, "{}: too few positive-weight traces", b.name);
+    }
+}
+
+#[test]
+fn theorem_4_4_evaluation_produces_well_typed_results() {
+    // Run the guide generatively via the joint executor, then check that
+    // the recorded latent trace is well-typed at the inferred protocol and
+    // that the model's result value is well-typed at its declared type.
+    use ppl_runtime::{JointExecutor, JointSpec, LatentSource};
+    let mut rng = Pcg32::seed_from_u64(5);
+    for (model, guide, b) in selected_benchmarks() {
+        if !b.guide_params.is_empty() {
+            continue;
+        }
+        let model_env = infer_program(&model).unwrap();
+        let latent_ty = top_level_protocol(
+            &model_env,
+            &model_env.consumed_protocol(&b.model_proc.into()).unwrap(),
+        );
+        let exec = JointExecutor::new(&model, &guide, b.observations.clone());
+        let spec = JointSpec::new(b.model_proc, b.guide_proc);
+        let declared_ret = &model.proc_named(b.model_proc).unwrap().ret_ty;
+        for _ in 0..100 {
+            let joint = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+            assert!(
+                trace_has_type(&model_env.defs, &joint.latent, &latent_ty),
+                "{}: joint execution produced an ill-typed latent trace {}",
+                b.name,
+                joint.latent
+            );
+            assert!(
+                joint.model_value.has_type(declared_ret)
+                    || *declared_ret == ppl_syntax::BaseType::Unit,
+                "{}: ill-typed result {:?} at {declared_ret}",
+                b.name,
+                joint.model_value
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_b8_reduction_iff_positive_weight() {
+    // For the Fig. 5 model: traces with mismatched branch selections have
+    // zero weight and are not reducible; well-formed traces have positive
+    // weight and are reducible.
+    use ppl_semantics::Message;
+    let b = ppl_models::benchmark("ex-1").unwrap();
+    let model = b.parsed_model().unwrap().unwrap();
+    let evaluator = Evaluator::new(&model);
+    let reducer = Evaluator::reducer(&model);
+    let obs = obs_trace(&b);
+    let mut rng = Pcg32::seed_from_u64(3);
+    let mut checked = 0;
+    for _ in 0..500 {
+        // Random candidate traces, valid and invalid.
+        let x = rng.next_f64() * 4.0;
+        let take_then = rng.next_f64() < 0.5;
+        let mut latent = Trace::new();
+        latent.push(Message::ValP(Sample::Real(x)));
+        latent.push(Message::DirC(take_then));
+        if !take_then {
+            latent.push(Message::ValP(Sample::Real(rng.next_open01())));
+        }
+        let eval = evaluator.run_proc(&"Model".into(), &[], &latent, &obs);
+        let red = reducer.run_proc(&"Model".into(), &[], &latent, &obs);
+        match eval {
+            Ok(e) => {
+                let positive = e.log_weight > f64::NEG_INFINITY;
+                assert_eq!(
+                    positive,
+                    red.is_ok(),
+                    "reduction must hold iff the weight is positive (x = {x}, then = {take_then})"
+                );
+            }
+            Err(EvalError::Stuck(_)) => {
+                assert!(red.is_err(), "stuck evaluation must also be stuck reduction");
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 500);
+}
+
+#[test]
+fn theorem_5_2_guide_generated_traces_are_model_supported() {
+    // Direction 2 of the support equality: traces produced by running the
+    // guide (via joint execution) always have non-zero model density —
+    // except on a null set; here we simply require finiteness for every
+    // draw, which holds because supports match exactly.
+    use ppl_runtime::{JointExecutor, JointSpec, LatentSource};
+    let mut rng = Pcg32::seed_from_u64(77);
+    for (model, guide, b) in selected_benchmarks() {
+        if !b.guide_params.is_empty() {
+            continue;
+        }
+        let exec = JointExecutor::new(&model, &guide, b.observations.clone());
+        let spec = JointSpec::new(b.model_proc, b.guide_proc);
+        for _ in 0..200 {
+            let joint = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+            assert!(
+                joint.log_model.is_finite(),
+                "{}: guide proposed a trace outside the model's support",
+                b.name
+            );
+            assert!(joint.log_guide.is_finite(), "{}", b.name);
+        }
+    }
+}
+
+#[test]
+fn incompatible_pair_violates_absolute_continuity_dynamically() {
+    // The unsound Guide1' of Fig. 3: guide-generated traces fall outside
+    // the model's support with non-negligible probability — the dynamic
+    // counterpart of the static rejection.
+    use ppl_models::sources;
+    use ppl_runtime::{JointExecutor, JointSpec, LatentSource, RuntimeError};
+    let model = ppl_syntax::parse_program(sources::EX1_MODEL).unwrap();
+    let guide = ppl_syntax::parse_program(sources::EX1_BAD_GUIDE).unwrap();
+    let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.8)]);
+    let spec = JointSpec::new("Model", "Guide1Bad");
+    let mut rng = Pcg32::seed_from_u64(9);
+    let mut bad = 0;
+    for _ in 0..100 {
+        match exec.run(&spec, LatentSource::FromGuide, &mut rng) {
+            Ok(r) if r.log_model == f64::NEG_INFINITY => bad += 1,
+            Ok(_) => {}
+            Err(RuntimeError::ProtocolViolation(_)) => bad += 1,
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(bad > 50, "expected most runs to violate absolute continuity, got {bad}/100");
+}
