@@ -33,7 +33,10 @@ fn bench_type_inference(c: &mut Criterion) {
         .sample_size(20)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
-    for b in all_benchmarks().into_iter().filter(|b| b.in_table1 && b.expressible) {
+    for b in all_benchmarks()
+        .into_iter()
+        .filter(|b| b.in_table1 && b.expressible)
+    {
         let model = b.parsed_model().unwrap().unwrap();
         let guide = b.parsed_guide().unwrap().unwrap();
         group.bench_function(b.name, |bencher| {
@@ -171,15 +174,14 @@ fn bench_ablation_scoring_modes(c: &mut Criterion) {
     let mut rng = Pcg32::seed_from_u64(3);
     let joint = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
     let latent = joint.latent.clone();
-    let obs_trace: Trace = b
-        .observations
-        .iter()
-        .map(|s| Message::ValP(*s))
-        .collect();
+    let obs_trace: Trace = b.observations.iter().map(|s| Message::ValP(*s)).collect();
     group.bench_function("joint_replay", |bencher| {
         bencher.iter_batched(
             || Pcg32::seed_from_u64(4),
-            |mut rng| exec.run(&spec, LatentSource::Replay(&latent), &mut rng).unwrap(),
+            |mut rng| {
+                exec.run(&spec, LatentSource::Replay(&latent), &mut rng)
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

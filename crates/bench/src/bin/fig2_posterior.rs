@@ -14,12 +14,12 @@ fn main() {
         let bar_len = (p.posterior * 40.0).round() as usize;
         let prior_len = (p.prior * 40.0).round() as usize;
         println!(
-            "{:>6.2}  {:>9.4}  {:>9.4}   {}{}",
+            "{:>6.2}  {:>9.4}  {:>9.4}   {}  (prior {})",
             p.x,
             p.prior,
             p.posterior,
             "#".repeat(bar_len.min(60)),
-            format!("  (prior {})", "·".repeat(prior_len.min(60)))
+            "·".repeat(prior_len.min(60))
         );
     }
     let width = series.get(1).map(|p| p.x - series[0].x).unwrap_or(0.2);

@@ -9,11 +9,18 @@ use ppl_bench::table1_rows;
 fn main() {
     let rows = table1_rows();
     println!("Table 1: selected benchmark descriptions and expressiveness");
-    println!("{:<11} {:<38} {:>3} {:>5} {:>4}  {}", "Program", "Description", "T?", "LOC", "TP?", "type-inference time");
+    println!(
+        "{:<11} {:<38} {:>3} {:>5} {:>4}  type-inference time",
+        "Program", "Description", "T?", "LOC", "TP?"
+    );
     println!("{}", "-".repeat(90));
     for row in &rows {
         let mark = |b: bool| if b { "Y" } else { "N" };
-        let loc = if row.ours { row.loc.to_string() } else { "N/A".to_string() };
+        let loc = if row.ours {
+            row.loc.to_string()
+        } else {
+            "N/A".to_string()
+        };
         let time = row
             .inference_time
             .map(|t| format!("{:.2} ms", t.as_secs_f64() * 1e3))

@@ -15,7 +15,9 @@ use ppl_dist::rng::Pcg32;
 use ppl_dist::special::log_sum_exp;
 use ppl_dist::{Distribution, Sample};
 use ppl_inference::{ImportanceSampler, ParamSpec, ViConfig};
-use ppl_models::{all_benchmarks, benchmark, handwritten, handwritten_is, handwritten_vi, InferenceKind};
+use ppl_models::{
+    all_benchmarks, benchmark, handwritten, handwritten_is, handwritten_vi, InferenceKind,
+};
 use ppl_runtime::JointSpec;
 use std::time::{Duration, Instant};
 
@@ -58,8 +60,7 @@ pub fn table1_rows() -> Vec<Table1Row> {
             let ours = ppl_types::infer_program(&model).is_ok()
                 && ppl_types::infer_program(&guide).is_ok();
             let elapsed = start.elapsed();
-            let trace_types =
-                ppl_tracetypes::check_proc(&model, &b.model_proc.into()).is_ok();
+            let trace_types = ppl_tracetypes::check_proc(&model, &b.model_proc.into()).is_ok();
             Table1Row {
                 name: b.name,
                 description: b.description,
@@ -133,13 +134,8 @@ fn table2_row(name: &'static str, kind: InferenceKind, config: &Table2Config) ->
     let cg_start = Instant::now();
     ppl_types::infer_program(&model).expect("model types");
     ppl_types::infer_program(&guide).expect("guide types");
-    let compiled = ppl_compiler::compile_pair(
-        &model,
-        b.model_proc,
-        &guide,
-        b.guide_proc,
-        Style::Coroutine,
-    );
+    let compiled =
+        ppl_compiler::compile_pair(&model, b.model_proc, &guide, b.guide_proc, Style::Coroutine);
     let codegen_time = cg_start.elapsed();
 
     let session = Session::from_benchmark(name).expect("benchmark session");
@@ -208,7 +204,10 @@ fn table2_row(name: &'static str, kind: InferenceKind, config: &Table2Config) ->
                 &h,
                 &b.observations,
                 &b.initial_guide_args(),
-                &b.guide_params.iter().map(|p| p.positive).collect::<Vec<_>>(),
+                &b.guide_params
+                    .iter()
+                    .map(|p| p.positive)
+                    .collect::<Vec<_>>(),
                 &vi_config,
                 &mut rng,
             );
@@ -375,10 +374,27 @@ mod tests {
         assert!(rows.iter().filter(|r| r.ours).count() == 14);
         // Trace types accept the 8 classical models but none of the
         // branching/recursive ones.
-        for accepted in ["lr", "gmm", "kalman", "sprinkler", "hmm", "aircraft", "weight", "vae"] {
+        for accepted in [
+            "lr",
+            "gmm",
+            "kalman",
+            "sprinkler",
+            "hmm",
+            "aircraft",
+            "weight",
+            "vae",
+        ] {
             assert!(row(accepted).trace_types, "{accepted}");
         }
-        for rejected in ["branching", "marsaglia", "dp", "ptrace", "ex-1", "ex-2", "gp-dsl"] {
+        for rejected in [
+            "branching",
+            "marsaglia",
+            "dp",
+            "ptrace",
+            "ex-1",
+            "ex-2",
+            "gp-dsl",
+        ] {
             assert!(!row(rejected).trace_types, "{rejected}");
         }
         assert!(row("ex-1").loc >= 10);
@@ -456,6 +472,9 @@ mod tests {
             .unwrap()
             .posterior_mean_of_sample(0)
             .unwrap();
-        assert!((hand - coro).abs() < 0.1, "handwritten {hand} vs coroutine {coro}");
+        assert!(
+            (hand - coro).abs() < 0.1,
+            "handwritten {hand} vs coroutine {coro}"
+        );
     }
 }

@@ -83,7 +83,7 @@ fn coroutine_preamble() -> String {
     s.push_str("import pyro.distributions as dist\n");
     s.push_str("import torch\n");
     s.push_str("from greenlet import greenlet\n");
-    s.push_str("\n");
+    s.push('\n');
     s.push_str("class Channel:\n");
     s.push_str("    \"\"\"A rendezvous channel between the model and guide greenlets.\"\"\"\n");
     s.push_str("    def __init__(self):\n");
@@ -95,7 +95,7 @@ fn coroutine_preamble() -> String {
     s.push_str("    def recv(self):\n");
     s.push_str("        self.peer.switch()\n");
     s.push_str("        return self.slot\n");
-    s.push_str("\n");
+    s.push('\n');
     s
 }
 
@@ -104,7 +104,7 @@ fn plain_preamble() -> String {
     s.push_str("import pyro\n");
     s.push_str("import pyro.distributions as dist\n");
     s.push_str("import torch\n");
-    s.push_str("\n");
+    s.push('\n');
     s
 }
 
@@ -117,7 +117,11 @@ fn compile_program_coroutine(program: &Program, entry: &str, role: Role) -> Stri
     let _ = writeln!(
         out,
         "def {}(observations=None):",
-        if role == Role::Model { "model" } else { "guide" }
+        if role == Role::Model {
+            "model"
+        } else {
+            "guide"
+        }
     );
     let _ = writeln!(out, "    ctx = InferenceContext(observations)");
     let _ = writeln!(out, "    return greenlet(lambda: _{entry}(ctx))");
@@ -133,7 +137,11 @@ fn compile_program_plain(program: &Program, entry: &str, role: Role) -> String {
     let _ = writeln!(
         out,
         "def {}(observations=None):",
-        if role == Role::Model { "model" } else { "guide" }
+        if role == Role::Model {
+            "model"
+        } else {
+            "guide"
+        }
     );
     let _ = writeln!(out, "    return _{entry}(SiteCounter(), observations)");
     out
@@ -336,11 +344,15 @@ fn strip_tail(cmd: &Cmd) -> &Cmd {
 /// Emits the remainder of a branch arm after its first command.
 fn emit_rest(out: &mut String, cmd: &Cmd, target: &str, ctx: &mut EmitCtx<'_>) {
     if let Cmd::Bind { var, rest, .. } = cmd {
-        // Rename the binder of the first command: `strip_tail` bound it to
-        // `target` already when the binder is the interesting value, so just
-        // thread the rest of the sequence through recursively.
-        let bound = if var.as_str() == "_" { target } else { var.as_str() };
-        let _ = bound;
+        // `strip_tail` emitted the arm's first command into `target`; if the
+        // program bound its value to a named variable, re-establish that name
+        // before the rest of the sequence refers to it.
+        if var.as_str() != "_" {
+            let bound = sanitize(var.as_str());
+            if bound != target {
+                let _ = writeln!(out, "{}{} = {}", ctx.pad(), bound, target);
+            }
+        }
         emit_block_value(out, rest, target, ctx);
     }
 }
@@ -520,7 +532,10 @@ mod tests {
 
     #[test]
     fn expressions_translate_to_python() {
-        assert_eq!(emit_expr(&ppl_syntax::parse_expr("1.0 + 2.0").unwrap()), "(1.0 + 2.0)");
+        assert_eq!(
+            emit_expr(&ppl_syntax::parse_expr("1.0 + 2.0").unwrap()),
+            "(1.0 + 2.0)"
+        );
         assert_eq!(
             emit_expr(&ppl_syntax::parse_expr("true && false").unwrap()),
             "(True and False)"
@@ -537,6 +552,23 @@ mod tests {
         );
         // Python keyword collision.
         assert_eq!(sanitize("lambda"), "lambda_");
+    }
+
+    #[test]
+    fn branch_arm_binders_are_reestablished_in_generated_code() {
+        // The else arm of MODEL binds `m` and uses it in a later command;
+        // the arm's first command is emitted into `_result`, so the
+        // generated Python must rebind the name or `m` is undefined.
+        let model = parse_program(MODEL).unwrap();
+        let guide = parse_program(GUIDE).unwrap();
+        for style in [Style::Coroutine, Style::Plain] {
+            let out = compile_pair(&model, "Model", &guide, "Guide1", style);
+            assert!(
+                out.model_code.contains("m = _result"),
+                "{style:?}:\n{}",
+                out.model_code
+            );
+        }
     }
 
     #[test]

@@ -370,7 +370,8 @@ mod tests {
             Session::from_sources("proc (", "P", GUIDE, "Guide"),
             Err(SessionError::Parse(_))
         ));
-        let ill_typed = "proc Model() consume latent { let x <- sample recv latent (Ber(2.0)); return () }";
+        let ill_typed =
+            "proc Model() consume latent { let x <- sample recv latent (Ber(2.0)); return () }";
         assert!(matches!(
             Session::from_sources(ill_typed, "Model", GUIDE, "Guide"),
             Err(SessionError::Type(_))

@@ -1,0 +1,225 @@
+//! An offline, API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real criterion cannot be fetched from crates.io.  This shim implements
+//! exactly the surface used by `ppl-bench/benches/paper_benches.rs` —
+//! benchmark groups, `iter` / `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple mean-of-samples timer, so
+//! `cargo bench` runs end-to-end and reports per-benchmark timings.
+//!
+//! The shim is intentionally minimal: no statistical analysis, no HTML
+//! reports, no command-line filtering.  Swapping in the real criterion later
+//! is a one-line change in `ppl-bench/Cargo.toml`.
+
+use std::time::{Duration, Instant};
+
+/// Controls how `iter_batched` amortises its setup cost.  The shim times
+/// each routine invocation individually, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: one setup per routine call.
+    SmallInput,
+    /// Large inputs: one setup per routine call (same as small here).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_iters: 1,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_iters: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with a fixed small
+    /// number of untimed iterations instead of a time budget.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always times exactly
+    /// `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_iters: self.warm_up_iters,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters > 0 {
+            bencher.total / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "  {}/{id}: {:>12.3?} /iter  ({} iters)",
+            self.name, mean, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures on behalf of [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_iters: usize,
+    total: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.warm_up_iters {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` input per call; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.warm_up_iters {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($bench_fn:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $( $group_name(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::ZERO);
+        let mut calls = 0usize;
+        group.bench_function("iter", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+        let mut setups = 0usize;
+        let mut routines = 0usize;
+        group.bench_function("iter_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    routines += 1;
+                    input
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, routines);
+        assert_eq!(routines, 4);
+        group.finish();
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.benchmark_group("demo")
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_expand() {
+        demo_group();
+    }
+}

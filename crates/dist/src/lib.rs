@@ -1,0 +1,913 @@
+//! **ppl_dist** — primitive probability distributions for the guide-types
+//! PPL (*Sound Probabilistic Inference via Guide Types*, PLDI 2021).
+//!
+//! Every inference engine in this workspace bottoms out here: coroutine
+//! `sample` commands draw from and score against a [`Distribution`], the
+//! guide-type system classifies supports via [`DistKind`], and guidance
+//! traces carry scalar [`Sample`] payloads.
+//!
+//! * [`Distribution`] — the eight primitive distributions of the paper's
+//!   calculus (Fig. 7): `Normal`, `Ber`, `Beta`, `Gamma`, `Geo`, `Cat`,
+//!   `Pois`, `Unif`, with exact-support log-densities and deterministic
+//!   samplers;
+//! * [`Sample`] — a scalar sample value (`Real` / `Bool` / `Nat`);
+//! * [`DistKind`] — the support-kind lattice used to certify absolute
+//!   continuity (`real`, `preal`, `ureal`, `bool`, `nat`, `nat[n]`);
+//! * [`rng`] — a seedable, deterministic PCG32 generator;
+//! * [`special`] — `ln Γ`, `ln B`, and log-sum-exp;
+//! * [`stats`] — weight normalisation, effective sample size, histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use ppl_dist::{Distribution, Sample, rng::Pcg32};
+//!
+//! let d = Distribution::gamma(2.0, 1.0)?;
+//! let mut rng = Pcg32::seed_from_u64(0);
+//! let x = d.sample(&mut rng);
+//! assert!(x > 0.0);
+//! assert!(d.log_density(&Sample::Real(x)).is_finite());
+//! assert_eq!(d.log_density(&Sample::Real(-1.0)), f64::NEG_INFINITY);
+//! # Ok::<(), ppl_dist::DistError>(())
+//! ```
+
+pub mod rng;
+pub mod special;
+pub mod stats;
+
+use rng::Pcg32;
+use special::{ln_gamma, log_beta};
+use std::f64::consts::PI;
+use std::fmt;
+
+/// A scalar sample value exchanged on a guidance channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sample {
+    /// A Boolean draw (Bernoulli).
+    Bool(bool),
+    /// A real-valued draw (Normal, Gamma, Beta, Uniform).
+    Real(f64),
+    /// A natural-number draw (Geometric, Poisson, Categorical).
+    Nat(u64),
+}
+
+impl Sample {
+    /// A numeric view: reals as themselves, naturals converted, and
+    /// Booleans as `0` / `1`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Sample::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Sample::Real(r) => *r,
+            Sample::Nat(n) => *n as f64,
+        }
+    }
+
+    /// The Boolean payload, if this is a Boolean sample.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Sample::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The natural-number payload, if this is a natural sample.
+    pub fn as_nat(&self) -> Option<u64> {
+        match self {
+            Sample::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sample::Bool(b) => write!(f, "{b}"),
+            Sample::Real(r) => write!(f, "{r}"),
+            Sample::Nat(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The support kind of a distribution: the refinement of its carrier type
+/// used by the guide-type system to decide whether a guide's proposal is
+/// absolutely continuous with respect to the model's prior.
+///
+/// The real-valued kinds form the chain `UnitInterval ⊂ PosReal ⊂ Real`
+/// and the naturals the chain `FinNat(n) ⊂ Nat`; compatibility requires
+/// *equal* kinds (Theorem 5.2 needs equal supports, not inclusion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistKind {
+    /// The whole real line `ℝ` (Normal).
+    Real,
+    /// The positive reals `ℝ+` (Gamma).
+    PosReal,
+    /// The open unit interval `ℝ(0,1)` (Beta, Uniform).
+    UnitInterval,
+    /// The Booleans `𝟚` (Bernoulli).
+    Bool,
+    /// The naturals `ℕ` (Geometric, Poisson).
+    Nat,
+    /// The finite naturals `ℕ_n = {0, …, n−1}` (Categorical over `n`
+    /// weights).
+    FinNat(usize),
+}
+
+impl fmt::Display for DistKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistKind::Real => write!(f, "real"),
+            DistKind::PosReal => write!(f, "preal"),
+            DistKind::UnitInterval => write!(f, "ureal"),
+            DistKind::Bool => write!(f, "bool"),
+            DistKind::Nat => write!(f, "nat"),
+            DistKind::FinNat(n) => write!(f, "nat[{n}]"),
+        }
+    }
+}
+
+/// An error raised when a distribution is constructed with parameters
+/// outside its domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A parameter violated its domain constraint.
+    InvalidParameter {
+        /// The distribution being constructed.
+        distribution: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl DistError {
+    fn invalid(distribution: &'static str, message: impl Into<String>) -> DistError {
+        DistError::InvalidParameter {
+            distribution,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter {
+                distribution,
+                message,
+            } => write!(f, "invalid {distribution} parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Smallest positive value returned by the positive-support samplers, so
+/// that a draw never collapses onto the boundary of an open support.
+const POSITIVE_FLOOR: f64 = 1e-300;
+
+/// How far inside `(0, 1)` unit-interval draws are clamped.
+const UNIT_MARGIN: f64 = 1e-15;
+
+/// A primitive probability distribution.
+///
+/// Constructors validate their parameters and return a [`DistError`] on
+/// domain violations; [`Distribution::uniform`] is the only parameter-free
+/// (hence infallible) constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// `Normal(μ, σ)` over `ℝ`.
+    Normal {
+        /// Mean `μ`.
+        mean: f64,
+        /// Standard deviation `σ > 0`.
+        std_dev: f64,
+    },
+    /// `Ber(p)` over `𝟚`.
+    Bernoulli {
+        /// Success probability `p ∈ [0, 1]`.
+        p: f64,
+    },
+    /// `Beta(α, β)` over `ℝ(0,1)`.
+    Beta {
+        /// Shape `α > 0`.
+        alpha: f64,
+        /// Shape `β > 0`.
+        beta: f64,
+    },
+    /// `Gamma(α, β)` (shape–rate) over `ℝ+`.
+    Gamma {
+        /// Shape `α > 0`.
+        shape: f64,
+        /// Rate `β > 0`.
+        rate: f64,
+    },
+    /// `Geo(p)` over `ℕ`: the number of failures before the first success.
+    Geometric {
+        /// Success probability `p ∈ (0, 1]`.
+        p: f64,
+    },
+    /// `Cat(w₀, …, w_{n−1})` over `ℕ_n`.
+    Categorical {
+        /// Unnormalised positive weights.
+        weights: Vec<f64>,
+    },
+    /// `Pois(λ)` over `ℕ`.
+    Poisson {
+        /// Rate `λ > 0`.
+        rate: f64,
+    },
+    /// `Unif` over `ℝ(0,1)`.
+    Uniform,
+}
+
+impl Distribution {
+    /// `Normal(mean, std_dev)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite mean and a non-positive or non-finite standard
+    /// deviation.
+    pub fn normal(mean: f64, std_dev: f64) -> Result<Distribution, DistError> {
+        if !mean.is_finite() {
+            return Err(DistError::invalid(
+                "Normal",
+                format!("mean must be finite, got {mean}"),
+            ));
+        }
+        if !(std_dev > 0.0 && std_dev.is_finite()) {
+            return Err(DistError::invalid(
+                "Normal",
+                format!("standard deviation must be positive and finite, got {std_dev}"),
+            ));
+        }
+        Ok(Distribution::Normal { mean, std_dev })
+    }
+
+    /// `Ber(p)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn bernoulli(p: f64) -> Result<Distribution, DistError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::invalid(
+                "Bernoulli",
+                format!("probability must lie in [0, 1], got {p}"),
+            ));
+        }
+        Ok(Distribution::Bernoulli { p })
+    }
+
+    /// `Beta(alpha, beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite shapes.
+    pub fn beta(alpha: f64, beta: f64) -> Result<Distribution, DistError> {
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(DistError::invalid(
+                    "Beta",
+                    format!("{name} must be positive and finite, got {v}"),
+                ));
+            }
+        }
+        Ok(Distribution::Beta { alpha, beta })
+    }
+
+    /// `Gamma(shape, rate)` in the shape–rate parameterisation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite parameters.
+    pub fn gamma(shape: f64, rate: f64) -> Result<Distribution, DistError> {
+        for (name, v) in [("shape", shape), ("rate", rate)] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(DistError::invalid(
+                    "Gamma",
+                    format!("{name} must be positive and finite, got {v}"),
+                ));
+            }
+        }
+        Ok(Distribution::Gamma { shape, rate })
+    }
+
+    /// `Geo(p)`: number of failures before the first success.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `(0, 1]` (at `p = 0` the distribution
+    /// has no mass anywhere).
+    pub fn geometric(p: f64) -> Result<Distribution, DistError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(DistError::invalid(
+                "Geometric",
+                format!("probability must lie in (0, 1], got {p}"),
+            ));
+        }
+        Ok(Distribution::Geometric { p })
+    }
+
+    /// `Cat(weights)` over `{0, …, weights.len() − 1}`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty weight vector and non-positive or non-finite
+    /// weights.
+    pub fn categorical(weights: Vec<f64>) -> Result<Distribution, DistError> {
+        if weights.is_empty() {
+            return Err(DistError::invalid(
+                "Categorical",
+                "needs at least one weight",
+            ));
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(DistError::invalid(
+                    "Categorical",
+                    format!("weight #{i} must be positive and finite, got {w}"),
+                ));
+            }
+        }
+        Ok(Distribution::Categorical { weights })
+    }
+
+    /// `Pois(rate)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive or non-finite rate.
+    pub fn poisson(rate: f64) -> Result<Distribution, DistError> {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(DistError::invalid(
+                "Poisson",
+                format!("rate must be positive and finite, got {rate}"),
+            ));
+        }
+        Ok(Distribution::Poisson { rate })
+    }
+
+    /// `Unif`, the uniform distribution on the open unit interval.
+    pub fn uniform() -> Distribution {
+        Distribution::Uniform
+    }
+
+    /// The support kind of this distribution.
+    pub fn kind(&self) -> DistKind {
+        match self {
+            Distribution::Normal { .. } => DistKind::Real,
+            Distribution::Bernoulli { .. } => DistKind::Bool,
+            Distribution::Beta { .. } | Distribution::Uniform => DistKind::UnitInterval,
+            Distribution::Gamma { .. } => DistKind::PosReal,
+            Distribution::Geometric { .. } | Distribution::Poisson { .. } => DistKind::Nat,
+            Distribution::Categorical { weights } => DistKind::FinNat(weights.len()),
+        }
+    }
+
+    /// True if the sample has the right carrier *and* lies in the support.
+    ///
+    /// The check is strict about carriers: a natural-number sample is never
+    /// in the support of a real-valued distribution, even when its numeric
+    /// value would be (this is what makes an unsound guide's draws score to
+    /// weight zero rather than being silently coerced).
+    pub fn supports(&self, sample: &Sample) -> bool {
+        match (self, sample) {
+            (Distribution::Normal { .. }, Sample::Real(x)) => x.is_finite(),
+            (Distribution::Bernoulli { .. }, Sample::Bool(_)) => true,
+            (Distribution::Beta { .. } | Distribution::Uniform, Sample::Real(x)) => {
+                *x > 0.0 && *x < 1.0
+            }
+            (Distribution::Gamma { .. }, Sample::Real(x)) => *x > 0.0 && x.is_finite(),
+            (Distribution::Geometric { .. } | Distribution::Poisson { .. }, Sample::Nat(_)) => true,
+            (Distribution::Categorical { weights }, Sample::Nat(k)) => {
+                (*k as usize) < weights.len()
+            }
+            _ => false,
+        }
+    }
+
+    /// The log-density (continuous) or log-mass (discrete) of a sample;
+    /// `-∞` for samples outside the support or with the wrong carrier.
+    pub fn log_density(&self, sample: &Sample) -> f64 {
+        if !self.supports(sample) {
+            return f64::NEG_INFINITY;
+        }
+        match (self, sample) {
+            (Distribution::Normal { mean, std_dev }, Sample::Real(x)) => {
+                let z = (x - mean) / std_dev;
+                -0.5 * z * z - std_dev.ln() - 0.5 * (2.0 * PI).ln()
+            }
+            (Distribution::Bernoulli { p }, Sample::Bool(b)) => {
+                if *b {
+                    p.ln()
+                } else {
+                    (1.0 - p).ln()
+                }
+            }
+            (Distribution::Beta { alpha, beta }, Sample::Real(x)) => {
+                (alpha - 1.0) * x.ln() + (beta - 1.0) * (1.0 - x).ln() - log_beta(*alpha, *beta)
+            }
+            (Distribution::Gamma { shape, rate }, Sample::Real(x)) => {
+                shape * rate.ln() - ln_gamma(*shape) + (shape - 1.0) * x.ln() - rate * x
+            }
+            (Distribution::Geometric { p }, Sample::Nat(k)) => {
+                // P(k) = (1 − p)^k · p; written to avoid 0 · (−∞) at p = 1.
+                if *k == 0 {
+                    p.ln()
+                } else {
+                    *k as f64 * (1.0 - p).ln() + p.ln()
+                }
+            }
+            (Distribution::Categorical { weights }, Sample::Nat(k)) => {
+                let total: f64 = weights.iter().sum();
+                (weights[*k as usize] / total).ln()
+            }
+            (Distribution::Poisson { rate }, Sample::Nat(k)) => {
+                *k as f64 * rate.ln() - rate - ln_gamma(*k as f64 + 1.0)
+            }
+            (Distribution::Uniform, Sample::Real(_)) => 0.0,
+            _ => unreachable!("supports() filtered mismatched carriers"),
+        }
+    }
+
+    /// [`Distribution::log_density`] — the Pyro-style name, kept as an
+    /// alias for code written against that convention.
+    pub fn log_prob(&self, sample: &Sample) -> f64 {
+        self.log_density(sample)
+    }
+
+    /// The log-density of a numeric value: reals are scored directly,
+    /// naturals and Booleans after exact conversion (`-∞` when the value
+    /// does not denote an element of the carrier).
+    pub fn log_density_f64(&self, x: f64) -> f64 {
+        match self.kind() {
+            DistKind::Real | DistKind::PosReal | DistKind::UnitInterval => {
+                self.log_density(&Sample::Real(x))
+            }
+            DistKind::Bool => {
+                if x == 0.0 {
+                    self.log_density(&Sample::Bool(false))
+                } else if x == 1.0 {
+                    self.log_density(&Sample::Bool(true))
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            DistKind::Nat | DistKind::FinNat(_) => {
+                if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+                    self.log_density(&Sample::Nat(x as u64))
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+    }
+
+    /// The density (or mass) of a sample: `exp` of the log-density.
+    pub fn density(&self, sample: &Sample) -> f64 {
+        self.log_density(sample).exp()
+    }
+
+    /// Draws a sample as a [`Sample`] with the distribution's carrier.
+    pub fn draw(&self, rng: &mut Pcg32) -> Sample {
+        match self {
+            Distribution::Normal { mean, std_dev } => {
+                Sample::Real(mean + std_dev * standard_normal(rng))
+            }
+            Distribution::Bernoulli { p } => Sample::Bool(rng.next_f64() < *p),
+            Distribution::Beta { alpha, beta } => {
+                let x = standard_gamma(*alpha, rng);
+                let y = standard_gamma(*beta, rng);
+                Sample::Real((x / (x + y)).clamp(UNIT_MARGIN, 1.0 - UNIT_MARGIN))
+            }
+            Distribution::Gamma { shape, rate } => {
+                Sample::Real((standard_gamma(*shape, rng) / rate).max(POSITIVE_FLOOR))
+            }
+            Distribution::Geometric { p } => {
+                if *p >= 1.0 {
+                    return Sample::Nat(0);
+                }
+                // k = ⌊ln u / ln(1 − p)⌋ for u ~ Unif(0, 1) is geometric.
+                let k = (rng.next_open01().ln() / (1.0 - p).ln()).floor();
+                Sample::Nat(k as u64)
+            }
+            Distribution::Categorical { weights } => {
+                let total: f64 = weights.iter().sum();
+                let mut target = rng.next_f64() * total;
+                for (i, &w) in weights.iter().enumerate() {
+                    if target < w {
+                        return Sample::Nat(i as u64);
+                    }
+                    target -= w;
+                }
+                Sample::Nat(weights.len() as u64 - 1)
+            }
+            Distribution::Poisson { rate } => Sample::Nat(poisson_draw(*rate, rng)),
+            Distribution::Uniform => Sample::Real(rng.next_open01()),
+        }
+    }
+
+    /// Draws a sample and returns its numeric view (see [`Sample::as_f64`]).
+    pub fn sample(&self, rng: &mut Pcg32) -> f64 {
+        self.draw(rng).as_f64()
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::Normal { mean, std_dev } => write!(f, "Normal({mean}, {std_dev})"),
+            Distribution::Bernoulli { p } => write!(f, "Ber({p})"),
+            Distribution::Beta { alpha, beta } => write!(f, "Beta({alpha}, {beta})"),
+            Distribution::Gamma { shape, rate } => write!(f, "Gamma({shape}, {rate})"),
+            Distribution::Geometric { p } => write!(f, "Geo({p})"),
+            Distribution::Categorical { weights } => {
+                write!(f, "Cat(")?;
+                for (i, w) in weights.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                write!(f, ")")
+            }
+            Distribution::Poisson { rate } => write!(f, "Pois({rate})"),
+            Distribution::Uniform => write!(f, "Unif"),
+        }
+    }
+}
+
+/// A standard-normal draw via the Box–Muller transform.
+fn standard_normal(rng: &mut Pcg32) -> f64 {
+    let u1 = rng.next_open01();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// A `Gamma(shape, 1)` draw via Marsaglia–Tsang's squeeze method, with the
+/// standard `shape < 1` boost.
+fn standard_gamma(shape: f64, rng: &mut Pcg32) -> f64 {
+    if shape < 1.0 {
+        // Γ(α) = Γ(α + 1) · U^{1/α}.
+        let boost = rng.next_open01().powf(1.0 / shape);
+        return standard_gamma(shape + 1.0, rng) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.next_open01();
+        // Cheap squeeze first, exact acceptance second.
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// A Poisson draw: Knuth's product-of-uniforms method, applied in chunks of
+/// rate ≤ 30 (Poisson rates are additive) so the `exp(−λ)` threshold never
+/// underflows for large rates.
+fn poisson_draw(rate: f64, rng: &mut Pcg32) -> u64 {
+    const CHUNK: f64 = 30.0;
+    let mut remaining = rate;
+    let mut count = 0u64;
+    while remaining > 0.0 {
+        let step = remaining.min(CHUNK);
+        let threshold = (-step).exp();
+        let mut product = rng.next_f64();
+        while product > threshold {
+            count += 1;
+            product *= rng.next_f64();
+        }
+        remaining -= step;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Pcg32 {
+        Pcg32::seed_from_u64(0xD157)
+    }
+
+    const TOL: f64 = 1e-12;
+
+    // ---------------------------------------------------- closed-form checks
+
+    #[test]
+    fn normal_log_density_matches_closed_form() {
+        let d = Distribution::normal(0.0, 1.0).unwrap();
+        // φ(0) = 1/√(2π).
+        assert!((d.log_density_f64(0.0) + 0.5 * (2.0 * PI).ln()).abs() < TOL);
+        // φ(1) adds −1/2.
+        assert!((d.log_density_f64(1.0) + 0.5 + 0.5 * (2.0 * PI).ln()).abs() < TOL);
+        // Scaling: Normal(3, 2) at 3 is φ(0)/2.
+        let d = Distribution::normal(3.0, 2.0).unwrap();
+        assert!((d.log_density_f64(3.0) + 2f64.ln() + 0.5 * (2.0 * PI).ln()).abs() < TOL);
+        assert_eq!(d.log_density_f64(f64::INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bernoulli_log_density_matches_closed_form() {
+        let d = Distribution::bernoulli(0.3).unwrap();
+        assert!((d.log_density(&Sample::Bool(true)) - 0.3f64.ln()).abs() < TOL);
+        assert!((d.log_density(&Sample::Bool(false)) - 0.7f64.ln()).abs() < TOL);
+        // Degenerate endpoints still score correctly.
+        let sure = Distribution::bernoulli(1.0).unwrap();
+        assert_eq!(sure.log_density(&Sample::Bool(true)), 0.0);
+        assert_eq!(sure.log_density(&Sample::Bool(false)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn beta_log_density_matches_closed_form() {
+        // Beta(3, 1) has density 3x² on (0, 1).
+        let d = Distribution::beta(3.0, 1.0).unwrap();
+        assert!((d.log_density_f64(0.9) - (3.0 * 0.81f64).ln()).abs() < 1e-10);
+        // Beta(1, 1) is uniform.
+        let flat = Distribution::beta(1.0, 1.0).unwrap();
+        assert!(flat.log_density_f64(0.42).abs() < 1e-10);
+        // Beta(2, 2) has density 6x(1−x).
+        let d = Distribution::beta(2.0, 2.0).unwrap();
+        assert!((d.log_density_f64(0.25) - (6.0 * 0.25 * 0.75f64).ln()).abs() < 1e-10);
+        assert_eq!(d.log_density_f64(0.0), f64::NEG_INFINITY);
+        assert_eq!(d.log_density_f64(1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gamma_log_density_matches_closed_form() {
+        // Gamma(1, 1) is Exp(1): log f(x) = −x.
+        let exp1 = Distribution::gamma(1.0, 1.0).unwrap();
+        assert!((exp1.log_density_f64(3.0) + 3.0).abs() < 1e-10);
+        // Gamma(2, 1): f(x) = x e^{−x}.
+        let d = Distribution::gamma(2.0, 1.0).unwrap();
+        assert!((d.log_density_f64(2.5) - (2.5f64.ln() - 2.5)).abs() < 1e-10);
+        // Rate scaling: Gamma(1, 2) is Exp(2).
+        let exp2 = Distribution::gamma(1.0, 2.0).unwrap();
+        assert!((exp2.log_density_f64(1.0) - (2f64.ln() - 2.0)).abs() < 1e-10);
+        assert_eq!(d.log_density_f64(-1.0), f64::NEG_INFINITY);
+        assert_eq!(d.log_density_f64(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn geometric_log_density_matches_closed_form() {
+        // P(k) = (1 − p)^k p with k counting failures.
+        let d = Distribution::geometric(0.5).unwrap();
+        assert!((d.log_density(&Sample::Nat(0)) - 0.5f64.ln()).abs() < TOL);
+        assert!((d.log_density(&Sample::Nat(2)) - 3.0 * 0.5f64.ln()).abs() < TOL);
+        // Mass sums to one over a long prefix.
+        let total: f64 = (0..200).map(|k| d.density(&Sample::Nat(k))).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        // p = 1 is a point mass at zero.
+        let point = Distribution::geometric(1.0).unwrap();
+        assert_eq!(point.log_density(&Sample::Nat(0)), 0.0);
+        assert_eq!(point.log_density(&Sample::Nat(1)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn categorical_log_density_matches_closed_form() {
+        let d = Distribution::categorical(vec![1.0, 2.0, 3.0]).unwrap();
+        assert!((d.log_density(&Sample::Nat(0)) - (1f64 / 6.0).ln()).abs() < TOL);
+        assert!((d.log_density(&Sample::Nat(1)) - (2f64 / 6.0).ln()).abs() < TOL);
+        assert!((d.log_density(&Sample::Nat(2)) - (3f64 / 6.0).ln()).abs() < TOL);
+        assert_eq!(d.log_density(&Sample::Nat(3)), f64::NEG_INFINITY);
+        assert_eq!(d.kind(), DistKind::FinNat(3));
+    }
+
+    #[test]
+    fn poisson_log_density_matches_closed_form() {
+        // P(k) = λ^k e^{−λ} / k!.
+        let d = Distribution::poisson(4.0).unwrap();
+        assert!((d.log_density(&Sample::Nat(0)) + 4.0).abs() < 1e-10);
+        let expected = 2.0 * 4f64.ln() - 4.0 - 2f64.ln();
+        assert!((d.log_density(&Sample::Nat(2)) - expected).abs() < 1e-10);
+        // Mass sums to one over a long prefix.
+        let total: f64 = (0..100).map(|k| d.density(&Sample::Nat(k))).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn uniform_log_density_is_zero_on_the_open_interval() {
+        let d = Distribution::uniform();
+        assert_eq!(d.log_density_f64(0.25), 0.0);
+        assert_eq!(d.log_density_f64(0.999), 0.0);
+        assert_eq!(d.log_density_f64(0.0), f64::NEG_INFINITY);
+        assert_eq!(d.log_density_f64(1.0), f64::NEG_INFINITY);
+        assert_eq!(d.log_density_f64(-0.5), f64::NEG_INFINITY);
+        assert_eq!(d.kind(), DistKind::UnitInterval);
+    }
+
+    // -------------------------------------------------- parameter validation
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Distribution::normal(0.0, 0.0).is_err());
+        assert!(Distribution::normal(0.0, -1.0).is_err());
+        assert!(Distribution::normal(f64::NAN, 1.0).is_err());
+        assert!(Distribution::bernoulli(2.0).is_err());
+        assert!(Distribution::bernoulli(-0.1).is_err());
+        assert!(Distribution::beta(0.0, 1.0).is_err());
+        assert!(Distribution::beta(1.0, f64::INFINITY).is_err());
+        assert!(Distribution::gamma(-2.0, 1.0).is_err());
+        assert!(Distribution::gamma(1.0, 0.0).is_err());
+        assert!(Distribution::geometric(0.0).is_err());
+        assert!(Distribution::geometric(1.5).is_err());
+        assert!(Distribution::categorical(vec![]).is_err());
+        assert!(Distribution::categorical(vec![1.0, 0.0]).is_err());
+        assert!(Distribution::categorical(vec![1.0, -2.0]).is_err());
+        assert!(Distribution::poisson(0.0).is_err());
+        assert!(Distribution::poisson(f64::NAN).is_err());
+        let err = Distribution::bernoulli(2.0).unwrap_err();
+        assert!(err.to_string().contains("Bernoulli"));
+    }
+
+    // ------------------------------------------ carrier and support strictness
+
+    #[test]
+    fn wrong_carrier_samples_score_to_zero_weight() {
+        // An unsound guide proposing naturals against a Gamma prior must get
+        // weight zero, not a silent numeric coercion.
+        let gamma = Distribution::gamma(2.0, 1.0).unwrap();
+        assert_eq!(gamma.log_density(&Sample::Nat(3)), f64::NEG_INFINITY);
+        assert!(!gamma.supports(&Sample::Nat(3)));
+        let ber = Distribution::bernoulli(0.5).unwrap();
+        assert_eq!(ber.log_density(&Sample::Real(1.0)), f64::NEG_INFINITY);
+        let pois = Distribution::poisson(4.0).unwrap();
+        assert_eq!(pois.log_density(&Sample::Real(2.0)), f64::NEG_INFINITY);
+        // log_density_f64 converts exactly representable naturals/Booleans.
+        assert!(pois.log_density_f64(2.0).is_finite());
+        assert_eq!(pois.log_density_f64(2.5), f64::NEG_INFINITY);
+        assert!(ber.log_density_f64(1.0).is_finite());
+        assert_eq!(ber.log_density_f64(0.5), f64::NEG_INFINITY);
+        // log_prob is an alias of log_density.
+        assert_eq!(
+            gamma.log_prob(&Sample::Real(1.5)),
+            gamma.log_density(&Sample::Real(1.5))
+        );
+    }
+
+    // --------------------------------------- property-style support sanity
+
+    /// Every draw of every distribution lies in its declared [`DistKind`]
+    /// support and scores a finite log-density.
+    #[test]
+    fn draws_lie_in_the_declared_support() {
+        let dists = vec![
+            Distribution::normal(-2.0, 3.0).unwrap(),
+            Distribution::bernoulli(0.3).unwrap(),
+            Distribution::beta(0.5, 0.5).unwrap(), // bathtub shape stresses the boundaries
+            Distribution::beta(3.0, 1.0).unwrap(),
+            Distribution::gamma(0.3, 2.0).unwrap(), // shape < 1 branch
+            Distribution::gamma(7.5, 0.5).unwrap(),
+            Distribution::geometric(0.2).unwrap(),
+            Distribution::categorical(vec![0.2, 0.5, 0.3]).unwrap(),
+            Distribution::poisson(4.0).unwrap(),
+            Distribution::poisson(200.0).unwrap(), // chunked Knuth branch
+            Distribution::uniform(),
+        ];
+        let mut rng = rng();
+        for d in &dists {
+            for _ in 0..2_000 {
+                let s = d.draw(&mut rng);
+                assert!(d.supports(&s), "{d}: draw {s} escaped the support");
+                assert!(
+                    d.log_density(&s) > f64::NEG_INFINITY,
+                    "{d}: draw {s} has zero density"
+                );
+                match d.kind() {
+                    DistKind::Real => {
+                        let x = s.as_f64();
+                        assert!(x.is_finite(), "{d}: {s}");
+                    }
+                    DistKind::PosReal => {
+                        let x = s.as_f64();
+                        assert!(x > 0.0 && x.is_finite(), "{d}: {s}");
+                    }
+                    DistKind::UnitInterval => {
+                        let x = s.as_f64();
+                        assert!(x > 0.0 && x < 1.0, "{d}: {s}");
+                    }
+                    DistKind::Bool => assert!(s.as_bool().is_some(), "{d}: {s}"),
+                    DistKind::Nat => assert!(s.as_nat().is_some(), "{d}: {s}"),
+                    DistKind::FinNat(n) => {
+                        let k = s.as_nat().expect("categorical draws naturals");
+                        assert!((k as usize) < n, "{d}: {s} out of nat[{n}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_moments_are_plausible() {
+        let mut rng = rng();
+        let n = 40_000;
+        let mean_of = |d: &Distribution, rng: &mut Pcg32| -> f64 {
+            (0..n).map(|_| d.sample(rng)).sum::<f64>() / n as f64
+        };
+        let cases: Vec<(Distribution, f64, f64)> = vec![
+            (Distribution::normal(1.5, 2.0).unwrap(), 1.5, 0.05),
+            (Distribution::bernoulli(0.3).unwrap(), 0.3, 0.02),
+            (Distribution::beta(2.0, 2.0).unwrap(), 0.5, 0.02),
+            (Distribution::gamma(2.0, 1.0).unwrap(), 2.0, 0.05),
+            (Distribution::gamma(0.5, 2.0).unwrap(), 0.25, 0.02),
+            (Distribution::geometric(0.5).unwrap(), 1.0, 0.05),
+            (Distribution::poisson(4.0).unwrap(), 4.0, 0.08),
+            (Distribution::uniform(), 0.5, 0.02),
+            // Cat(1, 2, 3): E[k] = (0·1 + 1·2 + 2·3)/6 = 4/3.
+            (
+                Distribution::categorical(vec![1.0, 2.0, 3.0]).unwrap(),
+                4.0 / 3.0,
+                0.05,
+            ),
+        ];
+        for (d, expected, tol) in cases {
+            let m = mean_of(&d, &mut rng);
+            assert!(
+                (m - expected).abs() < tol,
+                "{d}: mean {m}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_given_the_seed() {
+        let d = Distribution::normal(0.0, 1.0).unwrap();
+        let mut a = Pcg32::seed_from_u64(99);
+        let mut b = Pcg32::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(d.draw(&mut a), d.draw(&mut b));
+        }
+    }
+
+    // ------------------------------------------------------------- plumbing
+
+    #[test]
+    fn kinds_and_display() {
+        assert_eq!(
+            Distribution::normal(0.0, 1.0).unwrap().kind(),
+            DistKind::Real
+        );
+        assert_eq!(
+            Distribution::gamma(1.0, 1.0).unwrap().kind(),
+            DistKind::PosReal
+        );
+        assert_eq!(
+            Distribution::beta(1.0, 2.0).unwrap().kind(),
+            DistKind::UnitInterval
+        );
+        assert_eq!(Distribution::bernoulli(0.5).unwrap().kind(), DistKind::Bool);
+        assert_eq!(Distribution::geometric(0.5).unwrap().kind(), DistKind::Nat);
+        assert_eq!(Distribution::poisson(1.0).unwrap().kind(), DistKind::Nat);
+        assert_eq!(
+            Distribution::normal(0.0, 1.0).unwrap().to_string(),
+            "Normal(0, 1)"
+        );
+        assert_eq!(
+            Distribution::categorical(vec![1.0, 2.0])
+                .unwrap()
+                .to_string(),
+            "Cat(1, 2)"
+        );
+        assert_eq!(Distribution::uniform().to_string(), "Unif");
+        assert_eq!(DistKind::FinNat(3).to_string(), "nat[3]");
+        assert_eq!(DistKind::PosReal.to_string(), "preal");
+    }
+
+    #[test]
+    fn sample_accessors_and_display() {
+        assert_eq!(Sample::Real(2.5).as_f64(), 2.5);
+        assert_eq!(Sample::Nat(3).as_f64(), 3.0);
+        assert_eq!(Sample::Bool(true).as_f64(), 1.0);
+        assert_eq!(Sample::Bool(false).as_f64(), 0.0);
+        assert_eq!(Sample::Bool(true).as_bool(), Some(true));
+        assert_eq!(Sample::Real(1.0).as_bool(), None);
+        assert_eq!(Sample::Nat(7).as_nat(), Some(7));
+        assert_eq!(Sample::Real(7.0).as_nat(), None);
+        assert_eq!(Sample::Real(1.0).to_string(), "1");
+        assert_eq!(Sample::Nat(4).to_string(), "4");
+        assert_eq!(Sample::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn density_is_exp_of_log_density() {
+        let d = Distribution::gamma(2.0, 1.0).unwrap();
+        let s = Sample::Real(1.3);
+        assert!((d.density(&s) - d.log_density(&s).exp()).abs() < TOL);
+        assert_eq!(d.density(&Sample::Real(-1.0)), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! A small, deterministic random-number generator.
+//!
+//! Inference results in this repository must be reproducible bit-for-bit
+//! across runs and platforms (the benchmark harness re-runs the coroutine
+//! and handwritten paths with the same seed and compares their estimates),
+//! so the crate ships its own PCG-XSH-RR 64/32 generator instead of pulling
+//! in an external RNG crate.  The algorithm is the reference `pcg32` of
+//! O'Neill, *PCG: A Family of Simple Fast Space-Efficient Statistically
+//! Good Algorithms for Random Number Generation* (2014).
+
+/// The default stream selector, chosen once and fixed forever so that
+/// [`Pcg32::seed_from_u64`] is a pure function of its seed.
+const DEFAULT_STREAM: u64 = 0xda3e_39cb_94b9_5bdb;
+
+const MULTIPLIER: u64 = 6_364_136_223_846_793_005;
+
+/// A PCG-XSH-RR 64/32 generator: 64 bits of state, 32 bits of output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Creates a generator from an explicit state and stream (the reference
+    /// `pcg32_srandom` initialisation).
+    pub fn new(init_state: u64, init_stream: u64) -> Pcg32 {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (init_stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(init_state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a single seed on the default stream.  The
+    /// same seed always yields the same stream of values.
+    pub fn seed_from_u64(seed: u64) -> Pcg32 {
+        Pcg32::new(seed, DEFAULT_STREAM)
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// The next 64 uniformly random bits (two 32-bit outputs).
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// A uniform draw from the half-open interval `[0, 1)` with 53 bits of
+    /// precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from the *open* interval `(0, 1)`: never exactly zero
+    /// or one, so logarithms and open-interval supports (`ureal`) are safe.
+    pub fn next_open01(&mut self) -> f64 {
+        (self.next_u32() as f64 + 0.5) * (1.0 / (1u64 << 32) as f64)
+    }
+
+    /// A uniform draw from `{0, 1, …, n - 1}` by rejection sampling (no
+    /// modulo bias).  `n` must be positive.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below requires a positive bound");
+        if n == 1 {
+            return 0;
+        }
+        // Reject draws from the tail of the 64-bit range that would bias the
+        // result; the loop terminates with probability one.
+        let zone = u64::MAX - (u64::MAX % n + 1) % n;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_the_same_stream() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = Pcg32::seed_from_u64(43);
+        let first: Vec<u32> = (0..8)
+            .map(|_| Pcg32::seed_from_u64(42).next_u32())
+            .collect();
+        assert!(first.iter().all(|&x| x == first[0]));
+        // A different seed must diverge within a few outputs.
+        let mut a = Pcg32::seed_from_u64(42);
+        assert!((0..8).any(|_| a.next_u32() != c.next_u32()));
+    }
+
+    #[test]
+    fn float_draws_respect_their_intervals() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_open01();
+            assert!(y > 0.0 && y < 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_hits_every_value() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let k = rng.next_below(5);
+            assert!(k < 5);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rng.next_below(1), 0);
+    }
+
+    #[test]
+    fn uniform_draws_have_a_plausible_mean() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -191,7 +191,9 @@ mod tests {
         let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(1.0)]);
         let spec = JointSpec::new("Model", "Guide");
         let mut rng = Pcg32::seed_from_u64(42);
-        let result = ImportanceSampler::new(40_000).run(&exec, &spec, &mut rng).unwrap();
+        let result = ImportanceSampler::new(40_000)
+            .run(&exec, &spec, &mut rng)
+            .unwrap();
         let mean = result.posterior_mean_of_sample(0).unwrap();
         assert!((mean - 0.5).abs() < 0.03, "posterior mean {mean}");
         // Evidence p(y=1.0) = N(1.0; 0, sqrt(2)).
@@ -244,7 +246,9 @@ mod tests {
         let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.8)]);
         let spec = JointSpec::new("Model", "Guide1");
         let mut rng = Pcg32::seed_from_u64(7);
-        let result = ImportanceSampler::new(30_000).run(&exec, &spec, &mut rng).unwrap();
+        let result = ImportanceSampler::new(30_000)
+            .run(&exec, &spec, &mut rng)
+            .unwrap();
         let p_else_posterior = result
             .posterior_probability(|p| p.samples[0].as_f64() >= 2.0)
             .unwrap();
@@ -264,7 +268,9 @@ mod tests {
         let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(1.0)]);
         let spec = JointSpec::new("Model", "Guide");
         let mut rng = Pcg32::seed_from_u64(1);
-        let result = ImportanceSampler::new(100).run(&exec, &spec, &mut rng).unwrap();
+        let result = ImportanceSampler::new(100)
+            .run(&exec, &spec, &mut rng)
+            .unwrap();
         // Sample index 5 never exists.
         assert!(result.posterior_mean_of_sample(5).is_none());
         assert_eq!(result.particles.len(), 100);

@@ -106,8 +106,8 @@ impl IndependenceMh {
             proposals += 1;
             // Acceptance ratio for an independence sampler:
             //   α = min(1, (w'_m / w'_g) / (w_m / w_g)).
-            let log_alpha = (proposal.log_model - proposal.log_guide)
-                - (current.log_model - current.log_guide);
+            let log_alpha =
+                (proposal.log_model - proposal.log_guide) - (current.log_model - current.log_guide);
             if log_alpha >= 0.0 || rng.next_f64().ln() < log_alpha {
                 current = proposal;
                 accepted += 1;
@@ -204,8 +204,7 @@ impl<'f> GuidedMh<'f> {
             let backward = executor.run(&bwd_spec, LatentSource::Replay(&current.latent), rng)?;
             let log_bwd = backward.log_guide;
 
-            let log_alpha =
-                (proposal.log_model + log_bwd) - (current.log_model + log_fwd);
+            let log_alpha = (proposal.log_model + log_bwd) - (current.log_model + log_fwd);
             if log_alpha >= 0.0 || rng.next_f64().ln() < log_alpha {
                 current = proposal;
                 accepted += 1;
@@ -312,10 +311,16 @@ mod tests {
         // Posterior probability that is_outlier = true should be near 1.
         let p_outlier = result
             .posterior_expectation(|s| {
-                s.samples.get(1).and_then(|v| v.as_bool()).map(|b| if b { 1.0 } else { 0.0 })
+                s.samples
+                    .get(1)
+                    .and_then(|v| v.as_bool())
+                    .map(|b| if b { 1.0 } else { 0.0 })
             })
             .unwrap();
-        assert!(p_outlier > 0.95, "posterior outlier probability {p_outlier}");
+        assert!(
+            p_outlier > 0.95,
+            "posterior outlier probability {p_outlier}"
+        );
         assert!(result.acceptance_rate > 0.05);
     }
 
@@ -325,7 +330,9 @@ mod tests {
         let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(1.0)]);
         let spec = JointSpec::new("Model", "Guide");
         let mut rng = Pcg32::seed_from_u64(2);
-        let result = IndependenceMh::new(200, 0).run(&exec, &spec, &mut rng).unwrap();
+        let result = IndependenceMh::new(200, 0)
+            .run(&exec, &spec, &mut rng)
+            .unwrap();
         assert!(result.chain.iter().all(|s| s.log_model.is_finite()));
         assert!(result.chain.iter().all(|s| s.samples.len() == 1));
         assert!(result.posterior_expectation(|_| None).is_none());

@@ -197,7 +197,8 @@ impl VariationalInference {
                     plus[d] += self.config.fd_epsilon;
                     let mut minus = theta.clone();
                     minus[d] -= self.config.fd_epsilon;
-                    let lp = score_guide(executor, spec, &constrain(&plus, param_specs), trace, rng)?;
+                    let lp =
+                        score_guide(executor, spec, &constrain(&plus, param_specs), trace, rng)?;
                     let lm =
                         score_guide(executor, spec, &constrain(&minus, param_specs), trace, rng)?;
                     if lp.is_finite() && lm.is_finite() {
@@ -327,11 +328,7 @@ mod tests {
     #[test]
     fn vi_learns_the_conjugate_posterior() {
         let (model, guide) = weight_model();
-        let exec = JointExecutor::new(
-            &model,
-            &guide,
-            example_observations(&[9.0, 9.0]),
-        );
+        let exec = JointExecutor::new(&model, &guide, example_observations(&[9.0, 9.0]));
         let spec = JointSpec::new("WeightModel", "WeightGuide");
         let params = [
             ParamSpec::unconstrained("mu", 2.0),
@@ -380,7 +377,8 @@ mod tests {
             let h = (hi - lo) / n as f64;
             for i in 0..n {
                 let w = lo + (i as f64 + 0.5) * h;
-                let prior = (-0.5 * (w - 2.0_f64).powi(2)).exp() / (2.0 * std::f64::consts::PI).sqrt();
+                let prior =
+                    (-0.5 * (w - 2.0_f64).powi(2)).exp() / (2.0 * std::f64::consts::PI).sqrt();
                 let lik = |y: f64| {
                     (-0.5 * ((y - w) / 0.75_f64).powi(2)).exp()
                         / (0.75 * (2.0 * std::f64::consts::PI).sqrt())
@@ -389,8 +387,14 @@ mod tests {
             }
             acc.ln()
         };
-        assert!(elbo <= log_evidence + 0.05, "elbo {elbo} evidence {log_evidence}");
-        assert!(elbo >= log_evidence - 1.0, "elbo {elbo} evidence {log_evidence}");
+        assert!(
+            elbo <= log_evidence + 0.05,
+            "elbo {elbo} evidence {log_evidence}"
+        );
+        assert!(
+            elbo >= log_evidence - 1.0,
+            "elbo {elbo} evidence {log_evidence}"
+        );
     }
 
     #[test]

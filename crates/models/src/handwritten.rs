@@ -51,13 +51,19 @@ pub fn ex1_particle(rng: &mut Pcg32, obs: &[Sample]) -> (f64, f64) {
     let mut log_g = guide_x.log_density_f64(x);
     let mut log_m = prior_x.log_density_f64(x);
     if x < 2.0 {
-        log_m += Distribution::normal(-1.0, 1.0).expect("params").log_density_f64(z);
+        log_m += Distribution::normal(-1.0, 1.0)
+            .expect("params")
+            .log_density_f64(z);
     } else {
         let guide_y = Distribution::uniform();
         let y = guide_y.sample(rng);
         log_g += guide_y.log_density_f64(y);
-        log_m += Distribution::beta(3.0, 1.0).expect("params").log_density_f64(y)
-            + Distribution::normal(y, 1.0).expect("params").log_density_f64(z);
+        log_m += Distribution::beta(3.0, 1.0)
+            .expect("params")
+            .log_density_f64(y)
+            + Distribution::normal(y, 1.0)
+                .expect("params")
+                .log_density_f64(z);
     }
     (x, log_m - log_g)
 }
@@ -79,12 +85,11 @@ pub fn branching_particle(rng: &mut Pcg32, obs: &[Sample]) -> (f64, f64) {
     let count_n = count.as_nat().expect("geometric draws naturals");
     let mut log_g = guide_count.log_density(&count);
     let mut log_m = prior_count.log_density(&count);
-    let stat;
-    if count_n < 4 {
+    let stat = if count_n < 4 {
         log_m += Distribution::normal(count_n as f64, 1.0)
             .expect("params")
             .log_density_f64(y);
-        stat = count_n as f64;
+        count_n as f64
     } else {
         let guide_extra = Distribution::poisson(5.0).expect("params");
         let prior_extra = Distribution::poisson(4.0).expect("params");
@@ -95,8 +100,8 @@ pub fn branching_particle(rng: &mut Pcg32, obs: &[Sample]) -> (f64, f64) {
         log_m += Distribution::normal(total as f64, 1.0)
             .expect("params")
             .log_density_f64(y);
-        stat = count_n as f64;
-    }
+        count_n as f64
+    };
     (stat, log_m - log_g)
 }
 
@@ -157,7 +162,9 @@ fn weight_log_guide(latents: &[f64], params: &[f64]) -> f64 {
 
 fn weight_log_joint(latents: &[f64], obs: &[Sample]) -> f64 {
     let w = latents[0];
-    let mut lp = Distribution::normal(2.0, 1.0).expect("params").log_density_f64(w);
+    let mut lp = Distribution::normal(2.0, 1.0)
+        .expect("params")
+        .log_density_f64(w);
     for o in obs {
         lp += Distribution::normal(w, 0.75)
             .expect("params")
@@ -183,7 +190,10 @@ fn vae_sample_guide(rng: &mut Pcg32, params: &[f64]) -> (Vec<f64>, f64) {
     let d2 = Distribution::normal(params[2], params[3].max(1e-6)).expect("params");
     let z1 = d1.sample(rng);
     let z2 = d2.sample(rng);
-    (vec![z1, z2], d1.log_density_f64(z1) + d2.log_density_f64(z2))
+    (
+        vec![z1, z2],
+        d1.log_density_f64(z1) + d2.log_density_f64(z2),
+    )
 }
 
 fn vae_log_guide(latents: &[f64], params: &[f64]) -> f64 {

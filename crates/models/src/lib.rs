@@ -529,13 +529,9 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: model type error: {e}", b.name));
             let genv = infer_program(&guide)
                 .unwrap_or_else(|e| panic!("{}: guide type error: {e}", b.name));
-            let compat = check_model_guide(
-                &menv,
-                &b.model_proc.into(),
-                &genv,
-                &b.guide_proc.into(),
-            )
-            .unwrap_or_else(|e| panic!("{}: compatibility error: {e}", b.name));
+            let compat =
+                check_model_guide(&menv, &b.model_proc.into(), &genv, &b.guide_proc.into())
+                    .unwrap_or_else(|e| panic!("{}: compatibility error: {e}", b.name));
             assert!(compat.compatible, "{}: incompatible guide type", b.name);
             assert!(compat.model_branch_free, "{}: branch-freeness", b.name);
             assert!(b.model_loc() > 3, "{}", b.name);
@@ -565,7 +561,9 @@ mod tests {
         for (name, expect_ours, expect_tracetypes) in expected {
             let b = benchmark(name).unwrap();
             let ours = b.expressible
-                && b.parsed_model().unwrap().map_or(false, |m| infer_program(&m).is_ok());
+                && b.parsed_model()
+                    .unwrap()
+                    .is_some_and(|m| infer_program(&m).is_ok());
             assert_eq!(ours, expect_ours, "{name}: T? column");
             let tp = if !b.expressible {
                 false
@@ -605,7 +603,14 @@ mod tests {
         use ppl_dist::rng::Pcg32;
         use ppl_inference::ImportanceSampler;
         use ppl_runtime::{JointExecutor, JointSpec};
-        for name in ["ex-1", "branching", "coin", "normal-normal", "geometric", "gmm"] {
+        for name in [
+            "ex-1",
+            "branching",
+            "coin",
+            "normal-normal",
+            "geometric",
+            "gmm",
+        ] {
             let b = benchmark(name).unwrap();
             let model = b.parsed_model().unwrap().unwrap();
             let guide = b.parsed_guide().unwrap().unwrap();

@@ -221,12 +221,7 @@ impl<'p> Coroutine<'p> {
                 args.len()
             )));
         }
-        let env = Env::from_bindings(
-            proc.params
-                .iter()
-                .map(|(x, _)| x.clone())
-                .zip(args.into_iter()),
-        );
+        let env = Env::from_bindings(proc.params.iter().map(|(x, _)| x.clone()).zip(args));
         Ok(Coroutine {
             program,
             frames: Vec::new(),
@@ -363,12 +358,7 @@ impl<'p> Coroutine<'p> {
             channels: self.channels.clone(),
         });
         self.channels = ProcChannels::of(proc);
-        let env = Env::from_bindings(
-            proc.params
-                .iter()
-                .map(|(x, _)| x.clone())
-                .zip(args.into_iter()),
-        );
+        let env = Env::from_bindings(proc.params.iter().map(|(x, _)| x.clone()).zip(args));
         self.control = Control::Run {
             cmd: proc.body.clone(),
             env,
@@ -426,10 +416,10 @@ impl<'p> Coroutine<'p> {
                         self.control = Control::Run { cmd: *first, env };
                     }
                     Cmd::Call { proc, args } => {
-                        let arg_values = args
-                            .iter()
-                            .map(|a| eval_expr(&env, a))
-                            .collect::<Result<Vec<_>, _>>()?;
+                        let arg_values =
+                            args.iter()
+                                .map(|a| eval_expr(&env, a))
+                                .collect::<Result<Vec<_>, _>>()?;
                         let callee = self
                             .program
                             .proc(&proc)
@@ -575,10 +565,7 @@ mod tests {
         }
         // Resume with a concrete value; next it waits for the selection.
         let step = co.resume(Resume::Sample(Sample::Real(3.0))).unwrap();
-        assert!(matches!(
-            step,
-            Step::Suspended(Suspend::BranchRecv { .. })
-        ));
+        assert!(matches!(step, Step::Suspended(Suspend::BranchRecv { .. })));
         // Take the else branch: one more sample send, then done.
         let step = co.resume(Resume::Branch(false)).unwrap();
         match &step {
@@ -647,7 +634,10 @@ mod tests {
             Step::Suspended(Suspend::CallMarker { chan }) => chan.clone(),
             other => panic!("unexpected {other:?}"),
         };
-        let mut chans = vec![first_chan.as_str().to_string(), second_chan.as_str().to_string()];
+        let mut chans = vec![
+            first_chan.as_str().to_string(),
+            second_chan.as_str().to_string(),
+        ];
         chans.sort();
         assert_eq!(chans, vec!["latent".to_string(), "obs".to_string()]);
         // After both markers the callee body runs.

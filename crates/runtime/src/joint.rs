@@ -217,13 +217,14 @@ impl<'p> JointExecutor<'p> {
                 if susp.channel() == &spec.obs_chan {
                     match susp.clone() {
                         Suspend::SampleSend { .. } => {
-                            let value = self.observations.get(obs_used).copied().ok_or_else(|| {
-                                RuntimeError::ObservationMismatch(format!(
+                            let value =
+                                self.observations.get(obs_used).copied().ok_or_else(|| {
+                                    RuntimeError::ObservationMismatch(format!(
                                     "the model requested observation #{} but only {} were supplied",
                                     obs_used + 1,
                                     self.observations.len()
                                 ))
-                            })?;
+                                })?;
                             obs_used += 1;
                             model_step = model.resume(Resume::Sample(value))?;
                         }
@@ -264,10 +265,9 @@ impl<'p> JointExecutor<'p> {
 
             match (model_susp, guide_susp) {
                 // Guide sends a latent sample; model receives it.
-                (
-                    Suspend::SampleRecv { chan: mc, .. },
-                    Suspend::SampleSend { chan: gc, dist },
-                ) if mc == spec.latent_chan && gc == spec.latent_chan => {
+                (Suspend::SampleRecv { chan: mc, .. }, Suspend::SampleSend { chan: gc, dist })
+                    if mc == spec.latent_chan && gc == spec.latent_chan =>
+                {
                     let value = if replaying {
                         replay_values.pop().ok_or(RuntimeError::ReplayExhausted)?
                     } else {
@@ -279,10 +279,9 @@ impl<'p> JointExecutor<'p> {
                 }
                 // Model sends a latent sample; guide receives it (dual
                 // direction, `τ ⊃ A`).
-                (
-                    Suspend::SampleSend { chan: mc, dist },
-                    Suspend::SampleRecv { chan: gc, .. },
-                ) if mc == spec.latent_chan && gc == spec.latent_chan => {
+                (Suspend::SampleSend { chan: mc, dist }, Suspend::SampleRecv { chan: gc, .. })
+                    if mc == spec.latent_chan && gc == spec.latent_chan =>
+                {
                     let value = if replaying {
                         replay_values.pop().ok_or(RuntimeError::ReplayExhausted)?
                     } else {
@@ -427,7 +426,9 @@ mod tests {
             let mut expect_g = Distribution::gamma(1.0, 1.0).unwrap().log_density_f64(x);
             let mut expect_m = Distribution::gamma(2.0, 1.0).unwrap().log_density_f64(x);
             if x < 2.0 {
-                expect_m += Distribution::normal(-1.0, 1.0).unwrap().log_density_f64(0.8);
+                expect_m += Distribution::normal(-1.0, 1.0)
+                    .unwrap()
+                    .log_density_f64(0.8);
                 assert_eq!(samples.len(), 1);
             } else {
                 let y = samples[1].as_f64();
@@ -531,11 +532,7 @@ mod tests {
             Err(RuntimeError::ObservationMismatch(_))
         ));
         // Too many observations.
-        let exec = JointExecutor::new(
-            &model,
-            &guide,
-            vec![Sample::Real(0.8), Sample::Real(0.9)],
-        );
+        let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.8), Sample::Real(0.9)]);
         assert!(matches!(
             exec.run(&spec, LatentSource::FromGuide, &mut rng),
             Err(RuntimeError::ObservationMismatch(_))

@@ -323,13 +323,7 @@ impl<'a> Evaluator<'a> {
         );
         let mut a_cursor = consumed_trace.cursor();
         let mut b_cursor = provided_trace.cursor();
-        let result = self.eval_cmd(
-            proc,
-            &env,
-            &proc.body,
-            &mut a_cursor,
-            &mut b_cursor,
-        )?;
+        let result = self.eval_cmd(proc, &env, &proc.body, &mut a_cursor, &mut b_cursor)?;
         if !a_cursor.is_exhausted() || !b_cursor.is_exhausted() {
             return Err(EvalError::Stuck(format!(
                 "trailing guidance messages: {} left on the consumed channel, {} on the provided channel",
@@ -417,7 +411,13 @@ impl<'a> Evaluator<'a> {
                         .map(|(x, _)| x.clone())
                         .zip(arg_values),
                 );
-                self.eval_cmd(callee_proc, &callee_env, &callee_proc.body, a_cursor, b_cursor)
+                self.eval_cmd(
+                    callee_proc,
+                    &callee_env,
+                    &callee_proc.body,
+                    a_cursor,
+                    b_cursor,
+                )
             }
             Cmd::Sample { dir, chan, dist } => {
                 let d = match eval_expr(env, dist)? {
@@ -506,8 +506,8 @@ impl<'a> Evaluator<'a> {
                 })?;
                 // Which message kind carries the selection depends on who
                 // sends it: the provider (`dirP`) or the consumer (`dirC`).
-                let provider_sends = (on_consumed && *dir == Dir::Recv)
-                    || (!on_consumed && *dir == Dir::Send);
+                let provider_sends =
+                    (on_consumed && *dir == Dir::Recv) || (!on_consumed && *dir == Dir::Send);
                 let selection = match (msg, provider_sends) {
                     (Message::DirP(v), true) | (Message::DirC(v), false) => v,
                     (other, _) => {
@@ -614,7 +614,9 @@ mod tests {
         assert_eq!(result.value, Value::Real(1.0));
         // log w = log Gamma(2,1).pdf(1) + log Normal(-1,1).pdf(0.8)
         let expected = Distribution::gamma(2.0, 1.0).unwrap().log_density_f64(1.0)
-            + Distribution::normal(-1.0, 1.0).unwrap().log_density_f64(0.8);
+            + Distribution::normal(-1.0, 1.0)
+                .unwrap()
+                .log_density_f64(0.8);
         assert!((result.log_weight - expected).abs() < 1e-12);
     }
 
@@ -820,7 +822,12 @@ mod tests {
             Err(EvalError::UnknownProc(_))
         ));
         assert!(matches!(
-            ev.run_proc(&"Model".into(), &[Value::Real(1.0)], &Trace::new(), &Trace::new()),
+            ev.run_proc(
+                &"Model".into(),
+                &[Value::Real(1.0)],
+                &Trace::new(),
+                &Trace::new()
+            ),
             Err(EvalError::Dynamic(_))
         ));
     }

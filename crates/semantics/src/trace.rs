@@ -219,7 +219,10 @@ mod tests {
             Message::ValP(Sample::Real(0.5)),
         ]);
         let t2 = t.with_provider_sample(1, Sample::Real(0.9)).unwrap();
-        assert_eq!(t2.provider_samples(), vec![Sample::Real(1.0), Sample::Real(0.9)]);
+        assert_eq!(
+            t2.provider_samples(),
+            vec![Sample::Real(1.0), Sample::Real(0.9)]
+        );
         assert!(t.with_provider_sample(2, Sample::Real(0.0)).is_none());
     }
 

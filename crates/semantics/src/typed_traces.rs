@@ -25,16 +25,14 @@ pub fn sample_has_type(s: &Sample, ty: &BaseType) -> bool {
 ///
 /// Closed guide types only (free type variables make the judgment false).
 pub fn trace_has_type(defs: &TypeDefs, trace: &Trace, ty: &GuideType) -> bool {
-    matches(defs, trace.messages(), ty).map(|rest| rest.is_empty()).unwrap_or(false)
+    matches(defs, trace.messages(), ty)
+        .map(|rest| rest.is_empty())
+        .unwrap_or(false)
 }
 
 /// Attempts to consume a prefix of `msgs` according to `ty`, returning the
 /// remaining suffix on success.
-fn matches<'m>(
-    defs: &TypeDefs,
-    msgs: &'m [Message],
-    ty: &GuideType,
-) -> Option<&'m [Message]> {
+fn matches<'m>(defs: &TypeDefs, msgs: &'m [Message], ty: &GuideType) -> Option<&'m [Message]> {
     match ty {
         GuideType::End => Some(msgs),
         GuideType::Var(_) => None,
@@ -169,10 +167,8 @@ mod tests {
     #[test]
     fn trace_typing_accepts_both_branches() {
         let defs = TypeDefs::new();
-        let then_trace = Trace::from_messages(vec![
-            Message::ValP(Sample::Real(1.0)),
-            Message::DirC(true),
-        ]);
+        let then_trace =
+            Trace::from_messages(vec![Message::ValP(Sample::Real(1.0)), Message::DirC(true)]);
         let else_trace = Trace::from_messages(vec![
             Message::ValP(Sample::Real(3.0)),
             Message::DirC(false),
@@ -187,15 +183,11 @@ mod tests {
         let defs = TypeDefs::new();
         let ty = fig5_latent();
         // Value outside ℝ+.
-        let bad_value = Trace::from_messages(vec![
-            Message::ValP(Sample::Real(-1.0)),
-            Message::DirC(true),
-        ]);
+        let bad_value =
+            Trace::from_messages(vec![Message::ValP(Sample::Real(-1.0)), Message::DirC(true)]);
         // Missing the ℝ(0,1) sample in the else branch.
-        let missing = Trace::from_messages(vec![
-            Message::ValP(Sample::Real(3.0)),
-            Message::DirC(false),
-        ]);
+        let missing =
+            Trace::from_messages(vec![Message::ValP(Sample::Real(3.0)), Message::DirC(false)]);
         // Extra trailing message.
         let extra = Trace::from_messages(vec![
             Message::ValP(Sample::Real(1.0)),
@@ -203,10 +195,8 @@ mod tests {
             Message::Fold,
         ]);
         // Wrong message kind (provider direction instead of consumer).
-        let wrong_dir = Trace::from_messages(vec![
-            Message::ValP(Sample::Real(1.0)),
-            Message::DirP(true),
-        ]);
+        let wrong_dir =
+            Trace::from_messages(vec![Message::ValP(Sample::Real(1.0)), Message::DirP(true)]);
         for t in [bad_value, missing, extra, wrong_dir] {
             assert!(!trace_has_type(&defs, &t, &ty), "{t}");
         }
@@ -236,10 +226,8 @@ mod tests {
             Message::DirC(true),
         ]);
         assert!(trace_has_type(&defs, &t, &ty));
-        let missing_fold = Trace::from_messages(vec![
-            Message::ValP(Sample::Real(0.9)),
-            Message::DirC(true),
-        ]);
+        let missing_fold =
+            Trace::from_messages(vec![Message::ValP(Sample::Real(0.9)), Message::DirC(true)]);
         assert!(!trace_has_type(&defs, &missing_fold, &ty));
     }
 
@@ -301,7 +289,10 @@ mod tests {
     #[test]
     fn sample_typing() {
         assert!(sample_has_type(&Sample::Real(0.5), &BaseType::UnitInterval));
-        assert!(!sample_has_type(&Sample::Real(1.5), &BaseType::UnitInterval));
+        assert!(!sample_has_type(
+            &Sample::Real(1.5),
+            &BaseType::UnitInterval
+        ));
         assert!(sample_has_type(&Sample::Nat(2), &BaseType::FinNat(3)));
         assert!(!sample_has_type(&Sample::Bool(true), &BaseType::Real));
         assert!(!sample_has_type(&Sample::Real(1.0), &BaseType::Unit));

@@ -217,7 +217,9 @@ mod tests {
         assert!(Value::Nat(100).has_type(&BaseType::Nat));
         assert!(Value::Unit.has_type(&BaseType::Unit));
         assert!(Value::Bool(false).has_type(&BaseType::Bool));
-        assert!(Value::Dist(Distribution::uniform()).has_type(&BaseType::dist(BaseType::UnitInterval)));
+        assert!(
+            Value::Dist(Distribution::uniform()).has_type(&BaseType::dist(BaseType::UnitInterval))
+        );
         assert!(!Value::Dist(Distribution::uniform()).has_type(&BaseType::dist(BaseType::Real)));
     }
 
@@ -229,7 +231,8 @@ mod tests {
         assert!(env.lookup(&"x".into()).is_none());
         assert_eq!(env2.lookup(&"x".into()), Some(&Value::Real(1.0)));
         assert_eq!(env2.len(), 1);
-        let env3 = Env::from_bindings([("a".into(), Value::Nat(1)), ("b".into(), Value::Bool(true))]);
+        let env3 =
+            Env::from_bindings([("a".into(), Value::Nat(1)), ("b".into(), Value::Bool(true))]);
         assert_eq!(env3.len(), 2);
     }
 }

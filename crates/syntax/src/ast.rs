@@ -164,7 +164,10 @@ impl BinOp {
 
     /// True for comparison operators (result type `𝟚`).
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq
+        )
     }
 
     /// True for Boolean connectives.
@@ -565,7 +568,10 @@ mod tests {
 
     #[test]
     fn base_type_display() {
-        assert_eq!(BaseType::dist(BaseType::UnitInterval).to_string(), "dist(ureal)");
+        assert_eq!(
+            BaseType::dist(BaseType::UnitInterval).to_string(),
+            "dist(ureal)"
+        );
         assert_eq!(
             BaseType::arrow(BaseType::Nat, BaseType::Bool).to_string(),
             "(nat -> bool)"

@@ -125,7 +125,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -187,7 +191,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                     col += 1;
                 }
-                if i < chars.len() && chars[i] == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && i + 1 < chars.len()
+                    && chars[i + 1].is_ascii_digit()
                 {
                     is_real = true;
                     i += 1;
@@ -214,17 +221,16 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     }
                 }
                 let text: String = chars[start..i].iter().collect();
-                let token = if is_real {
-                    Token::Real(
-                        text.parse::<f64>()
-                            .map_err(|e| err(format!("bad real literal {text}: {e}"), tline, tcol))?,
-                    )
-                } else {
-                    Token::Nat(
-                        text.parse::<u64>()
-                            .map_err(|e| err(format!("bad integer literal {text}: {e}"), tline, tcol))?,
-                    )
-                };
+                let token =
+                    if is_real {
+                        Token::Real(text.parse::<f64>().map_err(|e| {
+                            err(format!("bad real literal {text}: {e}"), tline, tcol)
+                        })?)
+                    } else {
+                        Token::Nat(text.parse::<u64>().map_err(|e| {
+                            err(format!("bad integer literal {text}: {e}"), tline, tcol)
+                        })?)
+                    };
                 tokens.push(Spanned {
                     token,
                     line: tline,

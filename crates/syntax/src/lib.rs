@@ -28,8 +28,6 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 
-pub use ast::{
-    BaseType, BinOp, ChannelName, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp,
-};
+pub use ast::{BaseType, BinOp, ChannelName, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp};
 pub use lexer::{lex, LexError, Token};
 pub use parser::{parse_expr, parse_program, ParseError};

@@ -34,7 +34,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -91,8 +95,8 @@ struct Parser {
 
 const KEYWORDS: &[&str] = &[
     "proc", "consume", "provide", "let", "in", "return", "sample", "send", "recv", "call", "if",
-    "else", "then", "fn", "true", "false", "unit", "bool", "ureal", "preal", "real", "nat",
-    "dist", "exp", "ln", "sqrt", "Ber", "Unif", "Beta", "Gamma", "Normal", "Cat", "Geo", "Pois",
+    "else", "then", "fn", "true", "false", "unit", "bool", "ureal", "preal", "real", "nat", "dist",
+    "exp", "ln", "sqrt", "Ber", "Unif", "Beta", "Gamma", "Normal", "Cat", "Geo", "Pois",
 ];
 
 impl Parser {
@@ -395,7 +399,10 @@ impl Parser {
             self.advance();
             Ok(Dir::Recv)
         } else {
-            Err(self.error(format!("expected 'send' or 'recv', found '{}'", self.peek())))
+            Err(self.error(format!(
+                "expected 'send' or 'recv', found '{}'",
+                self.peek()
+            )))
         }
     }
 
@@ -581,7 +588,9 @@ impl Parser {
                 }
                 "Ber" => {
                     self.advance();
-                    Ok(Expr::Dist(DistExpr::Bernoulli(Box::new(self.dist_one_arg()?))))
+                    Ok(Expr::Dist(DistExpr::Bernoulli(Box::new(
+                        self.dist_one_arg()?,
+                    ))))
                 }
                 "Unif" => {
                     self.advance();
@@ -619,11 +628,15 @@ impl Parser {
                 }
                 "Geo" => {
                     self.advance();
-                    Ok(Expr::Dist(DistExpr::Geometric(Box::new(self.dist_one_arg()?))))
+                    Ok(Expr::Dist(DistExpr::Geometric(Box::new(
+                        self.dist_one_arg()?,
+                    ))))
                 }
                 "Pois" => {
                     self.advance();
-                    Ok(Expr::Dist(DistExpr::Poisson(Box::new(self.dist_one_arg()?))))
+                    Ok(Expr::Dist(DistExpr::Poisson(Box::new(
+                        self.dist_one_arg()?,
+                    ))))
                 }
                 _ => {
                     let name = self.ident()?;

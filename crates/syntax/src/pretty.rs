@@ -64,9 +64,9 @@ pub fn print_cmd(cmd: &Cmd, level: usize, out: &mut String) {
         Cmd::Bind { var, first, rest } => {
             indent(level, out);
             if var.as_str() == "_" {
-                let _ = write!(out, "{};\n", print_cmd_inline(first, level));
+                let _ = writeln!(out, "{};", print_cmd_inline(first, level));
             } else {
-                let _ = write!(out, "let {var} <- {};\n", print_cmd_inline(first, level));
+                let _ = writeln!(out, "let {var} <- {};", print_cmd_inline(first, level));
             }
             print_cmd(rest, level, out);
         }
@@ -89,10 +89,10 @@ pub fn print_cmd(cmd: &Cmd, level: usize, out: &mut String) {
             indent(level, out);
             match (dir, pred) {
                 (Dir::Send, Some(p)) => {
-                    let _ = write!(out, "if send {chan} ({}) {{\n", print_expr(p));
+                    let _ = writeln!(out, "if send {chan} ({}) {{", print_expr(p));
                 }
                 _ => {
-                    let _ = write!(out, "if recv {chan} {{\n");
+                    let _ = writeln!(out, "if recv {chan} {{");
                 }
             }
             print_cmd(then_cmd, level + 1, out);
@@ -209,8 +209,8 @@ mod tests {
     fn round_trip_fig5() {
         let prog = parse_program(FIG5).unwrap();
         let printed = print_program(&prog);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         assert_eq!(prog, reparsed);
     }
 
@@ -231,8 +231,8 @@ mod tests {
         "#;
         let prog = parse_program(src).unwrap();
         let printed = print_program(&prog);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         assert_eq!(prog, reparsed);
     }
 
@@ -250,7 +250,7 @@ mod tests {
     fn loc_counts_nonblank_lines() {
         let prog = parse_program(FIG5).unwrap();
         let n = loc(&prog);
-        assert!(n >= 15 && n <= 30, "loc {n}");
+        assert!((15..=30).contains(&n), "loc {n}");
     }
 
     #[test]
@@ -264,8 +264,8 @@ mod tests {
         "#;
         let prog = parse_program(src).unwrap();
         let printed = print_program(&prog);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         assert_eq!(prog, reparsed);
     }
 }

@@ -89,7 +89,10 @@ impl fmt::Display for Unsupported {
                 write!(f, "a conditional determines the set of samples: {detail}")
             }
             Unsupported::Recursion { proc } => {
-                write!(f, "general recursion (via '{proc}') is not supported by trace types")
+                write!(
+                    f,
+                    "general recursion (via '{proc}') is not supported by trace types"
+                )
             }
             Unsupported::IllTyped(m) => write!(f, "ill-typed program: {m}"),
             Unsupported::OutOfScope(m) => write!(f, "out of scope: {m}"),
@@ -180,9 +183,9 @@ fn trace_type_of_cmd(
                     proc: callee.to_string(),
                 });
             }
-            let callee_proc = program.proc(callee).ok_or_else(|| {
-                Unsupported::IllTyped(format!("unknown procedure '{callee}'"))
-            })?;
+            let callee_proc = program
+                .proc(callee)
+                .ok_or_else(|| Unsupported::IllTyped(format!("unknown procedure '{callee}'")))?;
             if callee_proc.params.len() != args.len() {
                 return Err(Unsupported::IllTyped(format!(
                     "arity mismatch calling '{callee}'"
@@ -344,11 +347,11 @@ mod tests {
         assert!(u.to_string().contains("out of scope"));
         let r = Unsupported::Recursion { proc: "F".into() };
         assert!(r.to_string().contains("recursion"));
-        let b = Unsupported::BranchDependentSupport {
-            detail: "x".into(),
-        };
+        let b = Unsupported::BranchDependentSupport { detail: "x".into() };
         assert!(b.to_string().contains("conditional"));
-        assert!(Unsupported::IllTyped("m".into()).to_string().contains("ill-typed"));
+        assert!(Unsupported::IllTyped("m".into())
+            .to_string()
+            .contains("ill-typed"));
         assert!(TraceType::default().is_empty());
     }
 }

@@ -265,7 +265,9 @@ fn infer_unop(ctx: &TypingCtx, op: UnOp, a: &Expr) -> Result<BaseType, TypeError
             if ta.is_real_like() {
                 Ok(BaseType::Real)
             } else {
-                Err(TypeError::new(format!("ln requires a real argument, found {ta}")))
+                Err(TypeError::new(format!(
+                    "ln requires a real argument, found {ta}"
+                )))
             }
         }
         UnOp::Sqrt => {
@@ -380,8 +382,14 @@ mod tests {
             join(&BaseType::UnitInterval, &BaseType::PosReal),
             Some(BaseType::PosReal)
         );
-        assert_eq!(join(&BaseType::Real, &BaseType::UnitInterval), Some(BaseType::Real));
-        assert_eq!(join(&BaseType::FinNat(2), &BaseType::FinNat(4)), Some(BaseType::FinNat(4)));
+        assert_eq!(
+            join(&BaseType::Real, &BaseType::UnitInterval),
+            Some(BaseType::Real)
+        );
+        assert_eq!(
+            join(&BaseType::FinNat(2), &BaseType::FinNat(4)),
+            Some(BaseType::FinNat(4))
+        );
         assert_eq!(join(&BaseType::Bool, &BaseType::Real), None);
     }
 
@@ -437,7 +445,10 @@ mod tests {
 
     #[test]
     fn conditional_expressions_join() {
-        assert_eq!(infer("if true then 0.5 else 3.0").unwrap(), BaseType::PosReal);
+        assert_eq!(
+            infer("if true then 0.5 else 3.0").unwrap(),
+            BaseType::PosReal
+        );
         assert_eq!(infer("if true then 0.5 else -1.0").unwrap(), BaseType::Real);
         assert!(infer("if 1.0 then 0.5 else 0.2").is_err());
         assert!(infer("if true then 0.5 else false").is_err());
@@ -459,18 +470,27 @@ mod tests {
 
     #[test]
     fn let_bindings_and_variables() {
-        assert_eq!(infer("let x = 0.5 in x * x").unwrap(), BaseType::UnitInterval);
+        assert_eq!(
+            infer("let x = 0.5 in x * x").unwrap(),
+            BaseType::UnitInterval
+        );
         assert!(infer("y + 1.0").is_err());
         assert_eq!(
-            infer_with("p * u", &[("p", BaseType::UnitInterval), ("u", BaseType::UnitInterval)])
-                .unwrap(),
+            infer_with(
+                "p * u",
+                &[("p", BaseType::UnitInterval), ("u", BaseType::UnitInterval)]
+            )
+            .unwrap(),
             BaseType::UnitInterval
         );
     }
 
     #[test]
     fn distribution_types() {
-        assert_eq!(infer("Unif").unwrap(), BaseType::dist(BaseType::UnitInterval));
+        assert_eq!(
+            infer("Unif").unwrap(),
+            BaseType::dist(BaseType::UnitInterval)
+        );
         assert_eq!(
             infer("Gamma(2.0, 1.0)").unwrap(),
             BaseType::dist(BaseType::PosReal)

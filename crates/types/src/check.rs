@@ -553,13 +553,8 @@ mod tests {
             consumes: main.consumes.clone(),
             provides: main.provides.clone(),
         };
-        let typing = check_cmd(
-            &ctx,
-            &TypingCtx::new(),
-            &main.body,
-            &ChannelTypes::ended(),
-        )
-        .unwrap();
+        let typing =
+            check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended()).unwrap();
         // Expected: T_Helper_latent[ℝ ∧ 1]
         assert_eq!(
             typing.before.consumed,
@@ -593,8 +588,8 @@ mod tests {
             consumes: main.consumes.clone(),
             provides: main.provides.clone(),
         };
-        let err = check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended())
-            .unwrap_err();
+        let err =
+            check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended()).unwrap_err();
         assert!(err.message.contains("argument"), "{}", err.message);
     }
 
@@ -621,8 +616,8 @@ mod tests {
             consumes: main.consumes.clone(),
             provides: main.provides.clone(),
         };
-        let err = check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended())
-            .unwrap_err();
+        let err =
+            check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended()).unwrap_err();
         assert!(err.message.contains("consumes channel"), "{}", err.message);
     }
 
@@ -666,7 +661,13 @@ mod tests {
     #[test]
     fn expr_is_boolean_helper() {
         let gamma = TypingCtx::new();
-        assert!(expr_is_boolean(&gamma, &ppl_syntax::parse_expr("1.0 < 2.0").unwrap()));
-        assert!(!expr_is_boolean(&gamma, &ppl_syntax::parse_expr("1.0 + 2.0").unwrap()));
+        assert!(expr_is_boolean(
+            &gamma,
+            &ppl_syntax::parse_expr("1.0 < 2.0").unwrap()
+        ));
+        assert!(!expr_is_boolean(
+            &gamma,
+            &ppl_syntax::parse_expr("1.0 + 2.0").unwrap()
+        ));
     }
 }

@@ -80,7 +80,9 @@ impl GuideType {
                     GuideType::Var(x.clone())
                 }
             }
-            GuideType::App(op, a) => GuideType::App(op.clone(), Box::new(a.subst(var, replacement))),
+            GuideType::App(op, a) => {
+                GuideType::App(op.clone(), Box::new(a.subst(var, replacement)))
+            }
             GuideType::SendVal(t, a) => {
                 GuideType::SendVal(t.clone(), Box::new(a.subst(var, replacement)))
             }

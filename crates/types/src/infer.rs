@@ -95,14 +95,8 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
             provides: p.provides.clone(),
         };
         let gamma = TypingCtx::from_params(&p.params);
-        let cont_a_var = p
-            .consumes
-            .as_ref()
-            .map(|c| format!("X_{}_{}", p.name, c));
-        let cont_b_var = p
-            .provides
-            .as_ref()
-            .map(|c| format!("X_{}_{}", p.name, c));
+        let cont_a_var = p.consumes.as_ref().map(|c| format!("X_{}_{}", p.name, c));
+        let cont_b_var = p.provides.as_ref().map(|c| format!("X_{}_{}", p.name, c));
         let after = ChannelTypes {
             consumed: cont_a_var
                 .clone()
@@ -113,8 +107,8 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
                 .map(GuideType::Var)
                 .unwrap_or(GuideType::End),
         };
-        let typing = check_cmd(&ctx, &gamma, &p.body, &after)
-            .map_err(|e| e.in_proc(p.name.as_str()))?;
+        let typing =
+            check_cmd(&ctx, &gamma, &p.body, &after).map_err(|e| e.in_proc(p.name.as_str()))?;
         if !is_subtype(&typing.value_ty, &p.ret_ty) {
             return Err(TypeError::new(format!(
                 "body has value type {}, but the declared result type is {}",
@@ -300,8 +294,7 @@ mod tests {
     fn fig5_model_and_guide_are_compatible() {
         let model = infer_program(&parse_program(FIG5_MODEL).unwrap()).unwrap();
         let guide = infer_program(&parse_program(FIG5_GUIDE).unwrap()).unwrap();
-        let compat =
-            check_model_guide(&model, &"Model".into(), &guide, &"Guide1".into()).unwrap();
+        let compat = check_model_guide(&model, &"Model".into(), &guide, &"Guide1".into()).unwrap();
         assert!(compat.compatible, "{compat:?}");
         assert!(compat.model_branch_free);
         assert!(compat.model_obs.is_some());
@@ -368,7 +361,10 @@ mod tests {
         assert!(printed.contains("T_PcfgGen_latent["), "{printed}");
         // Pcfg's protocol: ℝ(0,1) ∧ T_PcfgGen_latent[X].
         let top = env.defs.get("T_Pcfg_latent").unwrap();
-        assert!(top.body.to_string().starts_with("ureal /\\ T_PcfgGen_latent["));
+        assert!(top
+            .body
+            .to_string()
+            .starts_with("ureal /\\ T_PcfgGen_latent["));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod guide;
 pub mod infer;
 
 pub use base::{check_expr, infer_expr, is_subtype, join, TypingCtx};
-pub use check::{base_type_of_cmd, check_cmd, ChannelTypes, CheckCtx, CmdTyping, ProcSignature, Sigma};
+pub use check::{
+    base_type_of_cmd, check_cmd, ChannelTypes, CheckCtx, CmdTyping, ProcSignature, Sigma,
+};
 pub use error::TypeError;
 pub use guide::{GuideType, TypeDef, TypeDefs};
 pub use infer::{check_model_guide, infer_program, Compatibility, TypeEnv};

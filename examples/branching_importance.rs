@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prior = Distribution::gamma(2.0, 1.0)?;
     println!("\n  x      prior   posterior");
     for (x, dens) in hist.centers().iter().zip(hist.densities()) {
-        println!("  {x:5.2}  {:6.3}  {dens:9.3}", prior.density(&Sample::Real(*x)));
+        println!(
+            "  {x:5.2}  {:6.3}  {dens:9.3}",
+            prior.density(&Sample::Real(*x))
+        );
     }
     Ok(())
 }

@@ -42,8 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|b| if b { 1.0 } else { 0.0 })
         })
         .expect("chain is non-empty");
-    let mean_prob = result.posterior_mean_of_sample(0).expect("chain is non-empty");
-    println!("acceptance rate              : {:.3}", result.acceptance_rate);
+    let mean_prob = result
+        .posterior_mean_of_sample(0)
+        .expect("chain is non-empty");
+    println!(
+        "acceptance rate              : {:.3}",
+        result.acceptance_rate
+    );
     println!("posterior P(is_outlier)      : {p_outlier:.3}");
     println!("posterior mean prob_outlier  : {mean_prob:.3}");
     Ok(())

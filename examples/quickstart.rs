@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Condition on y = 1.0 and approximate the posterior of x.
     let mut rng = Pcg32::seed_from_u64(2021);
     let posterior = session.importance_sampling(vec![Sample::Real(1.0)], 20_000, &mut rng)?;
-    let mean = posterior.posterior_mean_of_sample(0).expect("x is always sampled");
+    let mean = posterior
+        .posterior_mean_of_sample(0)
+        .expect("x is always sampled");
     println!("posterior mean  : {mean:.3}   (analytic answer: 0.500)");
     println!("effective sample size: {:.0}", posterior.ess);
     println!("log evidence    : {:.3}", posterior.log_evidence);

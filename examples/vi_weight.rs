@@ -28,9 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = Pcg32::seed_from_u64(11);
     let result = session.variational_inference(observations, &params, config, &mut rng)?;
 
-    println!("learned mu    = {:.3} (analytic posterior mean  ≈ 7.463)", result.param("mu").unwrap());
-    println!("learned sigma = {:.3} (analytic posterior stdev ≈ 0.469)", result.param("sigma").unwrap());
+    println!(
+        "learned mu    = {:.3} (analytic posterior mean  ≈ 7.463)",
+        result.param("mu").unwrap()
+    );
+    println!(
+        "learned sigma = {:.3} (analytic posterior stdev ≈ 0.469)",
+        result.param("sigma").unwrap()
+    );
     println!("final ELBO    = {:.3}", result.final_elbo());
-    println!("first ELBO    = {:.3}", result.elbo_trace.first().copied().unwrap_or(f64::NAN));
+    println!(
+        "first ELBO    = {:.3}",
+        result.elbo_trace.first().copied().unwrap_or(f64::NAN)
+    );
     Ok(())
 }

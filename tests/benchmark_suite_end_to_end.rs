@@ -62,7 +62,12 @@ fn variational_inference_runs_on_every_vi_benchmark() {
         // Positivity constraints are respected.
         for (value, spec) in result.params.iter().zip(&b.guide_params) {
             if spec.positive {
-                assert!(*value > 0.0, "{}: parameter {} went non-positive", b.name, spec.name);
+                assert!(
+                    *value > 0.0,
+                    "{}: parameter {} went non-positive",
+                    b.name,
+                    spec.name
+                );
             }
         }
     }
@@ -127,8 +132,9 @@ fn posterior_quality_spot_checks() {
     let result = session
         .importance_sampling(b.observations.clone(), 20_000, &mut rng)
         .unwrap();
-    let mean_n = result
-        .posterior_expectation(|p| p.model_value)
-        .unwrap();
-    assert!(mean_n > 0.5 && mean_n < 3.5, "geometric posterior mean {mean_n}");
+    let mean_n = result.posterior_expectation(|p| p.model_value).unwrap();
+    assert!(
+        mean_n > 0.5 && mean_n < 3.5,
+        "geometric posterior mean {mean_n}"
+    );
 }

@@ -129,8 +129,7 @@ fn every_expressible_benchmark_builds_a_session_and_compiles() {
         if !b.expressible {
             continue;
         }
-        let session = Session::from_benchmark(b.name)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let session = Session::from_benchmark(b.name).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let compiled = session.compile_to_pyro(Style::Coroutine);
         assert!(compiled.generated_loc > 10, "{}", b.name);
         assert!(
@@ -150,7 +149,10 @@ fn recursive_benchmarks_infer_recursive_operators() {
             .defs
             .iter()
             .any(|def| def.body.to_string().contains(&format!("{}[", def.name)));
-        assert!(has_recursive_def, "{name}: expected a recursive type operator");
+        assert!(
+            has_recursive_def,
+            "{name}: expected a recursive type operator"
+        );
     }
 }
 

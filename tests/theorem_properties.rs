@@ -14,11 +14,8 @@
 
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
-use ppl_semantics::{
-    generate_trace, trace_has_type, EvalError, Evaluator, GeneratorConfig, Trace,
-};
+use ppl_semantics::{generate_trace, trace_has_type, EvalError, Evaluator, GeneratorConfig, Trace};
 use ppl_types::infer_program;
-
 
 /// The latent protocol of a top-level run: the inferred operator
 /// instantiation `T[1]`, unfolded once (a top-level run does not consume a
@@ -33,7 +30,11 @@ fn top_level_protocol(env: &ppl_types::TypeEnv, ty: &ppl_types::GuideType) -> pp
 
 /// Builds (model program, guide program, benchmark) triples for a selection
 /// of benchmarks with non-trivial control flow.
-fn selected_benchmarks() -> Vec<(ppl_syntax::Program, ppl_syntax::Program, ppl_models::Benchmark)> {
+fn selected_benchmarks() -> Vec<(
+    ppl_syntax::Program,
+    ppl_syntax::Program,
+    ppl_models::Benchmark,
+)> {
     ["ex-1", "branching", "coin", "hmm", "geometric", "ex-2"]
         .iter()
         .map(|name| {
@@ -209,7 +210,10 @@ fn theorem_b8_reduction_iff_positive_weight() {
                 );
             }
             Err(EvalError::Stuck(_)) => {
-                assert!(red.is_err(), "stuck evaluation must also be stuck reduction");
+                assert!(
+                    red.is_err(),
+                    "stuck evaluation must also be stuck reduction"
+                );
             }
             Err(other) => panic!("unexpected error {other}"),
         }
@@ -265,5 +269,8 @@ fn incompatible_pair_violates_absolute_continuity_dynamically() {
             Err(other) => panic!("unexpected error {other}"),
         }
     }
-    assert!(bad > 50, "expected most runs to violate absolute continuity, got {bad}/100");
+    assert!(
+        bad > 50,
+        "expected most runs to violate absolute continuity, got {bad}/100"
+    );
 }
