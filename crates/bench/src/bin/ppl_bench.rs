@@ -1,0 +1,101 @@
+//! `ppl-bench` — the perf-tracking entry point of the benchmark harness.
+//!
+//! Measures particle throughput of the zero-copy execution core (1 vs N
+//! threads, verifying bit-identical results) and the wall time of each
+//! inference engine on a reference workload.
+//!
+//! ```text
+//! ppl-bench [--json [PATH]] [--particles N] [--threads N]
+//! ```
+//!
+//! Without flags the results are printed as a table.  With `--json`, a
+//! machine-readable report is also written to `PATH` (default
+//! `BENCH_inference.json`); CI runs this as a smoke step so the performance
+//! trajectory is tracked per commit.
+
+use ppl_bench::throughput::{bench_json, engine_timings, throughput_rows, ThroughputConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ThroughputConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next().unwrap(),
+                    _ => "BENCH_inference.json".to_string(),
+                };
+                json_path = Some(path);
+            }
+            "--particles" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.particles = n,
+                None => return usage("--particles expects a positive integer"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.threads = n,
+                None => return usage("--threads expects a positive integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.seed = n,
+                None => return usage("--seed expects an integer"),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    println!(
+        "particle throughput — {} particles, 1 vs {} threads (seed {})",
+        config.particles, config.threads, config.seed
+    );
+    let rows = throughput_rows(&config);
+    println!(
+        "{:<12} {:>14} {:>14} {:>9} {:>10} {:>14} {:>10}",
+        "benchmark", "1-thread p/s", "N-thread p/s", "speedup", "ess", "log-evidence", "identical"
+    );
+    let mut all_identical = true;
+    for r in &rows {
+        all_identical &= r.bit_identical;
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>8.2}x {:>10.1} {:>14.4} {:>10}",
+            r.name,
+            r.seq_particles_per_sec,
+            r.par_particles_per_sec,
+            r.speedup,
+            r.ess,
+            r.log_evidence,
+            r.bit_identical,
+        );
+    }
+
+    println!("\nengine wall times");
+    let engines = engine_timings(&config);
+    for e in &engines {
+        println!(
+            "{:<6} {:<10} {:>9.3}s   {} = {:.4}",
+            e.engine, e.benchmark, e.wall_seconds, e.metric, e.value
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = bench_json(&config, &rows, &engines);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    }
+
+    if !all_identical {
+        eprintln!("error: thread count changed inference results");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: ppl-bench [--json [PATH]] [--particles N] [--threads N] [--seed S]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,348 @@
+//! Particle-throughput measurement for the zero-copy execution core.
+//!
+//! The Table 2 harness measures end-to-end inference latency; this module
+//! measures the quantity the execution-core refactor optimises directly:
+//! **particles per second** through the joint coroutine executor, single
+//! threaded versus the parallel particle driver.  Because the driver gives
+//! particle `i` the RNG substream `master.split(i)`, both configurations
+//! produce bit-identical results — which every row re-verifies — so the
+//! speedup column is a pure scheduling win, not a different computation.
+//!
+//! [`bench_json`] serialises the rows (plus per-engine wall times) into the
+//! machine-readable `BENCH_inference.json` consumed by CI, so the perf
+//! trajectory of the runtime is tracked from commit to commit.
+
+use guide_ppl::Session;
+use ppl_dist::rng::Pcg32;
+use ppl_inference::{ImportanceSampler, IndependenceMh, ParamSpec, VariationalInference, ViConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Workload configuration for the throughput scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputConfig {
+    /// Importance-sampling particles per measurement.
+    pub particles: usize,
+    /// Worker threads for the parallel configuration.
+    pub threads: usize,
+    /// Master seed (shared by both configurations of each row).
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            particles: 20_000,
+            threads: 4,
+            seed: 2_026,
+        }
+    }
+}
+
+/// One benchmark's throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Benchmark name (Table 2 IS subset).
+    pub name: &'static str,
+    /// Particles drawn per configuration.
+    pub particles: usize,
+    /// Threads used by the parallel configuration.
+    pub threads: usize,
+    /// Wall time of the single-threaded run, in seconds.
+    pub seq_seconds: f64,
+    /// Wall time of the parallel run, in seconds.
+    pub par_seconds: f64,
+    /// Particles per second, single-threaded.
+    pub seq_particles_per_sec: f64,
+    /// Particles per second, parallel.
+    pub par_particles_per_sec: f64,
+    /// `par_particles_per_sec / seq_particles_per_sec`.
+    pub speedup: f64,
+    /// Effective sample size of the (identical) runs.
+    pub ess: f64,
+    /// Log-evidence estimate of the (identical) runs.
+    pub log_evidence: f64,
+    /// Whether the two configurations produced bit-identical results
+    /// (always expected to be `true`; recorded so CI can assert it).
+    pub bit_identical: bool,
+}
+
+/// Wall time of one engine on its reference workload.
+#[derive(Debug, Clone)]
+pub struct EngineTiming {
+    /// Engine abbreviation (`IS` / `VI` / `MCMC`).
+    pub engine: &'static str,
+    /// Benchmark the workload runs on.
+    pub benchmark: &'static str,
+    /// Wall time in seconds.
+    pub wall_seconds: f64,
+    /// Name of the quality metric recorded alongside the time.
+    pub metric: &'static str,
+    /// The metric's value.
+    pub value: f64,
+}
+
+/// Measures particles/sec (1 vs N threads) on the Table 2 IS benchmarks.
+pub fn throughput_rows(config: &ThroughputConfig) -> Vec<ThroughputRow> {
+    ppl_models::table2_benchmarks()
+        .into_iter()
+        .filter(|(_, kind)| *kind == ppl_models::InferenceKind::ImportanceSampling)
+        .map(|(name, _)| throughput_row(name, config))
+        .collect()
+}
+
+fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRow {
+    let session = Session::from_benchmark(name).expect("registered benchmark");
+    let b = ppl_models::benchmark(name).expect("registered benchmark");
+    let executor = session.executor(b.observations.clone());
+    let spec = session.spec();
+
+    let mut rng = Pcg32::seed_from_u64(config.seed);
+    let seq_start = Instant::now();
+    let seq = ImportanceSampler::new(config.particles)
+        .run(&executor, &spec, &mut rng)
+        .expect("sequential IS");
+    let seq_seconds = seq_start.elapsed().as_secs_f64();
+
+    let mut rng = Pcg32::seed_from_u64(config.seed);
+    let par_start = Instant::now();
+    let par = ImportanceSampler::new(config.particles)
+        .with_threads(config.threads)
+        .run(&executor, &spec, &mut rng)
+        .expect("parallel IS");
+    let par_seconds = par_start.elapsed().as_secs_f64();
+
+    let bit_identical =
+        seq.log_evidence.to_bits() == par.log_evidence.to_bits()
+            && seq.ess.to_bits() == par.ess.to_bits()
+            && seq.particles.iter().zip(&par.particles).all(|(a, b)| {
+                a.log_weight.to_bits() == b.log_weight.to_bits() && a.latent == b.latent
+            });
+
+    ThroughputRow {
+        name,
+        particles: config.particles,
+        threads: config.threads,
+        seq_seconds,
+        par_seconds,
+        seq_particles_per_sec: config.particles as f64 / seq_seconds,
+        par_particles_per_sec: config.particles as f64 / par_seconds,
+        speedup: seq_seconds / par_seconds,
+        ess: seq.ess,
+        log_evidence: seq.log_evidence,
+        bit_identical,
+    }
+}
+
+/// Times each inference engine once on a reference workload.
+pub fn engine_timings(config: &ThroughputConfig) -> Vec<EngineTiming> {
+    let mut out = Vec::new();
+
+    // IS on ex-1 (threads as configured).
+    {
+        let session = Session::from_benchmark("ex-1").expect("ex-1");
+        let b = ppl_models::benchmark("ex-1").expect("ex-1");
+        let executor = session.executor(b.observations.clone());
+        let mut rng = Pcg32::seed_from_u64(config.seed);
+        let start = Instant::now();
+        let result = ImportanceSampler::new(config.particles)
+            .with_threads(config.threads)
+            .run(&executor, &session.spec(), &mut rng)
+            .expect("IS");
+        out.push(EngineTiming {
+            engine: "IS",
+            benchmark: "ex-1",
+            wall_seconds: start.elapsed().as_secs_f64(),
+            metric: "ess",
+            value: result.ess,
+        });
+    }
+
+    // VI on weight (mini-batches through the same parallel driver).
+    {
+        let session = Session::from_benchmark("weight").expect("weight");
+        let b = ppl_models::benchmark("weight").expect("weight");
+        let executor = session.executor(b.observations.clone());
+        let params: Vec<ParamSpec> = b
+            .guide_params
+            .iter()
+            .map(|p| {
+                if p.positive {
+                    ParamSpec::positive(p.name, p.init)
+                } else {
+                    ParamSpec::unconstrained(p.name, p.init)
+                }
+            })
+            .collect();
+        let vi_config = ViConfig {
+            iterations: 60,
+            samples_per_iteration: 8,
+            num_threads: config.threads,
+            ..ViConfig::default()
+        };
+        let mut rng = Pcg32::seed_from_u64(config.seed);
+        let start = Instant::now();
+        let result = VariationalInference::new(vi_config)
+            .run(&executor, &session.spec(), &params, &mut rng)
+            .expect("VI");
+        out.push(EngineTiming {
+            engine: "VI",
+            benchmark: "weight",
+            wall_seconds: start.elapsed().as_secs_f64(),
+            metric: "final_elbo",
+            value: result.final_elbo(),
+        });
+    }
+
+    // MCMC on ex-1 (sequential chain over the borrowed-replay path).
+    {
+        let session = Session::from_benchmark("ex-1").expect("ex-1");
+        let b = ppl_models::benchmark("ex-1").expect("ex-1");
+        let executor = session.executor(b.observations.clone());
+        let iterations = (config.particles / 4).max(100);
+        let mut rng = Pcg32::seed_from_u64(config.seed);
+        let start = Instant::now();
+        let result = IndependenceMh::new(iterations, iterations / 10)
+            .run(&executor, &session.spec(), &mut rng)
+            .expect("MCMC");
+        out.push(EngineTiming {
+            engine: "MCMC",
+            benchmark: "ex-1",
+            wall_seconds: start.elapsed().as_secs_f64(),
+            metric: "acceptance_rate",
+            value: result.acceptance_rate,
+        });
+    }
+
+    out
+}
+
+/// Serialises the measurements as the `BENCH_inference.json` document.
+pub fn bench_json(
+    config: &ThroughputConfig,
+    rows: &[ThroughputRow],
+    engines: &[EngineTiming],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v1\",");
+    let _ = writeln!(s, "  \"particles\": {},", config.particles);
+    let _ = writeln!(s, "  \"threads\": {},", config.threads);
+    let _ = writeln!(s, "  \"seed\": {},", config.seed);
+    // Provenance: parallel speedups are only meaningful relative to the
+    // cores the measuring host actually had.
+    let _ = writeln!(
+        s,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    s.push_str("  \"throughput\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"algorithm\": \"IS\", \"particles\": {}, \"threads\": {}, \
+             \"seq_seconds\": {}, \"par_seconds\": {}, \"seq_particles_per_sec\": {}, \
+             \"par_particles_per_sec\": {}, \"speedup\": {}, \"ess\": {}, \"log_evidence\": {}, \
+             \"bit_identical\": {}}}",
+            r.name,
+            r.particles,
+            r.threads,
+            json_f64(r.seq_seconds),
+            json_f64(r.par_seconds),
+            json_f64(r.seq_particles_per_sec),
+            json_f64(r.par_particles_per_sec),
+            json_f64(r.speedup),
+            json_f64(r.ess),
+            json_f64(r.log_evidence),
+            r.bit_identical,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"engines\": [\n");
+    for (i, e) in engines.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"engine\": \"{}\", \"benchmark\": \"{}\", \"wall_seconds\": {}, \
+             \"metric\": \"{}\", \"value\": {}}}",
+            e.engine,
+            e.benchmark,
+            json_f64(e.wall_seconds),
+            e.metric,
+            json_f64(e.value),
+        );
+        s.push_str(if i + 1 < engines.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/∞, so those become
+/// `null`).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_rows_are_bit_identical_across_thread_counts() {
+        let config = ThroughputConfig {
+            particles: 400,
+            threads: 4,
+            seed: 7,
+        };
+        let rows = throughput_rows(&config);
+        assert_eq!(rows.len(), 3, "the Table 2 IS subset");
+        for r in &rows {
+            assert!(r.bit_identical, "{}: thread count changed results", r.name);
+            assert!(r.seq_particles_per_sec > 0.0);
+            assert!(r.par_particles_per_sec > 0.0);
+            assert!(r.speedup.is_finite() && r.speedup > 0.0);
+            assert!(r.log_evidence.is_finite(), "{}", r.name);
+            assert!(r.ess > 1.0, "{}: ess {}", r.name, r.ess);
+        }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let config = ThroughputConfig {
+            particles: 200,
+            threads: 2,
+            seed: 3,
+        };
+        let rows = throughput_rows(&config);
+        let engines = engine_timings(&config);
+        assert_eq!(engines.len(), 3);
+        let json = bench_json(&config, &rows, &engines);
+        // Structural sanity without a JSON parser: balanced braces/brackets
+        // and the keys CI greps for.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"schema\"",
+            "\"host_cpus\"",
+            "\"throughput\"",
+            "\"engines\"",
+            "\"par_particles_per_sec\"",
+            "\"speedup\"",
+            "\"bit_identical\": true",
+            "\"engine\": \"IS\"",
+            "\"engine\": \"VI\"",
+            "\"engine\": \"MCMC\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("NaN"));
+    }
+}

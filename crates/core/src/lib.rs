@@ -116,10 +116,18 @@ impl From<RuntimeError> for SessionError {
 }
 
 /// A type-checked model–guide pair, ready for inference.
+///
+/// The session compiles both programs once into shared
+/// [`CompiledProgram`](ppl_runtime::CompiledProgram) form; every executor it
+/// hands out shares those compilations, so repeated inference runs (and all
+/// their particles, across all threads) execute the same immutable program
+/// tables.
 #[derive(Debug, Clone)]
 pub struct Session {
     model: Program,
     guide: Program,
+    model_compiled: std::sync::Arc<ppl_runtime::CompiledProgram>,
+    guide_compiled: std::sync::Arc<ppl_runtime::CompiledProgram>,
     model_proc: Ident,
     guide_proc: Ident,
     model_env: TypeEnv,
@@ -168,9 +176,13 @@ impl Session {
                 guide_latent: render_protocol(&compatibility.guide_latent, &guide_env),
             });
         }
+        let model_compiled = ppl_runtime::CompiledProgram::compile_shared(&model);
+        let guide_compiled = ppl_runtime::CompiledProgram::compile_shared(&guide);
         Ok(Session {
             model,
             guide,
+            model_compiled,
+            guide_compiled,
             model_proc,
             guide_proc,
             model_env,
@@ -230,8 +242,15 @@ impl Session {
     }
 
     /// Builds a joint executor conditioned on the given observations.
-    pub fn executor(&self, observations: Vec<Sample>) -> JointExecutor<'_> {
-        JointExecutor::new(&self.model, &self.guide, observations)
+    ///
+    /// Executors share the session's compiled programs — building one per
+    /// observation set costs three `Arc` clones, not a recompilation.
+    pub fn executor(&self, observations: Vec<Sample>) -> JointExecutor {
+        JointExecutor::from_compiled(
+            std::sync::Arc::clone(&self.model_compiled),
+            std::sync::Arc::clone(&self.guide_compiled),
+            observations,
+        )
     }
 
     /// The default joint spec (conventional channel names, no arguments).

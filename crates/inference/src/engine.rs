@@ -1,0 +1,198 @@
+//! The particle engine: a deterministic, optionally parallel driver for the
+//! independent-execution loops shared by the inference algorithms.
+//!
+//! Importance sampling draws `N` independent particles; VI draws a
+//! mini-batch of independent joint executions per iteration and re-scores
+//! each of them independently for the gradient.  Both are instances of the
+//! same shape — "run `count` independent jobs, each with its own RNG, and
+//! collect the results in index order" — which [`Engine::run_particles`]
+//! implements once, sequentially or over `std::thread` scoped threads.
+//!
+//! # Determinism
+//!
+//! Job `i` always receives the generator `master.split(i)`, a pure function
+//! of the master RNG state and the job index (see
+//! [`Pcg32::split`]).  Scheduling therefore cannot influence any job's
+//! randomness, and results are **bit-identical for every `num_threads`**,
+//! including 1.  Result aggregation also happens in job-index order, so
+//! floating-point reductions downstream see the same operand order
+//! regardless of which thread finished first.
+
+use ppl_dist::rng::Pcg32;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic particle driver with a configurable thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    num_threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::sequential()
+    }
+}
+
+impl Engine {
+    /// An engine running jobs on `num_threads` worker threads (clamped to at
+    /// least one).  `Engine::new(1)` never spawns a thread.
+    pub fn new(num_threads: usize) -> Engine {
+        Engine {
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// The single-threaded engine.
+    pub fn sequential() -> Engine {
+        Engine::new(1)
+    }
+
+    /// The configured number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `count` independent jobs and returns their results in job-index
+    /// order.
+    ///
+    /// Each job receives its index and a private RNG substream derived from
+    /// `rng`'s state *before* the call; `rng` itself is advanced once so
+    /// that successive `run_particles` calls use fresh substreams.  The
+    /// output — including which error is reported when several jobs fail
+    /// (the lowest-index one) — is independent of `num_threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing job, if any.
+    pub fn run_particles<T, E, F>(&self, count: usize, rng: &mut Pcg32, job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, &mut Pcg32) -> Result<T, E> + Sync,
+    {
+        let master = rng.clone();
+        rng.next_u64();
+        let run_one = |i: usize| {
+            let mut sub = master.split(i as u64);
+            job(i, &mut sub)
+        };
+        if self.num_threads == 1 || count < 2 {
+            return (0..count).map(run_one).collect();
+        }
+        let threads = self.num_threads.min(count);
+        let chunk = count.div_ceil(threads);
+        let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(count);
+        slots.resize_with(count, || None);
+        // Early-abort bookkeeping: once a job fails, jobs at *higher*
+        // indices cannot influence the result (the lowest-index error wins)
+        // and are skipped.  Jobs below the recorded index still run — one
+        // of them may fail with a lower index — so the winning error is
+        // exactly the sequential one.
+        let lowest_failed = AtomicUsize::new(usize::MAX);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                let run_one = &run_one;
+                let lowest_failed = &lowest_failed;
+                scope.spawn(move || {
+                    for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                        let i = chunk_idx * chunk + j;
+                        if i > lowest_failed.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let result = run_one(i);
+                        if result.is_err() {
+                            lowest_failed.fetch_min(i, Ordering::Relaxed);
+                        }
+                        *slot = Some(result);
+                    }
+                });
+            }
+        });
+        // Every slot below the lowest failing index is a filled `Ok` (skips
+        // only apply above it), so the scan returns the deterministic
+        // winner; with no failure, every slot is filled.
+        let mut out = Vec::with_capacity(count);
+        for slot in slots {
+            match slot.expect("job slots below the first error are always filled") {
+                Ok(v) => out.push(v),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_and_thread_independent() {
+        let job =
+            |i: usize, rng: &mut Pcg32| -> Result<(usize, u64), ()> { Ok((i, rng.next_u64())) };
+        let mut rng1 = Pcg32::seed_from_u64(7);
+        let seq = Engine::new(1).run_particles(37, &mut rng1, job).unwrap();
+        for threads in [2, 3, 4, 8, 64] {
+            let mut rng_n = Pcg32::seed_from_u64(7);
+            let par = Engine::new(threads)
+                .run_particles(37, &mut rng_n, job)
+                .unwrap();
+            assert_eq!(seq, par, "thread count {threads} changed the results");
+            // The master RNG is advanced identically.
+            assert_eq!(rng1, rng_n);
+        }
+        assert!(seq.iter().enumerate().all(|(i, (j, _))| i == *j));
+    }
+
+    #[test]
+    fn successive_calls_use_fresh_substreams() {
+        let job = |_: usize, rng: &mut Pcg32| -> Result<u64, ()> { Ok(rng.next_u64()) };
+        let mut rng = Pcg32::seed_from_u64(1);
+        let engine = Engine::new(4);
+        let first = engine.run_particles(8, &mut rng, job).unwrap();
+        let second = engine.run_particles(8, &mut rng, job).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn lowest_index_error_wins_regardless_of_threads() {
+        let job = |i: usize, _: &mut Pcg32| -> Result<usize, usize> {
+            if i % 5 == 3 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        };
+        for threads in [1, 4] {
+            let mut rng = Pcg32::seed_from_u64(0);
+            let err = Engine::new(threads)
+                .run_particles(20, &mut rng, job)
+                .unwrap_err();
+            assert_eq!(err, 3, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_counts_and_thread_clamping() {
+        let job = |i: usize, _: &mut Pcg32| -> Result<usize, ()> { Ok(i) };
+        let mut rng = Pcg32::seed_from_u64(0);
+        assert_eq!(
+            Engine::new(0).num_threads(),
+            1,
+            "thread count clamps to one"
+        );
+        assert!(Engine::new(8)
+            .run_particles(0, &mut rng, job)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            Engine::new(8).run_particles(1, &mut rng, job).unwrap(),
+            vec![0]
+        );
+        // More threads than jobs still covers every index exactly once.
+        assert_eq!(
+            Engine::new(64).run_particles(3, &mut rng, job).unwrap(),
+            vec![0, 1, 2]
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! covers the whole posterior support, so the weighted empirical
 //! distribution converges to the posterior.
 
+use crate::engine::Engine;
 use ppl_dist::rng::Pcg32;
 use ppl_dist::special::log_sum_exp;
 use ppl_dist::stats::{effective_sample_size, normalize_log_weights, Histogram};
@@ -46,9 +47,21 @@ pub struct ImportanceResult {
 impl ImportanceResult {
     /// Weighted posterior expectation of a function of the latent samples.
     ///
+    /// # Skip-and-renormalise contract
+    ///
     /// Particles for which `f` returns `None` (e.g. asking for a sample
-    /// index that is absent on that control-flow path) are skipped and the
-    /// remaining weights renormalised.
+    /// index that is absent on that control-flow path) are *skipped*, and
+    /// the result is the weighted mean over the remaining particles with
+    /// their weights renormalised to sum to one — i.e. the posterior
+    /// expectation of `f` **conditioned on the event that `f` is defined**.
+    /// Concretely: `Σ wᵢ·f(pᵢ) / Σ wᵢ`, both sums over the particles where
+    /// `f(pᵢ)` is `Some`.
+    ///
+    /// Returns `None` when no estimate exists at all:
+    /// * every particle had zero weight (`normalized_weights` is `None`), or
+    /// * `f` returned `None` for every particle, or only for particles
+    ///   carrying all of the weight (the conditioning event has zero
+    ///   posterior mass).
     pub fn posterior_expectation<F>(&self, f: F) -> Option<f64>
     where
         F: Fn(&Particle) -> Option<f64>,
@@ -105,39 +118,59 @@ impl ImportanceResult {
 pub struct ImportanceSampler {
     /// Number of particles to draw.
     pub num_particles: usize,
+    /// Number of worker threads for the particle loop (1 = sequential).
+    /// Thanks to per-particle RNG substreams the results are bit-identical
+    /// for every thread count.
+    pub num_threads: usize,
 }
 
 impl ImportanceSampler {
-    /// Creates a sampler with the given particle count.
+    /// Creates a sequential sampler with the given particle count.
     pub fn new(num_particles: usize) -> Self {
-        ImportanceSampler { num_particles }
+        ImportanceSampler {
+            num_particles,
+            num_threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for the particle loop.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
     }
 
     /// Runs importance sampling.
     ///
-    /// Joint executions that end in a protocol violation abort the run (they
-    /// indicate an incompatible model–guide pair that the type system would
-    /// have rejected); zero-weight particles are kept.
+    /// Particles are drawn by the shared [`Engine`] driver: each particle
+    /// `i` runs one joint execution on RNG substream `i`, sequentially or
+    /// across `num_threads` scoped threads, with identical results either
+    /// way.  Joint executions that end in a protocol violation abort the run
+    /// (they indicate an incompatible model–guide pair that the type system
+    /// would have rejected); zero-weight particles are kept.
     ///
     /// # Errors
     ///
     /// Propagates [`RuntimeError`]s from the joint executor.
     pub fn run(
         &self,
-        executor: &JointExecutor<'_>,
+        executor: &JointExecutor,
         spec: &JointSpec,
         rng: &mut Pcg32,
     ) -> Result<ImportanceResult, RuntimeError> {
-        let mut particles = Vec::with_capacity(self.num_particles);
-        for _ in 0..self.num_particles {
-            let joint = executor.run(spec, LatentSource::FromGuide, rng)?;
-            particles.push(Particle {
-                samples: joint.latent_samples(),
-                log_weight: joint.log_importance_weight(),
-                model_value: joint.model_value.as_f64(),
-                latent: joint.latent,
-            });
-        }
+        let engine = Engine::new(self.num_threads);
+        let particles = engine.run_particles(
+            self.num_particles,
+            rng,
+            |_, prng| -> Result<Particle, RuntimeError> {
+                let joint = executor.run(spec, LatentSource::FromGuide, prng)?;
+                Ok(Particle {
+                    samples: joint.latent_samples(),
+                    log_weight: joint.log_importance_weight(),
+                    model_value: joint.model_value.as_f64(),
+                    latent: joint.latent,
+                })
+            },
+        )?;
         let log_weights: Vec<f64> = particles.iter().map(|p| p.log_weight).collect();
         let normalized_weights = normalize_log_weights(&log_weights);
         let ess = normalized_weights
@@ -260,6 +293,81 @@ mod tests {
         );
         let hist = result.weighted_histogram(0.0, 8.0, 32, |p| Some(p.samples[0].as_f64()));
         assert!(hist.total_weight() > 0.99);
+    }
+
+    #[test]
+    fn posterior_expectation_skip_and_renormalise_contract() {
+        // Hand-built result with known weights: w = [0.5, 0.3, 0.2].
+        let particle = |v: f64| Particle {
+            latent: Trace::new(),
+            samples: vec![Sample::Real(v)],
+            log_weight: 0.0,
+            model_value: Some(v),
+        };
+        let result = ImportanceResult {
+            particles: vec![particle(1.0), particle(2.0), particle(3.0)],
+            normalized_weights: Some(vec![0.5, 0.3, 0.2]),
+            ess: 3.0,
+            log_evidence: 0.0,
+        };
+        // All defined: the plain weighted mean.
+        let all = result.posterior_expectation(|p| p.model_value).unwrap();
+        assert!((all - (0.5 + 0.6 + 0.6)).abs() < 1e-12);
+        // Mixed: the middle particle is skipped, and the remaining weights
+        // are renormalised — E[f | f defined] = (0.5·1 + 0.2·3) / 0.7.
+        let mixed = result
+            .posterior_expectation(|p| {
+                let v = p.model_value.unwrap();
+                (v != 2.0).then_some(v)
+            })
+            .unwrap();
+        assert!((mixed - (0.5 + 0.6) / 0.7).abs() < 1e-12);
+        // All `None`: no conditioning event to renormalise over.
+        assert!(result.posterior_expectation(|_| None::<f64>).is_none());
+        // `None` exactly on the particles carrying all the weight: same.
+        let degenerate = ImportanceResult {
+            particles: vec![particle(1.0), particle(2.0)],
+            normalized_weights: Some(vec![1.0, 0.0]),
+            ess: 1.0,
+            log_evidence: 0.0,
+        };
+        assert!(degenerate
+            .posterior_expectation(|p| {
+                let v = p.model_value.unwrap();
+                (v != 1.0).then_some(v)
+            })
+            .is_none());
+        // All-zero-weight runs expose no normalised weights at all.
+        let zero = ImportanceResult {
+            particles: vec![particle(1.0)],
+            normalized_weights: None,
+            ess: 0.0,
+            log_evidence: f64::NEG_INFINITY,
+        };
+        assert!(zero.posterior_expectation(|p| p.model_value).is_none());
+    }
+
+    #[test]
+    fn parallel_importance_sampling_is_bit_identical() {
+        let (model, guide) = normal_normal();
+        let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(1.0)]);
+        let spec = JointSpec::new("Model", "Guide");
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let mut rng = Pcg32::seed_from_u64(2026);
+            let r = ImportanceSampler::new(2_000)
+                .with_threads(threads)
+                .run(&exec, &spec, &mut rng)
+                .unwrap();
+            results.push(r);
+        }
+        let (seq, par) = (&results[0], &results[1]);
+        assert_eq!(seq.log_evidence.to_bits(), par.log_evidence.to_bits());
+        assert_eq!(seq.ess.to_bits(), par.ess.to_bits());
+        for (a, b) in seq.particles.iter().zip(&par.particles) {
+            assert_eq!(a.log_weight.to_bits(), b.log_weight.to_bits());
+            assert_eq!(a.latent, b.latent);
+        }
     }
 
     #[test]

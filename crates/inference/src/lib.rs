@@ -4,6 +4,9 @@
 //! executions and therefore rely on the absolute-continuity guarantee
 //! certified by guide types (Theorem 5.2 of the paper):
 //!
+//! * [`engine`] — the deterministic (optionally parallel) particle driver
+//!   shared by IS and VI, with per-particle RNG substreams so the thread
+//!   count never changes results;
 //! * [`importance`] — importance sampling (IS);
 //! * [`mcmc`] — Metropolis–Hastings with independence or data-dependent
 //!   guide proposals (MCMC);
@@ -40,10 +43,12 @@
 //! # Ok::<(), ppl_runtime::RuntimeError>(())
 //! ```
 
+pub mod engine;
 pub mod importance;
 pub mod mcmc;
 pub mod vi;
 
+pub use engine::Engine;
 pub use importance::{ImportanceResult, ImportanceSampler, Particle};
 pub use mcmc::{ChainState, GuidedMh, IndependenceMh, McmcResult};
 pub use vi::{ParamSpec, VariationalInference, ViConfig, ViResult};

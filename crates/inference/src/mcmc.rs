@@ -12,6 +12,12 @@
 //!   backward density re-scores the old trace under the guide instantiated
 //!   with arguments computed from the *new* trace, exactly as in the
 //!   operational rule for MH in §5.2.
+//!
+//! The chain itself is inherently sequential (each proposal conditions on
+//! the current state), so MCMC does not use the parallel particle driver;
+//! it benefits from the zero-copy core through the borrowed-replay path:
+//! re-scoring a proposed trace walks the trace in place instead of copying
+//! its messages per proposal.
 
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
@@ -85,7 +91,7 @@ impl IndependenceMh {
     /// Propagates [`RuntimeError`]s from the joint executor.
     pub fn run(
         &self,
-        executor: &JointExecutor<'_>,
+        executor: &JointExecutor,
         spec: &JointSpec,
         rng: &mut Pcg32,
     ) -> Result<McmcResult, RuntimeError> {
@@ -167,7 +173,7 @@ impl<'f> GuidedMh<'f> {
     /// Propagates [`RuntimeError`]s from the joint executor.
     pub fn run(
         &self,
-        executor: &JointExecutor<'_>,
+        executor: &JointExecutor,
         spec: &JointSpec,
         rng: &mut Pcg32,
     ) -> Result<McmcResult, RuntimeError> {

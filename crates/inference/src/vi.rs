@@ -19,6 +19,7 @@
 //! to Pyro's SVI/autograd; the estimator here exercises the same joint
 //! coroutine executions and the same absolute-continuity requirement.
 
+use crate::engine::Engine;
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
 use ppl_runtime::{JointExecutor, JointSpec, LatentSource, RuntimeError};
@@ -67,6 +68,9 @@ pub struct ViConfig {
     pub learning_rate: f64,
     /// Finite-difference step for the score derivative.
     pub fd_epsilon: f64,
+    /// Worker threads for the per-iteration mini-batch and gradient loops
+    /// (1 = sequential; results are bit-identical for every thread count).
+    pub num_threads: usize,
 }
 
 impl Default for ViConfig {
@@ -76,6 +80,7 @@ impl Default for ViConfig {
             samples_per_iteration: 10,
             learning_rate: 0.05,
             fd_epsilon: 1e-4,
+            num_threads: 1,
         }
     }
 }
@@ -131,20 +136,21 @@ impl VariationalInference {
     /// Propagates [`RuntimeError`]s from the joint executor.
     pub fn estimate_elbo(
         &self,
-        executor: &JointExecutor<'_>,
+        executor: &JointExecutor,
         spec: &JointSpec,
         params: &[f64],
         num_samples: usize,
         rng: &mut Pcg32,
     ) -> Result<f64, RuntimeError> {
         let run_spec = spec_with_params(spec, params);
-        let mut acc = 0.0;
-        for _ in 0..num_samples {
-            let joint = executor.run(&run_spec, LatentSource::FromGuide, rng)?;
-            let f = joint.log_model - joint.log_guide;
-            acc += if f.is_finite() { f } else { -1e6 };
-        }
-        Ok(acc / num_samples as f64)
+        let engine = Engine::new(self.config.num_threads);
+        let fs =
+            engine.run_particles(num_samples, rng, |_, prng| -> Result<f64, RuntimeError> {
+                let joint = executor.run(&run_spec, LatentSource::FromGuide, prng)?;
+                let f = joint.log_model - joint.log_guide;
+                Ok(if f.is_finite() { f } else { -1e6 })
+            })?;
+        Ok(fs.iter().sum::<f64>() / num_samples as f64)
     }
 
     /// Runs stochastic optimisation of the ELBO.
@@ -154,7 +160,7 @@ impl VariationalInference {
     /// Propagates [`RuntimeError`]s from the joint executor.
     pub fn run(
         &self,
-        executor: &JointExecutor<'_>,
+        executor: &JointExecutor,
         spec: &JointSpec,
         param_specs: &[ParamSpec],
         rng: &mut Pcg32,
@@ -167,44 +173,73 @@ impl VariationalInference {
             .collect();
         let mut adam = Adam::new(dim, self.config.learning_rate);
         let mut elbo_trace = Vec::with_capacity(self.config.iterations);
+        let engine = Engine::new(self.config.num_threads);
 
         for _ in 0..self.config.iterations {
             let constrained = constrain(&theta, param_specs);
             let run_spec = spec_with_params(spec, &constrained);
 
-            // Draw the mini-batch of joint executions at the current θ.
-            let mut fs = Vec::with_capacity(self.config.samples_per_iteration);
-            let mut traces = Vec::with_capacity(self.config.samples_per_iteration);
-            for _ in 0..self.config.samples_per_iteration {
-                let joint = executor.run(&run_spec, LatentSource::FromGuide, rng)?;
-                let f = joint.log_model - joint.log_guide;
-                fs.push(if f.is_finite() { f } else { -1e6 });
-                traces.push(joint.latent);
-            }
+            // Draw the mini-batch of joint executions at the current θ —
+            // independent particles, so the engine fans them out over its
+            // worker threads with one RNG substream each.
+            let batch = engine.run_particles(
+                self.config.samples_per_iteration,
+                rng,
+                |_, prng| -> Result<(f64, ppl_semantics::trace::Trace), RuntimeError> {
+                    let joint = executor.run(&run_spec, LatentSource::FromGuide, prng)?;
+                    let f = joint.log_model - joint.log_guide;
+                    Ok((if f.is_finite() { f } else { -1e6 }, joint.latent))
+                },
+            )?;
+            let (fs, traces): (Vec<f64>, Vec<_>) = batch.into_iter().unzip();
             let baseline = fs.iter().sum::<f64>() / fs.len() as f64;
             elbo_trace.push(baseline);
 
             // Score-function gradient with per-parameter finite-difference
             // score derivatives, evaluated by re-scoring the fixed traces.
-            let mut grad = vec![0.0; dim];
-            for (f, trace) in fs.iter().zip(&traces) {
-                let advantage = f - baseline;
-                if advantage == 0.0 {
-                    continue;
-                }
-                for d in 0..dim {
-                    let mut plus = theta.clone();
-                    plus[d] += self.config.fd_epsilon;
-                    let mut minus = theta.clone();
-                    minus[d] -= self.config.fd_epsilon;
-                    let lp =
-                        score_guide(executor, spec, &constrain(&plus, param_specs), trace, rng)?;
-                    let lm =
-                        score_guide(executor, spec, &constrain(&minus, param_specs), trace, rng)?;
-                    if lp.is_finite() && lm.is_finite() {
-                        let dscore = (lp - lm) / (2.0 * self.config.fd_epsilon);
-                        grad[d] += advantage * dscore;
+            // Each sample's contribution is independent (replays draw
+            // nothing from the RNG), so this loop parallelises too; the
+            // contributions are summed in sample order afterwards to keep
+            // the floating-point reduction deterministic.
+            let contributions = engine.run_particles(
+                fs.len(),
+                rng,
+                |i, prng| -> Result<Vec<f64>, RuntimeError> {
+                    let advantage = fs[i] - baseline;
+                    let mut g = vec![0.0; dim];
+                    if advantage == 0.0 {
+                        return Ok(g);
                     }
+                    for (d, slot) in g.iter_mut().enumerate() {
+                        let mut plus = theta.clone();
+                        plus[d] += self.config.fd_epsilon;
+                        let mut minus = theta.clone();
+                        minus[d] -= self.config.fd_epsilon;
+                        let lp = score_guide(
+                            executor,
+                            spec,
+                            &constrain(&plus, param_specs),
+                            &traces[i],
+                            prng,
+                        )?;
+                        let lm = score_guide(
+                            executor,
+                            spec,
+                            &constrain(&minus, param_specs),
+                            &traces[i],
+                            prng,
+                        )?;
+                        if lp.is_finite() && lm.is_finite() {
+                            *slot = advantage * (lp - lm) / (2.0 * self.config.fd_epsilon);
+                        }
+                    }
+                    Ok(g)
+                },
+            )?;
+            let mut grad = vec![0.0; dim];
+            for c in &contributions {
+                for (g, &gc) in grad.iter_mut().zip(c) {
+                    *g += gc;
                 }
             }
             for g in grad.iter_mut() {
@@ -222,9 +257,11 @@ impl VariationalInference {
 }
 
 /// Scores a fixed latent trace under the guide at the given parameters by a
-/// replayed joint execution, returning `log w_g`.
+/// replayed joint execution, returning `log w_g`.  The trace is borrowed —
+/// replay walks it in place — and the RNG is never consulted because a
+/// replay draws nothing.
 fn score_guide(
-    executor: &JointExecutor<'_>,
+    executor: &JointExecutor,
     spec: &JointSpec,
     params: &[f64],
     trace: &ppl_semantics::trace::Trace,
@@ -339,6 +376,7 @@ mod tests {
             samples_per_iteration: 12,
             learning_rate: 0.08,
             fd_epsilon: 1e-4,
+            num_threads: 1,
         };
         let mut rng = Pcg32::seed_from_u64(2024);
         let result = VariationalInference::new(config)
@@ -395,6 +433,39 @@ mod tests {
             elbo >= log_evidence - 1.0,
             "elbo {elbo} evidence {log_evidence}"
         );
+    }
+
+    #[test]
+    fn parallel_vi_is_bit_identical() {
+        let (model, guide) = weight_model();
+        let exec = JointExecutor::new(&model, &guide, example_observations(&[9.0, 9.0]));
+        let spec = JointSpec::new("WeightModel", "WeightGuide");
+        let params = [
+            ParamSpec::unconstrained("mu", 2.0),
+            ParamSpec::positive("sigma", 1.0),
+        ];
+        let mut runs = Vec::new();
+        for threads in [1usize, 3] {
+            let config = ViConfig {
+                iterations: 12,
+                samples_per_iteration: 8,
+                num_threads: threads,
+                ..ViConfig::default()
+            };
+            let mut rng = Pcg32::seed_from_u64(55);
+            runs.push(
+                VariationalInference::new(config)
+                    .run(&exec, &spec, &params, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let (seq, par) = (&runs[0], &runs[1]);
+        for (a, b) in seq.elbo_trace.iter().zip(&par.elbo_trace) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in seq.params.iter().zip(&par.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -6,12 +6,21 @@
 //! of continuation frames plus the command currently being executed, so the
 //! driver can pause it at every channel operation and resume it with the
 //! value produced by the other coroutine.
+//!
+//! The interpreter executes a shared [`CompiledProgram`]: continuation
+//! frames hold [`CmdId`] indices into the program's node table plus an O(1)
+//! scope-chain [`Env`], so stepping, suspending, and resuming never clone an
+//! AST subtree or copy an environment map.  A coroutine owns only its
+//! `Arc` handle to the program and is `Send`, which lets the parallel
+//! particle driver run many of them concurrently over one compiled program.
 
+use crate::program::{CalleeRef, CmdId, CmdNode, CompiledProgram, ProcId};
 use ppl_dist::{Distribution, Sample};
 use ppl_semantics::eval::{eval_expr, EvalError};
 use ppl_semantics::value::{Env, Value};
-use ppl_syntax::ast::{ChannelName, Cmd, Dir, Ident, Proc, Program};
+use ppl_syntax::ast::{ChannelName, Dir, Ident};
 use std::fmt;
+use std::sync::Arc;
 
 /// A channel operation at which a coroutine is suspended, awaiting the
 /// driver.
@@ -129,29 +138,18 @@ impl From<EvalError> for CoroutineError {
     }
 }
 
-/// The channels declared by the procedure currently executing.
-#[derive(Debug, Clone, PartialEq)]
-struct ProcChannels {
-    consumes: Option<ChannelName>,
-    provides: Option<ChannelName>,
-}
-
-impl ProcChannels {
-    fn of(p: &Proc) -> Self {
-        ProcChannels {
-            consumes: p.consumes.clone(),
-            provides: p.provides.clone(),
-        }
-    }
-}
-
-/// A continuation frame.
+/// A continuation frame: when the current command finishes with a value,
+/// bind it to the `Bind` node's variable and continue with its `rest`.
+///
+/// The frame is two machine words plus an `Arc` bump — it holds an index
+/// into the shared program and an O(1)-cloned environment, never a command
+/// subtree or a copied binding map.
 #[derive(Debug, Clone)]
-enum Frame {
-    /// After the current command produces a value, bind it and run `rest`.
-    Bind { var: Ident, rest: Cmd, env: Env },
-    /// After the callee body finishes, restore the caller's channel view.
-    Return { channels: ProcChannels },
+struct BindFrame {
+    /// A [`CmdNode::Bind`] node in the shared program.
+    node: CmdId,
+    /// The environment in which `rest` runs.
+    env: Env,
 }
 
 /// What the coroutine is waiting for while suspended.
@@ -160,20 +158,25 @@ enum Pending {
     Sample {
         dist: Distribution,
     },
+    /// Suspended at a [`CmdNode::Branch`] node, waiting for the peer's
+    /// selection.
     BranchRecv {
-        then_cmd: Cmd,
-        else_cmd: Cmd,
+        node: CmdId,
         env: Env,
     },
+    /// Suspended at a [`CmdNode::Branch`] node after announcing `selection`,
+    /// waiting for the acknowledgement.
     BranchSend {
+        node: CmdId,
         selection: bool,
-        then_cmd: Cmd,
-        else_cmd: Cmd,
         env: Env,
     },
+    /// Suspended at a [`CmdNode::Call`] node, emitting its fold markers one
+    /// by one; `next_mark` indexes into the node's pre-computed mark list.
     CallAck {
-        remaining_marks: Vec<ChannelName>,
-        callee: Ident,
+        node: CmdId,
+        next_mark: usize,
+        callee: ProcId,
         args: Vec<Value>,
     },
 }
@@ -181,24 +184,23 @@ enum Pending {
 /// Internal control state.
 #[derive(Debug, Clone)]
 enum Control {
-    Run { cmd: Cmd, env: Env },
+    Run { cmd: CmdId, env: Env },
     Return { value: Value },
     AwaitResume(Pending),
     Finished,
 }
 
-/// A resumable model or guide coroutine.
+/// A resumable model or guide coroutine over a shared compiled program.
 #[derive(Debug, Clone)]
-pub struct Coroutine<'p> {
-    program: &'p Program,
-    frames: Vec<Frame>,
+pub struct Coroutine {
+    program: Arc<CompiledProgram>,
+    frames: Vec<BindFrame>,
     control: Control,
-    channels: ProcChannels,
     log_weight: f64,
     steps: u64,
 }
 
-impl<'p> Coroutine<'p> {
+impl Coroutine {
     /// Creates (but does not start) a coroutine running `proc_name` with the
     /// given arguments.
     ///
@@ -207,32 +209,26 @@ impl<'p> Coroutine<'p> {
     /// Returns [`CoroutineError::UnknownProc`] if the procedure does not
     /// exist and [`CoroutineError::Protocol`] on an argument-count mismatch.
     pub fn spawn(
-        program: &'p Program,
+        program: &Arc<CompiledProgram>,
         proc_name: &Ident,
         args: Vec<Value>,
     ) -> Result<Self, CoroutineError> {
-        let proc = program
-            .proc(proc_name)
+        let id = program
+            .proc_id(proc_name)
             .ok_or_else(|| CoroutineError::UnknownProc(proc_name.to_string()))?;
-        if proc.params.len() != args.len() {
-            return Err(CoroutineError::Protocol(format!(
-                "procedure '{proc_name}' expects {} argument(s), got {}",
-                proc.params.len(),
-                args.len()
-            )));
-        }
-        let env = Env::from_bindings(proc.params.iter().map(|(x, _)| x.clone()).zip(args));
+        let (body, env) = bind_args(program, id, args)?;
         Ok(Coroutine {
-            program,
+            program: Arc::clone(program),
             frames: Vec::new(),
-            control: Control::Run {
-                cmd: proc.body.clone(),
-                env,
-            },
-            channels: ProcChannels::of(proc),
+            control: Control::Run { cmd: body, env },
             log_weight: 0.0,
             steps: 0,
         })
+    }
+
+    /// The shared program this coroutine executes.
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
     }
 
     /// The coroutine's accumulated log-weight so far.
@@ -288,50 +284,49 @@ impl<'p> Coroutine<'p> {
                     value: Value::from_sample(sample),
                 };
             }
-            (
-                Pending::BranchRecv {
-                    then_cmd,
-                    else_cmd,
-                    env,
-                },
-                Resume::Branch(sel),
-            ) => {
+            (Pending::BranchRecv { node, env }, Resume::Branch(sel)) => {
                 self.control = Control::Run {
-                    cmd: if sel { then_cmd } else { else_cmd },
+                    cmd: self.branch_arm(node, sel),
                     env,
                 };
             }
             (
                 Pending::BranchSend {
+                    node,
                     selection,
-                    then_cmd,
-                    else_cmd,
                     env,
                 },
                 Resume::Ack,
             ) => {
                 self.control = Control::Run {
-                    cmd: if selection { then_cmd } else { else_cmd },
+                    cmd: self.branch_arm(node, selection),
                     env,
                 };
             }
             (
                 Pending::CallAck {
-                    remaining_marks,
+                    node,
+                    next_mark,
                     callee,
                     args,
                 },
                 Resume::Ack,
             ) => {
-                if let Some((next, rest)) = remaining_marks.split_first() {
+                let CmdNode::Call { marks, .. } = self.program.node(node) else {
+                    unreachable!("CallAck always references a Call node");
+                };
+                if let Some(chan) = marks.get(next_mark) {
+                    let suspend = Suspend::CallMarker { chan: chan.clone() };
                     self.control = Control::AwaitResume(Pending::CallAck {
-                        remaining_marks: rest.to_vec(),
+                        node,
+                        next_mark: next_mark + 1,
                         callee,
                         args,
                     });
-                    return Ok(Step::Suspended(Suspend::CallMarker { chan: next.clone() }));
+                    return Ok(Step::Suspended(suspend));
                 }
-                self.enter_callee(&callee, args)?;
+                let (body, env) = bind_args(&self.program, callee, args)?;
+                self.control = Control::Run { cmd: body, env };
             }
             (pending, resume) => {
                 return Err(CoroutineError::Protocol(format!(
@@ -342,28 +337,18 @@ impl<'p> Coroutine<'p> {
         self.drive()
     }
 
-    fn enter_callee(&mut self, callee: &Ident, args: Vec<Value>) -> Result<(), CoroutineError> {
-        let proc = self
-            .program
-            .proc(callee)
-            .ok_or_else(|| CoroutineError::UnknownProc(callee.to_string()))?;
-        if proc.params.len() != args.len() {
-            return Err(CoroutineError::Protocol(format!(
-                "procedure '{callee}' expects {} argument(s), got {}",
-                proc.params.len(),
-                args.len()
-            )));
-        }
-        self.frames.push(Frame::Return {
-            channels: self.channels.clone(),
-        });
-        self.channels = ProcChannels::of(proc);
-        let env = Env::from_bindings(proc.params.iter().map(|(x, _)| x.clone()).zip(args));
-        self.control = Control::Run {
-            cmd: proc.body.clone(),
-            env,
+    fn branch_arm(&self, node: CmdId, selection: bool) -> CmdId {
+        let CmdNode::Branch {
+            then_cmd, else_cmd, ..
+        } = self.program.node(node)
+        else {
+            unreachable!("branch pendings always reference a Branch node");
         };
-        Ok(())
+        if selection {
+            *then_cmd
+        } else {
+            *else_cmd
+        }
     }
 
     /// Runs until suspension or completion.
@@ -393,59 +378,69 @@ impl<'p> Coroutine<'p> {
                             log_weight: self.log_weight,
                         });
                     }
-                    Some(Frame::Bind { var, rest, env }) => {
-                        let env = env.extended(var, value);
-                        self.control = Control::Run { cmd: rest, env };
-                    }
-                    Some(Frame::Return { channels }) => {
-                        self.channels = channels;
-                        self.control = Control::Return { value };
+                    Some(BindFrame { node, env }) => {
+                        let CmdNode::Bind { var, rest, .. } = self.program.node(node) else {
+                            unreachable!("bind frames always reference a Bind node");
+                        };
+                        let env = env.extended(var.clone(), value);
+                        self.control = Control::Run { cmd: *rest, env };
                     }
                 },
-                Control::Run { cmd, env } => match cmd {
-                    Cmd::Ret(e) => {
-                        let value = eval_expr(&env, &e)?;
+                Control::Run { cmd, env } => match self.program.node(cmd) {
+                    CmdNode::Ret(e) => {
+                        let value = eval_expr(&env, e)?;
                         self.control = Control::Return { value };
                     }
-                    Cmd::Bind { var, first, rest } => {
-                        self.frames.push(Frame::Bind {
-                            var,
-                            rest: *rest,
+                    CmdNode::Bind { first, .. } => {
+                        self.frames.push(BindFrame {
+                            node: cmd,
                             env: env.clone(),
                         });
                         self.control = Control::Run { cmd: *first, env };
                     }
-                    Cmd::Call { proc, args } => {
+                    CmdNode::Call {
+                        callee,
+                        args,
+                        marks,
+                    } => {
+                        // Arguments evaluate before the callee resolves,
+                        // matching the tree-walking interpreter's error
+                        // order for programs that are both ill-scoped and
+                        // call a missing procedure.
                         let arg_values =
                             args.iter()
                                 .map(|a| eval_expr(&env, a))
                                 .collect::<Result<Vec<_>, _>>()?;
-                        let callee = self
-                            .program
-                            .proc(&proc)
-                            .ok_or_else(|| CoroutineError::UnknownProc(proc.to_string()))?;
-                        // Emit a fold marker per channel the callee uses.
-                        let mut marks: Vec<ChannelName> = Vec::new();
-                        if let Some(c) = &callee.consumes {
-                            marks.push(c.clone());
-                        }
-                        if let Some(c) = &callee.provides {
-                            marks.push(c.clone());
-                        }
-                        if let Some((first_mark, rest_marks)) = marks.split_first() {
+                        let callee = match callee {
+                            CalleeRef::Resolved(id) => *id,
+                            CalleeRef::Unknown(name) => {
+                                return Err(CoroutineError::UnknownProc(name.to_string()))
+                            }
+                        };
+                        if let Some(chan) = marks.first() {
+                            let suspend = Suspend::CallMarker { chan: chan.clone() };
                             self.control = Control::AwaitResume(Pending::CallAck {
-                                remaining_marks: rest_marks.to_vec(),
-                                callee: proc.clone(),
+                                node: cmd,
+                                next_mark: 1,
+                                callee,
                                 args: arg_values,
                             });
-                            return Ok(Step::Suspended(Suspend::CallMarker {
-                                chan: first_mark.clone(),
-                            }));
+                            return Ok(Step::Suspended(suspend));
                         }
-                        self.enter_callee(&proc, arg_values)?;
+                        let (body, callee_env) = bind_args(&self.program, callee, arg_values)?;
+                        self.control = Control::Run {
+                            cmd: body,
+                            env: callee_env,
+                        };
                     }
-                    Cmd::Sample { dir, chan, dist } => {
-                        let d = match eval_expr(&env, &dist)? {
+                    CmdNode::Sample {
+                        dir,
+                        chan,
+                        dist,
+                        declared,
+                    } => {
+                        check_declared(*declared, chan)?;
+                        let d = match eval_expr(&env, dist)? {
                             Value::Dist(d) => d,
                             other => {
                                 return Err(CoroutineError::Eval(EvalError::Dynamic(format!(
@@ -453,7 +448,6 @@ impl<'p> Coroutine<'p> {
                                 ))))
                             }
                         };
-                        self.check_channel(&chan)?;
                         let suspend = match dir {
                             Dir::Send => Suspend::SampleSend {
                                 chan: chan.clone(),
@@ -467,17 +461,17 @@ impl<'p> Coroutine<'p> {
                         self.control = Control::AwaitResume(Pending::Sample { dist: d });
                         return Ok(Step::Suspended(suspend));
                     }
-                    Cmd::Branch {
+                    CmdNode::Branch {
                         dir,
                         chan,
                         pred,
-                        then_cmd,
-                        else_cmd,
+                        declared,
+                        ..
                     } => {
-                        self.check_channel(&chan)?;
+                        check_declared(*declared, chan)?;
                         match dir {
                             Dir::Send => {
-                                let selection = match &pred {
+                                let selection = match pred {
                                     Some(p) => eval_expr(&env, p)?.as_bool().ok_or_else(|| {
                                         CoroutineError::Eval(EvalError::Dynamic(
                                             "non-Boolean branch predicate".into(),
@@ -489,24 +483,22 @@ impl<'p> Coroutine<'p> {
                                         )))
                                     }
                                 };
-                                self.control = Control::AwaitResume(Pending::BranchSend {
+                                let suspend = Suspend::BranchSend {
+                                    chan: chan.clone(),
                                     selection,
-                                    then_cmd: *then_cmd,
-                                    else_cmd: *else_cmd,
+                                };
+                                self.control = Control::AwaitResume(Pending::BranchSend {
+                                    node: cmd,
+                                    selection,
                                     env,
                                 });
-                                return Ok(Step::Suspended(Suspend::BranchSend {
-                                    chan,
-                                    selection,
-                                }));
+                                return Ok(Step::Suspended(suspend));
                             }
                             Dir::Recv => {
-                                self.control = Control::AwaitResume(Pending::BranchRecv {
-                                    then_cmd: *then_cmd,
-                                    else_cmd: *else_cmd,
-                                    env,
-                                });
-                                return Ok(Step::Suspended(Suspend::BranchRecv { chan }));
+                                let suspend = Suspend::BranchRecv { chan: chan.clone() };
+                                self.control =
+                                    Control::AwaitResume(Pending::BranchRecv { node: cmd, env });
+                                return Ok(Step::Suspended(suspend));
                             }
                         }
                     }
@@ -514,17 +506,35 @@ impl<'p> Coroutine<'p> {
             }
         }
     }
+}
 
-    fn check_channel(&self, chan: &ChannelName) -> Result<(), CoroutineError> {
-        if self.channels.consumes.as_ref() == Some(chan)
-            || self.channels.provides.as_ref() == Some(chan)
-        {
-            Ok(())
-        } else {
-            Err(CoroutineError::Protocol(format!(
-                "channel '{chan}' is not declared by the current procedure"
-            )))
-        }
+/// Checks arity and builds the callee's environment, returning its entry
+/// node.
+fn bind_args(
+    program: &Arc<CompiledProgram>,
+    id: ProcId,
+    args: Vec<Value>,
+) -> Result<(CmdId, Env), CoroutineError> {
+    let proc = program.proc(id);
+    if proc.params.len() != args.len() {
+        return Err(CoroutineError::Protocol(format!(
+            "procedure '{}' expects {} argument(s), got {}",
+            proc.name,
+            proc.params.len(),
+            args.len()
+        )));
+    }
+    let env = Env::from_bindings(proc.params.iter().cloned().zip(args));
+    Ok((proc.body, env))
+}
+
+fn check_declared(declared: bool, chan: &ChannelName) -> Result<(), CoroutineError> {
+    if declared {
+        Ok(())
+    } else {
+        Err(CoroutineError::Protocol(format!(
+            "channel '{chan}' is not declared by the current procedure"
+        )))
     }
 }
 
@@ -533,8 +543,12 @@ mod tests {
     use super::*;
     use ppl_syntax::parse_program;
 
-    fn guide_program() -> Program {
-        parse_program(
+    fn compile(src: &str) -> Arc<CompiledProgram> {
+        CompiledProgram::compile_shared(&parse_program(src).unwrap())
+    }
+
+    fn guide_program() -> Arc<CompiledProgram> {
+        compile(
             r#"
             proc Guide1() provide latent {
               let v <- sample send latent (Gamma(1.0, 1.0));
@@ -547,7 +561,6 @@ mod tests {
             }
         "#,
         )
-        .unwrap()
     }
 
     #[test]
@@ -585,6 +598,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(co.steps_taken() > 0);
+        assert!(Arc::ptr_eq(co.program(), &prog));
     }
 
     #[test]
@@ -609,7 +623,7 @@ mod tests {
 
     #[test]
     fn call_markers_are_emitted_per_channel() {
-        let prog = parse_program(
+        let prog = compile(
             r#"
             proc Outer() consume latent provide obs {
               let _ <- call Inner();
@@ -621,8 +635,7 @@ mod tests {
               return ()
             }
         "#,
-        )
-        .unwrap();
+        );
         let mut co = Coroutine::spawn(&prog, &"Outer".into(), vec![]).unwrap();
         let step = co.start().unwrap();
         let first_chan = match &step {
@@ -663,17 +676,50 @@ mod tests {
 
     #[test]
     fn undeclared_channel_is_rejected_at_runtime() {
-        let prog = parse_program(
+        let prog = compile(
             r#"
             proc P() consume latent {
               let _ <- sample recv other (Unif);
               return ()
             }
         "#,
-        )
-        .unwrap();
+        );
         let mut co = Coroutine::spawn(&prog, &"P".into(), vec![]).unwrap();
         assert!(matches!(co.start(), Err(CoroutineError::Protocol(_))));
+    }
+
+    #[test]
+    fn unknown_callee_is_rejected_when_executed() {
+        let prog = compile(
+            r#"
+            proc P() consume latent {
+              let _ <- call Missing();
+              return ()
+            }
+        "#,
+        );
+        let mut co = Coroutine::spawn(&prog, &"P".into(), vec![]).unwrap();
+        assert!(matches!(co.start(), Err(CoroutineError::UnknownProc(_))));
+        // Argument evaluation precedes callee resolution: a call that is
+        // both ill-scoped and unresolvable reports the evaluation error.
+        let prog = compile(
+            r#"
+            proc Q() consume latent {
+              let _ <- call Missing(undefined_var);
+              return ()
+            }
+        "#,
+        );
+        let mut co = Coroutine::spawn(&prog, &"Q".into(), vec![]).unwrap();
+        assert!(matches!(co.start(), Err(CoroutineError::Eval(_))));
+    }
+
+    #[test]
+    fn coroutines_are_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let prog = guide_program();
+        let co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
+        assert_send(&co);
     }
 
     #[test]

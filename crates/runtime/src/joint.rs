@@ -9,12 +9,14 @@
 //! values, and accumulates both log-weights.
 
 use crate::coroutine::{Coroutine, CoroutineError, Resume, Step, Suspend};
+use crate::program::CompiledProgram;
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
 use ppl_semantics::trace::{Message, Trace};
 use ppl_semantics::value::Value;
 use ppl_syntax::ast::{ChannelName, Ident, Program};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised by the joint executor.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,27 +144,59 @@ impl JointSpec {
     }
 }
 
-/// The joint executor: owns the two programs and the conditioning data.
+/// The joint executor: shares the two compiled programs and the
+/// conditioning data.
+///
+/// All state is behind [`Arc`]s, so the executor is `Send + Sync` and
+/// cloning it is three reference-count bumps — the parallel particle driver
+/// hands one executor to every worker thread, and each joint execution
+/// spawns its coroutines directly over the shared [`CompiledProgram`]s with
+/// zero per-particle AST or environment copying.
 #[derive(Debug, Clone)]
-pub struct JointExecutor<'p> {
-    model_program: &'p Program,
-    guide_program: &'p Program,
-    observations: Vec<Sample>,
+pub struct JointExecutor {
+    model_program: Arc<CompiledProgram>,
+    guide_program: Arc<CompiledProgram>,
+    observations: Arc<[Sample]>,
 }
 
-impl<'p> JointExecutor<'p> {
-    /// Creates an executor.  `observations` is the sequence of values for
-    /// the model's observation channel, in program order.
+impl JointExecutor {
+    /// Creates an executor, compiling both programs into shared form.
+    /// `observations` is the sequence of values for the model's observation
+    /// channel, in program order.
     pub fn new(
-        model_program: &'p Program,
-        guide_program: &'p Program,
+        model_program: &Program,
+        guide_program: &Program,
+        observations: Vec<Sample>,
+    ) -> Self {
+        JointExecutor::from_compiled(
+            CompiledProgram::compile_shared(model_program),
+            CompiledProgram::compile_shared(guide_program),
+            observations,
+        )
+    }
+
+    /// Creates an executor over already-compiled programs (shares them
+    /// instead of recompiling — e.g. across many observation sets).
+    pub fn from_compiled(
+        model_program: Arc<CompiledProgram>,
+        guide_program: Arc<CompiledProgram>,
         observations: Vec<Sample>,
     ) -> Self {
         JointExecutor {
             model_program,
             guide_program,
-            observations,
+            observations: observations.into(),
         }
+    }
+
+    /// The compiled model program.
+    pub fn model_program(&self) -> &Arc<CompiledProgram> {
+        &self.model_program
+    }
+
+    /// The compiled guide program.
+    pub fn guide_program(&self) -> &Arc<CompiledProgram> {
+        &self.guide_program
     }
 
     /// The conditioning observations.
@@ -184,21 +218,29 @@ impl<'p> JointExecutor<'p> {
         rng: &mut Pcg32,
     ) -> Result<JointResult, RuntimeError> {
         let mut model = Coroutine::spawn(
-            self.model_program,
+            &self.model_program,
             &spec.model_proc,
             spec.model_args.clone(),
         )?;
         let mut guide = Coroutine::spawn(
-            self.guide_program,
+            &self.guide_program,
             &spec.guide_proc,
             spec.guide_args.clone(),
         )?;
-        let mut replay_values: Vec<Sample> = match source {
-            LatentSource::FromGuide => Vec::new(),
-            LatentSource::Replay(trace) => trace.provider_samples(),
+        // Replay borrows the trace and walks its sample values (`valP` and
+        // `valC` — whichever side sent each one) in place, so re-scoring a
+        // proposal (the MCMC inner loop) allocates nothing.
+        let mut replay_values = match source {
+            LatentSource::FromGuide => None,
+            LatentSource::Replay(trace) => Some(trace.sample_value_iter()),
         };
-        replay_values.reverse(); // pop from the back
-        let replaying = matches!(source, LatentSource::Replay(_));
+        let mut next_latent =
+            |dist: &ppl_dist::Distribution, rng: &mut Pcg32| -> Result<Sample, RuntimeError> {
+                match replay_values.as_mut() {
+                    Some(iter) => iter.next().ok_or(RuntimeError::ReplayExhausted),
+                    None => Ok(dist.draw(rng)),
+                }
+            };
 
         let mut latent = Trace::new();
         let mut obs_used = 0usize;
@@ -268,11 +310,7 @@ impl<'p> JointExecutor<'p> {
                 (Suspend::SampleRecv { chan: mc, .. }, Suspend::SampleSend { chan: gc, dist })
                     if mc == spec.latent_chan && gc == spec.latent_chan =>
                 {
-                    let value = if replaying {
-                        replay_values.pop().ok_or(RuntimeError::ReplayExhausted)?
-                    } else {
-                        dist.draw(rng)
-                    };
+                    let value = next_latent(&dist, rng)?;
                     guide_step = guide.resume(Resume::Sample(value))?;
                     model_step = model.resume(Resume::Sample(value))?;
                     latent.push(Message::ValP(value));
@@ -282,11 +320,7 @@ impl<'p> JointExecutor<'p> {
                 (Suspend::SampleSend { chan: mc, dist }, Suspend::SampleRecv { chan: gc, .. })
                     if mc == spec.latent_chan && gc == spec.latent_chan =>
                 {
-                    let value = if replaying {
-                        replay_values.pop().ok_or(RuntimeError::ReplayExhausted)?
-                    } else {
-                        dist.draw(rng)
-                    };
+                    let value = next_latent(&dist, rng)?;
                     model_step = model.resume(Resume::Sample(value))?;
                     guide_step = guide.resume(Resume::Sample(value))?;
                     latent.push(Message::ValC(value));
@@ -462,6 +496,54 @@ mod tests {
     }
 
     #[test]
+    fn dual_direction_latent_traces_replay_exactly() {
+        // The model *sends* on the latent channel (`τ ⊃ A`), so the trace
+        // records `valC` messages; replay must feed those back too.
+        let model = parse_program(
+            r#"
+            proc Model() : real consume latent provide obs {
+              let x <- sample send latent (Normal(0.0, 1.0));
+              let y <- sample recv latent (Normal(x, 1.0));
+              let _ <- sample send obs (Normal(y, 1.0));
+              return x
+            }
+        "#,
+        )
+        .unwrap();
+        let guide = parse_program(
+            r#"
+            proc Guide() provide latent {
+              let x <- sample recv latent (Normal(0.0, 2.0));
+              let y <- sample send latent (Normal(x, 2.0));
+              return ()
+            }
+        "#,
+        )
+        .unwrap();
+        let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.5)]);
+        let spec = JointSpec::new("Model", "Guide");
+        let mut rng = Pcg32::seed_from_u64(17);
+        let first = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+        // The recorded trace mixes both directions.
+        assert!(first
+            .latent
+            .messages()
+            .iter()
+            .any(|m| matches!(m, Message::ValC(_))));
+        assert!(first
+            .latent
+            .messages()
+            .iter()
+            .any(|m| matches!(m, Message::ValP(_))));
+        let replayed = exec
+            .run(&spec, LatentSource::Replay(&first.latent), &mut rng)
+            .unwrap();
+        assert_eq!(replayed.latent, first.latent);
+        assert_eq!(replayed.log_model.to_bits(), first.log_model.to_bits());
+        assert_eq!(replayed.log_guide.to_bits(), first.log_guide.to_bits());
+    }
+
+    #[test]
     fn joint_execution_agrees_with_trace_semantics() {
         // Cross-validation: score the recorded latent trace with the
         // big-step evaluator of ppl-semantics and compare.
@@ -594,6 +676,61 @@ mod tests {
             let samples = r.latent_samples().len();
             assert_eq!(samples, folds, "one unif per recursion level");
             assert!(r.log_importance_weight().is_finite());
+        }
+    }
+
+    #[test]
+    fn executor_is_send_sync_and_cheap_to_share() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let (model, guide) = fig5();
+        let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.8)]);
+        assert_send_sync(&exec);
+        // Clones share the same compiled programs.
+        let clone = exec.clone();
+        assert!(Arc::ptr_eq(exec.model_program(), clone.model_program()));
+        assert!(Arc::ptr_eq(exec.guide_program(), clone.guide_program()));
+        // from_compiled reuses a compilation across observation sets.
+        let other = JointExecutor::from_compiled(
+            Arc::clone(exec.model_program()),
+            Arc::clone(exec.guide_program()),
+            vec![Sample::Real(0.1)],
+        );
+        assert!(Arc::ptr_eq(exec.model_program(), other.model_program()));
+        assert_eq!(other.observations(), &[Sample::Real(0.1)]);
+    }
+
+    #[test]
+    fn identical_runs_from_identical_rng_states_agree_across_threads() {
+        let (model, guide) = fig5();
+        let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.8)]);
+        let spec = JointSpec::new("Model", "Guide1");
+        let master = Pcg32::seed_from_u64(99);
+        let sequential: Vec<JointResult> = (0..16)
+            .map(|i| {
+                let mut rng = master.split(i);
+                exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap()
+            })
+            .collect();
+        let mut parallel: Vec<Option<JointResult>> = vec![None; 16];
+        std::thread::scope(|s| {
+            for (chunk_idx, chunk) in parallel.chunks_mut(4).enumerate() {
+                let exec = &exec;
+                let spec = &spec;
+                let master = &master;
+                s.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let i = (chunk_idx * 4 + j) as u64;
+                        let mut rng = master.split(i);
+                        *slot = Some(exec.run(spec, LatentSource::FromGuide, &mut rng).unwrap());
+                    }
+                });
+            }
+        });
+        for (seq, par) in sequential.iter().zip(&parallel) {
+            let par = par.as_ref().unwrap();
+            assert_eq!(seq.latent, par.latent);
+            assert_eq!(seq.log_guide.to_bits(), par.log_guide.to_bits());
+            assert_eq!(seq.log_model.to_bits(), par.log_model.to_bits());
         }
     }
 

@@ -4,8 +4,13 @@
 //! with `greenlet` coroutines; this crate provides the equivalent substrate
 //! natively:
 //!
-//! * [`coroutine`] — resumable interpreters for commands that suspend at
-//!   every channel operation;
+//! * [`program`] — [`CompiledProgram`]: an `Arc`-shared, index-addressed
+//!   form of the AST with pre-resolved procedure references and channel
+//!   roles, compiled once and executed by any number of particles on any
+//!   number of threads;
+//! * [`coroutine`] — resumable interpreters over a compiled program that
+//!   suspend at every channel operation, holding only node indices and O(1)
+//!   scope-chain environments in their continuation frames;
 //! * [`joint`] — the driver that runs a model coroutine and a guide
 //!   coroutine against each other, conditioning the model's observation
 //!   channel on data and recording the latent guidance trace.
@@ -39,6 +44,8 @@
 
 pub mod coroutine;
 pub mod joint;
+pub mod program;
 
 pub use coroutine::{Coroutine, CoroutineError, Resume, Step, Suspend};
 pub use joint::{JointExecutor, JointResult, JointSpec, LatentSource, RuntimeError};
+pub use program::{CalleeRef, CmdId, CmdNode, CompiledProc, CompiledProgram, ProcId};

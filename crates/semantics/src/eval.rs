@@ -266,9 +266,9 @@ pub struct Evaluator<'a> {
     mode: Mode,
 }
 
-struct ChannelState<'c> {
+struct ChannelState<'c, 't> {
     name: Option<Ident>,
-    cursor: &'c mut TraceCursor,
+    cursor: &'c mut TraceCursor<'t>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -362,13 +362,13 @@ impl<'a> Evaluator<'a> {
             .ok_or_else(|| EvalError::UnknownProc(name.to_string()))
     }
 
-    fn eval_cmd(
+    fn eval_cmd<'t>(
         &self,
         proc: &Proc,
         env: &Env,
         cmd: &Cmd,
-        a_cursor: &mut TraceCursor,
-        b_cursor: &mut TraceCursor,
+        a_cursor: &mut TraceCursor<'t>,
+        b_cursor: &mut TraceCursor<'t>,
     ) -> Result<Evaluation, EvalError> {
         match cmd {
             Cmd::Ret(e) => Ok(Evaluation {
@@ -500,7 +500,7 @@ impl<'a> Evaluator<'a> {
                         proc.name
                     )));
                 };
-                let cursor: &mut TraceCursor = if on_consumed { a_cursor } else { b_cursor };
+                let cursor: &mut TraceCursor<'_> = if on_consumed { a_cursor } else { b_cursor };
                 let msg = cursor.pop().ok_or_else(|| {
                     EvalError::Stuck(format!("trace exhausted at branch on channel '{chan}'"))
                 })?;
@@ -542,7 +542,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn expect_fold(&self, cursor: &mut TraceCursor, which: &str) -> Result<(), EvalError> {
+    fn expect_fold(&self, cursor: &mut TraceCursor<'_>, which: &str) -> Result<(), EvalError> {
         match cursor.pop() {
             Some(Message::Fold) => Ok(()),
             Some(other) => Err(EvalError::Stuck(format!(

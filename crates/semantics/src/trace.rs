@@ -5,11 +5,13 @@
 //! (`dirP`/`dirC`), and the procedure-call marker `fold`.
 
 use ppl_dist::Sample;
-use std::collections::VecDeque;
 use std::fmt;
 
 /// A single guidance message.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Messages are small scalar payloads, so the type is `Copy`: replay
+/// cursors hand them out by value without touching the owning trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Message {
     /// `valP(v)` — a sample value sent by the channel's provider.
     ValP(Sample),
@@ -81,13 +83,31 @@ impl Trace {
     /// Iterates over the sample values sent by the provider (`valP`), in
     /// order — the "latent variables" view of a latent-channel trace.
     pub fn provider_samples(&self) -> Vec<Sample> {
-        self.messages
-            .iter()
-            .filter_map(|m| match m {
-                Message::ValP(v) => Some(*v),
-                _ => None,
-            })
-            .collect()
+        self.provider_sample_iter().collect()
+    }
+
+    /// A borrowing iterator over the provider samples (`valP`), in order.
+    pub fn provider_sample_iter(&self) -> impl Iterator<Item = Sample> + '_ {
+        self.messages.iter().filter_map(|m| match m {
+            Message::ValP(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// A borrowing iterator over *every* sample value (`valP` and `valC`),
+    /// in message order.
+    ///
+    /// This is the value stream a replay must feed back: each sample
+    /// rendezvous recorded exactly one `valP` or `valC` (depending on which
+    /// side sent it), and re-execution visits the rendezvous in the same
+    /// order.  Replay paths use this instead of collecting
+    /// [`Trace::provider_samples`] so that re-scoring a trace allocates
+    /// nothing.
+    pub fn sample_value_iter(&self) -> impl Iterator<Item = Sample> + '_ {
+        self.messages.iter().filter_map(|m| match m {
+            Message::ValP(v) | Message::ValC(v) => Some(*v),
+            _ => None,
+        })
     }
 
     /// Returns a copy of the trace with the `index`-th provider sample
@@ -96,24 +116,25 @@ impl Trace {
     /// Returns `None` if there are fewer than `index + 1` provider samples.
     pub fn with_provider_sample(&self, index: usize, value: Sample) -> Option<Trace> {
         let mut seen = 0usize;
-        let mut out = self.clone();
-        for m in out.messages.iter_mut() {
-            if let Message::ValP(v) = m {
-                if seen == index {
-                    *v = value;
-                    return Some(out);
-                }
+        let pos = self.messages.iter().position(|m| {
+            if matches!(m, Message::ValP(_)) {
+                let hit = seen == index;
                 seen += 1;
-                let _ = v;
+                hit
+            } else {
+                false
             }
-        }
-        None
+        })?;
+        let mut out = self.clone();
+        out.messages[pos] = Message::ValP(value);
+        Some(out)
     }
 
-    /// A cursor reading the trace front-to-back.
-    pub fn cursor(&self) -> TraceCursor {
+    /// A cursor reading the trace front-to-back (a borrow, not a copy).
+    pub fn cursor(&self) -> TraceCursor<'_> {
         TraceCursor {
-            queue: self.messages.iter().cloned().collect(),
+            messages: &self.messages,
+            pos: 0,
         }
     }
 }
@@ -145,39 +166,49 @@ impl Extend<Message> for Trace {
     }
 }
 
-/// A consuming cursor over a trace, used by the evaluator to pop messages in
+/// A cursor over a borrowed trace, used by the evaluator to pop messages in
 /// order.
+///
+/// The cursor is a `&[Message]` slice plus a position — creating one per
+/// replay copies nothing, which matters for MCMC where every proposal
+/// re-scores a full trace.
 #[derive(Debug, Clone)]
-pub struct TraceCursor {
-    queue: VecDeque<Message>,
+pub struct TraceCursor<'a> {
+    messages: &'a [Message],
+    pos: usize,
 }
 
-impl TraceCursor {
+impl TraceCursor<'_> {
     /// An empty cursor (for absent channels).
     pub fn empty() -> Self {
         TraceCursor {
-            queue: VecDeque::new(),
+            messages: &[],
+            pos: 0,
         }
     }
 
     /// Pops the next message, if any.
     pub fn pop(&mut self) -> Option<Message> {
-        self.queue.pop_front()
+        let m = self.messages.get(self.pos).copied();
+        if m.is_some() {
+            self.pos += 1;
+        }
+        m
     }
 
     /// Peeks at the next message.
     pub fn peek(&self) -> Option<&Message> {
-        self.queue.front()
+        self.messages.get(self.pos)
     }
 
     /// Number of remaining messages.
     pub fn remaining(&self) -> usize {
-        self.queue.len()
+        self.messages.len() - self.pos
     }
 
     /// True if all messages have been consumed.
     pub fn is_exhausted(&self) -> bool {
-        self.queue.is_empty()
+        self.pos == self.messages.len()
     }
 }
 

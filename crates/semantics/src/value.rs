@@ -4,6 +4,7 @@ use ppl_dist::{Distribution, Sample};
 use ppl_syntax::ast::{BaseType, Expr, Ident};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime value of the deterministic fragment.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,9 +134,27 @@ impl fmt::Display for Value {
 }
 
 /// A runtime environment `V` mapping program variables to values.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Environments form a *persistent scope chain*: each [`Env`] is a pointer
+/// to an immutable frame holding the bindings introduced at that scope plus
+/// an [`Arc`] link to the parent frame.  Extension ([`Env::extended`]) is
+/// O(1) — it allocates one small frame and bumps the parent's reference
+/// count — and cloning an environment is a single `Arc` clone, so the
+/// coroutine interpreter can capture the environment in every continuation
+/// frame without ever copying a binding map.  Lookup walks the chain from
+/// the innermost frame outwards, which gives the usual shadowing semantics
+/// of `V[x ↦ v]`.  `Arc` (rather than `Rc`) keeps values `Send + Sync` so
+/// whole coroutines can move across the parallel particle driver's threads.
+#[derive(Clone, Default)]
 pub struct Env {
-    vars: HashMap<Ident, Value>,
+    head: Option<Arc<EnvFrame>>,
+}
+
+/// One immutable frame of the scope chain.
+#[derive(Debug)]
+struct EnvFrame {
+    bindings: Vec<(Ident, Value)>,
+    parent: Option<Arc<EnvFrame>>,
 }
 
 impl Env {
@@ -144,22 +163,42 @@ impl Env {
         Self::default()
     }
 
-    /// Returns a copy of the environment extended with a binding
-    /// (`V[x ↦ v]`).
+    /// Returns the environment extended with a binding (`V[x ↦ v]`).
+    ///
+    /// O(1): the receiver is shared as the parent of a fresh one-binding
+    /// frame, never copied.
     pub fn extended(&self, x: Ident, v: Value) -> Env {
-        let mut next = self.clone();
-        next.vars.insert(x, v);
-        next
+        Env {
+            head: Some(Arc::new(EnvFrame {
+                bindings: vec![(x, v)],
+                parent: self.head.clone(),
+            })),
+        }
     }
 
     /// Adds a binding in place.
+    ///
+    /// When this environment is the sole owner of its innermost frame the
+    /// binding is pushed into it; otherwise a fresh frame is chained on, so
+    /// sharers of the old frame are never affected.
     pub fn insert(&mut self, x: Ident, v: Value) {
-        self.vars.insert(x, v);
+        if let Some(head) = self.head.as_mut().and_then(Arc::get_mut) {
+            head.bindings.push((x, v));
+            return;
+        }
+        *self = self.extended(x, v);
     }
 
-    /// Looks up a variable.
+    /// Looks up a variable, innermost binding first.
     pub fn lookup(&self, x: &Ident) -> Option<&Value> {
-        self.vars.get(x)
+        let mut frame = self.head.as_deref();
+        while let Some(f) = frame {
+            if let Some((_, v)) = f.bindings.iter().rev().find(|(name, _)| name == x) {
+                return Some(v);
+            }
+            frame = f.parent.as_deref();
+        }
+        None
     }
 
     /// Builds an environment from name/value pairs.
@@ -171,14 +210,55 @@ impl Env {
         env
     }
 
-    /// Number of bindings.
+    /// Number of *visible* (distinct-name) bindings.
+    ///
+    /// O(total bindings in the chain) — a reflection helper, not a hot-path
+    /// operation.
     pub fn len(&self) -> usize {
-        self.vars.len()
+        self.flattened().len()
     }
 
-    /// True if the environment is empty.
+    /// True if the environment has no bindings.
     pub fn is_empty(&self) -> bool {
-        self.vars.is_empty()
+        // Every frame holds at least one binding (`extended` creates a
+        // one-binding frame; `insert` pushes into or chains one), so an
+        // environment is empty exactly when it has no frame at all.
+        self.head.is_none()
+    }
+
+    /// The visible bindings as a map (shadowed bindings resolved).
+    fn flattened(&self) -> HashMap<&Ident, &Value> {
+        let mut frames = Vec::new();
+        let mut frame = self.head.as_deref();
+        while let Some(f) = frame {
+            frames.push(f);
+            frame = f.parent.as_deref();
+        }
+        let mut map = HashMap::new();
+        // Outermost first so inner bindings override.
+        for f in frames.into_iter().rev() {
+            for (x, v) in &f.bindings {
+                map.insert(x, v);
+            }
+        }
+        map
+    }
+}
+
+impl PartialEq for Env {
+    /// Structural equality of the *visible* bindings (two environments are
+    /// equal when every lookup agrees, regardless of frame layout).
+    fn eq(&self, other: &Self) -> bool {
+        self.flattened() == other.flattened()
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let map = self.flattened();
+        let mut entries: Vec<_> = map.iter().collect();
+        entries.sort_by_key(|(x, _)| x.as_str());
+        f.debug_map().entries(entries).finish()
     }
 }
 
@@ -234,5 +314,48 @@ mod tests {
         let env3 =
             Env::from_bindings([("a".into(), Value::Nat(1)), ("b".into(), Value::Bool(true))]);
         assert_eq!(env3.len(), 2);
+    }
+
+    #[test]
+    fn scope_chain_shadowing_and_persistence() {
+        let base = Env::from_bindings([("x".into(), Value::Real(1.0))]);
+        let shadowed = base.extended("x".into(), Value::Real(2.0));
+        // The inner binding wins in the extension; the base is untouched.
+        assert_eq!(shadowed.lookup(&"x".into()), Some(&Value::Real(2.0)));
+        assert_eq!(base.lookup(&"x".into()), Some(&Value::Real(1.0)));
+        // Shadowing does not create a new visible binding.
+        assert_eq!(shadowed.len(), 1);
+        // Two chains with the same visible bindings are equal even when
+        // their frame layouts differ.
+        let flat = Env::from_bindings([("x".into(), Value::Real(2.0))]);
+        assert_eq!(shadowed, flat);
+        assert_ne!(base, flat);
+    }
+
+    #[test]
+    fn insert_never_mutates_sharers() {
+        let mut a = Env::from_bindings([("x".into(), Value::Nat(1))]);
+        let b = a.clone();
+        a.insert("y".into(), Value::Nat(2));
+        assert_eq!(a.lookup(&"y".into()), Some(&Value::Nat(2)));
+        assert!(b.lookup(&"y".into()).is_none(), "sharer must be unaffected");
+        // In-place insert on a sole owner also shadows correctly.
+        let mut c = Env::new();
+        c.insert("x".into(), Value::Nat(1));
+        c.insert("x".into(), Value::Nat(2));
+        assert_eq!(c.lookup(&"x".into()), Some(&Value::Nat(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn deep_chains_resolve_outer_bindings() {
+        let mut env = Env::from_bindings([("x0".into(), Value::Nat(0))]);
+        for i in 1..200u64 {
+            env = env.extended(format!("x{i}").into(), Value::Nat(i));
+        }
+        assert_eq!(env.len(), 200);
+        assert_eq!(env.lookup(&"x0".into()), Some(&Value::Nat(0)));
+        assert_eq!(env.lookup(&"x199".into()), Some(&Value::Nat(199)));
+        assert!(env.lookup(&"x200".into()).is_none());
     }
 }

@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples_per_iteration: 10,
         learning_rate: 0.08,
         fd_epsilon: 1e-4,
+        ..ViConfig::default()
     };
     let mut rng = Pcg32::seed_from_u64(11);
     let result = session.variational_inference(observations, &params, config, &mut rng)?;

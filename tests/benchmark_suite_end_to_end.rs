@@ -52,6 +52,7 @@ fn variational_inference_runs_on_every_vi_benchmark() {
             samples_per_iteration: 6,
             learning_rate: 0.08,
             fd_epsilon: 1e-4,
+            ..ViConfig::default()
         };
         let mut rng = Pcg32::seed_from_u64(0xBEEF);
         let result = session
