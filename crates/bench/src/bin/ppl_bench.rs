@@ -13,7 +13,9 @@
 //! `BENCH_inference.json`); CI runs this as a smoke step so the performance
 //! trajectory is tracked per commit.
 
-use ppl_bench::throughput::{bench_json, engine_timings, throughput_rows, ThroughputConfig};
+use ppl_bench::throughput::{
+    bench_json, engine_timings, serving_rows, throughput_rows, ThroughputConfig,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -69,6 +71,32 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\nbatched serving — one compiled model, many observation sets");
+    println!(
+        "{:<14} {:>8} {:>12} {:>14} {:>14} {:>9} {:>10}",
+        "benchmark",
+        "queries",
+        "particles/q",
+        "1-thread q/s",
+        "N-thread q/s",
+        "speedup",
+        "identical"
+    );
+    let serving = serving_rows(&config);
+    for r in &serving {
+        all_identical &= r.bit_identical;
+        println!(
+            "{:<14} {:>8} {:>12} {:>14.1} {:>14.1} {:>8.2}x {:>10}",
+            r.name,
+            r.queries,
+            r.particles_per_query,
+            r.seq_queries_per_sec,
+            r.par_queries_per_sec,
+            r.speedup,
+            r.bit_identical,
+        );
+    }
+
     println!("\nengine wall times");
     let engines = engine_timings(&config);
     for e in &engines {
@@ -79,7 +107,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let json = bench_json(&config, &rows, &engines);
+        let json = bench_json(&config, &rows, &engines, &serving);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -15,12 +15,12 @@
 
 pub mod throughput;
 
-use guide_ppl::Session;
+use guide_ppl::{Method, Session};
 use ppl_compiler::Style;
 use ppl_dist::rng::Pcg32;
 use ppl_dist::special::log_sum_exp;
 use ppl_dist::{Distribution, Sample};
-use ppl_inference::{ImportanceSampler, ParamSpec, ViConfig};
+use ppl_inference::{ImportanceSampler, ParamSpec, VariationalInference, ViConfig};
 use ppl_models::{
     all_benchmarks, benchmark, handwritten, handwritten_is, handwritten_vi, InferenceKind,
 };
@@ -197,10 +197,14 @@ fn table2_row(name: &'static str, kind: InferenceKind, config: &Table2Config) ->
                 fd_epsilon: 1e-4,
                 num_threads: 1,
             };
+            // Engine-level VI (like the IS rows use the engine-level
+            // sampler): the timed work is exactly the fit, matching what
+            // the handwritten baseline below does.
+            let executor = session.executor(b.observations.clone());
             let mut rng = Pcg32::seed_from_u64(7_777);
             let gi_start = Instant::now();
-            let result = session
-                .variational_inference(b.observations.clone(), &params, vi_config.clone(), &mut rng)
+            let result = VariationalInference::new(vi_config.clone())
+                .run(&executor, &session.spec(), &params, &mut rng)
                 .expect("coroutine VI");
             let coroutine_inference_time = gi_start.elapsed();
             let coroutine_estimate = result.final_elbo();
@@ -345,10 +349,15 @@ pub struct Fig2Point {
 /// Regenerates the Fig. 2 series: prior and posterior densities of `@x`.
 pub fn fig2_series(num_particles: usize, bins: usize, seed: u64) -> Vec<Fig2Point> {
     let session = Session::from_benchmark("ex-1").expect("ex-1 is registered");
-    let mut rng = Pcg32::seed_from_u64(seed);
     let posterior = session
-        .importance_sampling(vec![Sample::Real(0.8)], num_particles, &mut rng)
+        .query()
+        .observe(vec![Sample::Real(0.8)])
+        .seed(seed)
+        .run(&Method::Importance {
+            particles: num_particles,
+        })
         .expect("importance sampling");
+    let posterior = posterior.as_importance().expect("IS result");
     let hist = posterior.weighted_histogram(0.0, 7.0, bins, |p| Some(p.samples[0].as_f64()));
     let prior = Distribution::gamma(2.0, 1.0).expect("parameters");
     hist.centers()
@@ -472,16 +481,19 @@ mod tests {
 
     #[test]
     fn handwritten_and_coroutine_is_agree_on_ex1() {
+        use guide_ppl::Posterior;
         let b = benchmark("ex-1").unwrap();
         let h = handwritten_is("ex-1").unwrap();
         let mut rng = Pcg32::seed_from_u64(1);
         let hand = handwritten_importance(h.particle, &b.observations, 40_000, &mut rng);
         let session = Session::from_benchmark("ex-1").unwrap();
-        let mut rng = Pcg32::seed_from_u64(2);
         let coro = session
-            .importance_sampling(b.observations.clone(), 40_000, &mut rng)
+            .query()
+            .observe(b.observations.clone())
+            .seed(2)
+            .run(&Method::Importance { particles: 40_000 })
             .unwrap()
-            .posterior_mean_of_sample(0)
+            .mean_of_sample(0)
             .unwrap();
         assert!(
             (hand - coro).abs() < 0.1,

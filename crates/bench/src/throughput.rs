@@ -8,12 +8,18 @@
 //! produce bit-identical results — which every row re-verifies — so the
 //! speedup column is a pure scheduling win, not a different computation.
 //!
+//! [`serving_rows`] measures the batched-serving primitive on top of the
+//! same guarantee: one compiled model answers a grid of observation sets
+//! through [`Session::run_batch_threaded`], 1 vs N batch threads, with the
+//! per-query posteriors re-verified bit-identical.
+//!
 //! [`bench_json`] serialises the rows (plus per-engine wall times) into the
 //! machine-readable `BENCH_inference.json` consumed by CI, so the perf
 //! trajectory of the runtime is tracked from commit to commit.
 
-use guide_ppl::Session;
+use guide_ppl::{Method, PosteriorResult, Query, Session};
 use ppl_dist::rng::Pcg32;
+use ppl_dist::Sample;
 use ppl_inference::{ImportanceSampler, IndependenceMh, ParamSpec, VariationalInference, ViConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -134,6 +140,129 @@ fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRo
     }
 }
 
+/// One batched-serving measurement: many observation sets answered by one
+/// compiled model through [`Session::run_batch_threaded`].
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Importance-sampling particles per query.
+    pub particles_per_query: usize,
+    /// Batch worker threads for the parallel configuration.
+    pub batch_threads: usize,
+    /// Wall time of the single-threaded batch, in seconds.
+    pub seq_seconds: f64,
+    /// Wall time of the parallel batch, in seconds.
+    pub par_seconds: f64,
+    /// Queries answered per second, single-threaded.
+    pub seq_queries_per_sec: f64,
+    /// Queries answered per second, parallel.
+    pub par_queries_per_sec: f64,
+    /// `seq_seconds / par_seconds`.
+    pub speedup: f64,
+    /// Whether both configurations produced bit-identical posteriors.
+    pub bit_identical: bool,
+}
+
+/// FNV-1a over every number that defines a posterior — all three engine
+/// variants are covered, so the bit-identity comparison can never become
+/// vacuous if the serving scenario switches methods.
+fn posterior_fingerprint(result: &PosteriorResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut word = |w: u64| {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    match result {
+        PosteriorResult::Importance(r) => {
+            word(r.log_evidence.to_bits());
+            word(r.ess.to_bits());
+            for p in &r.particles {
+                word(p.log_weight.to_bits());
+                for s in &p.samples {
+                    word(s.as_f64().to_bits());
+                }
+            }
+        }
+        PosteriorResult::Mcmc(r) => {
+            word(r.acceptance_rate.to_bits());
+            for state in &r.chain {
+                word(state.log_model.to_bits());
+                for s in &state.samples {
+                    word(s.as_f64().to_bits());
+                }
+            }
+        }
+        PosteriorResult::Vi(r) => {
+            for p in &r.fit.params {
+                word(p.to_bits());
+            }
+            for e in &r.fit.elbo_trace {
+                word(e.to_bits());
+            }
+            word(r.draws.log_evidence.to_bits());
+        }
+    }
+    h
+}
+
+/// Measures batched serving (1 vs N batch threads, bit-identity
+/// re-verified) on a conjugate reference model with a grid of observation
+/// sets — the "one compiled model, many requests" scenario.
+pub fn serving_rows(config: &ThroughputConfig) -> Vec<ServingRow> {
+    let name = "normal-normal";
+    let session = Session::from_benchmark(name).expect("registered benchmark");
+    let num_queries = 16usize;
+    let particles_per_query = (config.particles / num_queries).max(100);
+    let queries: Vec<Query> = (0..num_queries)
+        .map(|i| {
+            session
+                .query()
+                .observe(vec![Sample::Real(-2.0 + i as f64 * 0.25)])
+                .seed(config.seed ^ i as u64)
+                .build()
+                .expect("grid observations validate")
+        })
+        .collect();
+    let method = Method::Importance {
+        particles: particles_per_query,
+    };
+
+    let seq_start = Instant::now();
+    let seq = session
+        .run_batch_threaded(&queries, &method, 1)
+        .expect("sequential batch");
+    let seq_seconds = seq_start.elapsed().as_secs_f64();
+
+    let par_start = Instant::now();
+    let par = session
+        .run_batch_threaded(&queries, &method, config.threads)
+        .expect("parallel batch");
+    let par_seconds = par_start.elapsed().as_secs_f64();
+
+    let bit_identical = seq
+        .iter()
+        .zip(&par)
+        .all(|(a, b)| posterior_fingerprint(a) == posterior_fingerprint(b));
+
+    vec![ServingRow {
+        name,
+        queries: num_queries,
+        particles_per_query,
+        batch_threads: config.threads,
+        seq_seconds,
+        par_seconds,
+        seq_queries_per_sec: num_queries as f64 / seq_seconds,
+        par_queries_per_sec: num_queries as f64 / par_seconds,
+        speedup: seq_seconds / par_seconds,
+        bit_identical,
+    }]
+}
+
 /// Times each inference engine once on a reference workload.
 pub fn engine_timings(config: &ThroughputConfig) -> Vec<EngineTiming> {
     let mut out = Vec::new();
@@ -222,6 +351,7 @@ pub fn bench_json(
     config: &ThroughputConfig,
     rows: &[ThroughputRow],
     engines: &[EngineTiming],
+    serving: &[ServingRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -257,6 +387,28 @@ pub fn bench_json(
             r.bit_identical,
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"serving\": [\n");
+    for (i, r) in serving.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"queries\": {}, \"particles_per_query\": {}, \
+             \"batch_threads\": {}, \"seq_seconds\": {}, \"par_seconds\": {}, \
+             \"seq_queries_per_sec\": {}, \"par_queries_per_sec\": {}, \"speedup\": {}, \
+             \"bit_identical\": {}}}",
+            r.name,
+            r.queries,
+            r.particles_per_query,
+            r.batch_threads,
+            json_f64(r.seq_seconds),
+            json_f64(r.par_seconds),
+            json_f64(r.seq_queries_per_sec),
+            json_f64(r.par_queries_per_sec),
+            json_f64(r.speedup),
+            r.bit_identical,
+        );
+        s.push_str(if i + 1 < serving.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str("  \"engines\": [\n");
@@ -311,6 +463,25 @@ mod tests {
     }
 
     #[test]
+    fn serving_rows_are_bit_identical_across_batch_thread_counts() {
+        let config = ThroughputConfig {
+            particles: 1_600,
+            threads: 4,
+            seed: 99,
+        };
+        let rows = serving_rows(&config);
+        assert_eq!(rows.len(), 1);
+        for r in &rows {
+            assert!(r.bit_identical, "{}: batch threads changed results", r.name);
+            assert_eq!(r.queries, 16);
+            assert!(r.particles_per_query >= 100);
+            assert!(r.seq_queries_per_sec > 0.0);
+            assert!(r.par_queries_per_sec > 0.0);
+            assert!(r.speedup.is_finite() && r.speedup > 0.0);
+        }
+    }
+
+    #[test]
     fn bench_json_is_well_formed() {
         let config = ThroughputConfig {
             particles: 200,
@@ -320,7 +491,8 @@ mod tests {
         let rows = throughput_rows(&config);
         let engines = engine_timings(&config);
         assert_eq!(engines.len(), 3);
-        let json = bench_json(&config, &rows, &engines);
+        let serving = serving_rows(&config);
+        let json = bench_json(&config, &rows, &engines, &serving);
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
         assert_eq!(
@@ -333,8 +505,10 @@ mod tests {
             "\"schema\"",
             "\"host_cpus\"",
             "\"throughput\"",
+            "\"serving\"",
             "\"engines\"",
             "\"par_particles_per_sec\"",
+            "\"par_queries_per_sec\"",
             "\"speedup\"",
             "\"bit_identical\": true",
             "\"engine\": \"IS\"",

@@ -15,9 +15,15 @@
 //!
 //! # Quickstart
 //!
+//! The front door is the **query layer**: build a [`Session`] once, then
+//! ask it validated questions.  [`Session::query`] checks the observations
+//! against the model's *inferred observation protocol* before anything
+//! runs, [`Method`] picks the algorithm, and every engine's result
+//! implements the common [`Posterior`] interface.
+//!
 //! ```
-//! use guide_ppl::Session;
-//! use ppl_dist::{Sample, rng::Pcg32};
+//! use guide_ppl::{Method, Posterior, Session};
+//! use ppl_dist::Sample;
 //!
 //! let session = Session::from_sources(
 //!     "proc Model() : real consume latent provide obs {
@@ -31,18 +37,34 @@
 //!     "Guide",
 //! )?;
 //! assert!(session.compatibility().compatible);
-//! let mut rng = Pcg32::seed_from_u64(7);
-//! let posterior = session.importance_sampling(vec![Sample::Real(1.0)], 2_000, &mut rng)?;
-//! let mean = posterior.posterior_mean_of_sample(0).unwrap();
+//! let posterior = session
+//!     .query()
+//!     .observe(vec![Sample::Real(1.0)])
+//!     .seed(7)
+//!     .run(&Method::Importance { particles: 2_000 })?;
+//! let mean = posterior.mean_of_sample(0).unwrap();
 //! assert!((mean - 0.5).abs() < 0.2);
-//! # Ok::<(), guide_ppl::SessionError>(())
+//! // The same query shape serves whole batches of observation sets:
+//! let queries: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         session
+//!             .query()
+//!             .observe(vec![Sample::Real(i as f64 * 0.5)])
+//!             .seed(i as u64)
+//!             .build()
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//! let posteriors = session.run_batch(&queries, &Method::Importance { particles: 500 })?;
+//! assert_eq!(posteriors.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+pub mod query;
 
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
 use ppl_inference::{
-    ImportanceResult, ImportanceSampler, IndependenceMh, McmcResult, ParamSpec,
-    VariationalInference, ViConfig, ViResult,
+    ImportanceResult, McmcResult, ParamSpec, VariationalInference, ViConfig, ViResult,
 };
 use ppl_runtime::{JointExecutor, JointSpec, RuntimeError};
 use ppl_syntax::{parse_program, Ident, ParseError, Program};
@@ -52,12 +74,14 @@ use std::fmt;
 pub use ppl_compiler::{compile_pair, CompiledPair, Style};
 pub use ppl_dist as dist;
 pub use ppl_inference as inference;
+pub use ppl_inference::{Draw, Posterior, PosteriorSummary, Quantiles, ViPosterior};
 pub use ppl_models as models;
 pub use ppl_runtime as runtime;
 pub use ppl_semantics as semantics;
 pub use ppl_syntax as syntax;
 pub use ppl_tracetypes as tracetypes;
 pub use ppl_types as types;
+pub use query::{Method, PosteriorResult, Query, QueryBuilder, QueryError};
 
 /// Errors produced by the end-to-end pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +100,14 @@ pub enum SessionError {
     },
     /// A runtime failure during inference.
     Runtime(RuntimeError),
+    /// A query was rejected by up-front validation (see [`QueryError`]).
+    Query(QueryError),
+    /// [`Session::from_benchmark`] was asked for a name the registry does
+    /// not contain.
+    UnknownBenchmark(String),
+    /// [`Session::from_benchmark`] was asked for a registered benchmark
+    /// that is not expressible in the coroutine-based PPL.
+    NotExpressible(String),
 }
 
 impl fmt::Display for SessionError {
@@ -91,6 +123,12 @@ impl fmt::Display for SessionError {
                 "model and guide are incompatible: model latent protocol {model_latent}, guide latent protocol {guide_latent}"
             ),
             SessionError::Runtime(e) => write!(f, "{e}"),
+            SessionError::Query(e) => write!(f, "{e}"),
+            SessionError::UnknownBenchmark(name) => write!(f, "unknown benchmark '{name}'"),
+            SessionError::NotExpressible(name) => write!(
+                f,
+                "benchmark '{name}' is not expressible in the coroutine-based PPL"
+            ),
         }
     }
 }
@@ -115,6 +153,12 @@ impl From<RuntimeError> for SessionError {
     }
 }
 
+impl From<QueryError> for SessionError {
+    fn from(e: QueryError) -> Self {
+        SessionError::Query(e)
+    }
+}
+
 /// A type-checked model–guide pair, ready for inference.
 ///
 /// The session compiles both programs once into shared
@@ -126,13 +170,13 @@ impl From<RuntimeError> for SessionError {
 pub struct Session {
     model: Program,
     guide: Program,
-    model_compiled: std::sync::Arc<ppl_runtime::CompiledProgram>,
-    guide_compiled: std::sync::Arc<ppl_runtime::CompiledProgram>,
-    model_proc: Ident,
-    guide_proc: Ident,
-    model_env: TypeEnv,
+    pub(crate) model_compiled: std::sync::Arc<ppl_runtime::CompiledProgram>,
+    pub(crate) guide_compiled: std::sync::Arc<ppl_runtime::CompiledProgram>,
+    pub(crate) model_proc: Ident,
+    pub(crate) guide_proc: Ident,
+    pub(crate) model_env: TypeEnv,
     guide_env: TypeEnv,
-    compatibility: Compatibility,
+    pub(crate) compatibility: Compatibility,
 }
 
 impl Session {
@@ -198,13 +242,10 @@ impl Session {
     /// Returns an error when the benchmark is unknown or not expressible, or
     /// if (unexpectedly) its sources fail the pipeline.
     pub fn from_benchmark(name: &str) -> Result<Session, SessionError> {
-        let b = ppl_models::benchmark(name).ok_or_else(|| {
-            SessionError::Type(TypeError::new(format!("unknown benchmark '{name}'")))
-        })?;
+        let b = ppl_models::benchmark(name)
+            .ok_or_else(|| SessionError::UnknownBenchmark(name.to_string()))?;
         if !b.expressible {
-            return Err(SessionError::Type(TypeError::new(format!(
-                "benchmark '{name}' is not expressible in the coroutine-based PPL"
-            ))));
+            return Err(SessionError::NotExpressible(name.to_string()));
         }
         Session::from_sources(b.model_src, b.model_proc, b.guide_src, b.guide_proc)
     }
@@ -253,9 +294,29 @@ impl Session {
         )
     }
 
-    /// The default joint spec (conventional channel names, no arguments).
+    /// The default joint spec: no arguments, channel names resolved from
+    /// the model procedure's header.  Session construction guarantees the
+    /// model exists and consumes a channel; a model without an observation
+    /// channel gets the conventional `obs` name (never matched at
+    /// runtime).
     pub fn spec(&self) -> JointSpec {
-        JointSpec::new(self.model_proc.as_str(), self.guide_proc.as_str())
+        let meta = self
+            .model_compiled
+            .proc_named(&self.model_proc)
+            .expect("session construction verified the model procedure");
+        let latent_chan = meta
+            .consumes
+            .clone()
+            .expect("session construction verified the model consumes a channel");
+        let obs_chan = meta.provides.clone().unwrap_or_else(|| "obs".into());
+        JointSpec {
+            model_proc: self.model_proc.clone(),
+            model_args: Vec::new(),
+            guide_proc: self.guide_proc.clone(),
+            guide_args: Vec::new(),
+            latent_chan,
+            obs_chan,
+        }
     }
 
     /// Runs importance sampling with `num_particles` particles.
@@ -263,6 +324,9 @@ impl Session {
     /// # Errors
     ///
     /// Propagates runtime errors from the joint executor.
+    #[deprecated(
+        note = "use `session.query().observe(..).run(&Method::Importance { .. })`, which validates observations up front"
+    )]
     pub fn importance_sampling(
         &self,
         observations: Vec<Sample>,
@@ -270,7 +334,13 @@ impl Session {
         rng: &mut Pcg32,
     ) -> Result<ImportanceResult, SessionError> {
         let executor = self.executor(observations);
-        Ok(ImportanceSampler::new(num_particles).run(&executor, &self.spec(), rng)?)
+        let method = Method::Importance {
+            particles: num_particles,
+        };
+        match query::run_with_rng(&executor, &self.spec(), &method, 1, rng)? {
+            PosteriorResult::Importance(r) => Ok(r),
+            _ => unreachable!("importance sampling produces an importance posterior"),
+        }
     }
 
     /// Runs independence Metropolis–Hastings.
@@ -278,6 +348,9 @@ impl Session {
     /// # Errors
     ///
     /// Propagates runtime errors from the joint executor.
+    #[deprecated(
+        note = "use `session.query().observe(..).run(&Method::Mh { .. })`, which validates observations up front"
+    )]
     pub fn metropolis_hastings(
         &self,
         observations: Vec<Sample>,
@@ -286,14 +359,25 @@ impl Session {
         rng: &mut Pcg32,
     ) -> Result<McmcResult, SessionError> {
         let executor = self.executor(observations);
-        Ok(IndependenceMh::new(iterations, burn_in).run(&executor, &self.spec(), rng)?)
+        let method = Method::Mh {
+            iterations,
+            burn_in,
+        };
+        match query::run_with_rng(&executor, &self.spec(), &method, 1, rng)? {
+            PosteriorResult::Mcmc(r) => Ok(r),
+            _ => unreachable!("MH produces an MCMC posterior"),
+        }
     }
 
-    /// Runs variational inference over the given parameters.
+    /// Runs variational inference over the given parameters, returning the
+    /// bare fit (no posterior draws).
     ///
     /// # Errors
     ///
     /// Propagates runtime errors from the joint executor.
+    #[deprecated(
+        note = "use `session.query().observe(..).run(&Method::Vi { .. })`, which validates observations up front and returns a `Posterior`"
+    )]
     pub fn variational_inference(
         &self,
         observations: Vec<Sample>,
@@ -319,8 +403,9 @@ impl Session {
 
 /// Renders a protocol for human consumption: while the head of the type is
 /// a defined operator application, unfold it (guarding against recursive
-/// operators, which are left folded).
-fn render_protocol(ty: &ppl_types::GuideType, env: &TypeEnv) -> String {
+/// operators — detected by a structural occurs-check on the unfolded body —
+/// which are left folded so the rendering stays finite).
+pub(crate) fn render_protocol(ty: &ppl_types::GuideType, env: &TypeEnv) -> String {
     let mut current = ty.clone();
     for _ in 0..4 {
         match &current {
@@ -328,7 +413,7 @@ fn render_protocol(ty: &ppl_types::GuideType, env: &TypeEnv) -> String {
                 match env.defs.unfold(op, arg) {
                     // Keep recursive operators folded so the rendering stays
                     // finite and readable.
-                    Some(body) if !body.to_string().contains(&format!("{op}[")) => {
+                    Some(body) if !body.mentions_op(op) => {
                         current = body;
                     }
                     _ => break,
@@ -407,12 +492,21 @@ mod tests {
     fn session_from_benchmark() {
         let s = Session::from_benchmark("ex-1").unwrap();
         assert!(s.compatibility().compatible);
-        assert!(Session::from_benchmark("dp").is_err());
-        assert!(Session::from_benchmark("unknown").is_err());
+        // The registry's only inexpressible benchmark and unknown names get
+        // dedicated diagnostics, not fake type errors.
+        let e = Session::from_benchmark("dp").unwrap_err();
+        assert_eq!(e, SessionError::NotExpressible("dp".into()));
+        assert!(e.to_string().contains("not expressible"));
+        let e = Session::from_benchmark("unknown").unwrap_err();
+        assert_eq!(e, SessionError::UnknownBenchmark("unknown".into()));
+        assert!(e.to_string().contains("unknown benchmark"));
     }
 
+    // The shortcut methods are deprecated in favour of the query layer but
+    // must keep working (and agreeing with it) until removed.
     #[test]
-    fn session_inference_shortcuts() {
+    #[allow(deprecated)]
+    fn deprecated_session_shortcuts_still_work() {
         let s = Session::from_sources(MODEL, "Model", GUIDE, "Guide").unwrap();
         let mut rng = Pcg32::seed_from_u64(5);
         let is = s
@@ -423,5 +517,60 @@ mod tests {
             .metropolis_hastings(vec![Sample::Real(1.0)], 2_000, 200, &mut rng)
             .unwrap();
         assert!((mh.posterior_mean_of_sample(0).unwrap() - 0.5).abs() < 0.2);
+        // The wrapper and the query layer share one code path: with equal
+        // seeds their results are bit-identical.
+        let mut rng = Pcg32::seed_from_u64(9);
+        let wrapped = s
+            .importance_sampling(vec![Sample::Real(1.0)], 500, &mut rng)
+            .unwrap();
+        let queried = s
+            .query()
+            .observe(vec![Sample::Real(1.0)])
+            .seed(9)
+            .run(&Method::Importance { particles: 500 })
+            .unwrap();
+        assert_eq!(
+            wrapped.log_evidence.to_bits(),
+            queried.as_importance().unwrap().log_evidence.to_bits()
+        );
+    }
+
+    #[test]
+    fn render_protocol_unfolds_with_a_structural_occurs_check() {
+        use ppl_types::{GuideType, TypeDef};
+        let mut env = TypeEnv::default();
+        // Recursive operator: stays folded.
+        env.defs.insert(TypeDef {
+            name: "R".into(),
+            param: "X".into(),
+            body: GuideType::send_val(
+                ppl_syntax::BaseType::Real,
+                GuideType::app("R", GuideType::Var("X".into())),
+            ),
+        });
+        assert_eq!(
+            render_protocol(&GuideType::app("R", GuideType::End), &env),
+            "R[1]"
+        );
+        // Non-recursive operator whose body mentions an operator with "T["
+        // in its *name suffix* ("GT"): a textual `contains("T[")` guard
+        // would wrongly keep T folded; the structural check unfolds it.
+        env.defs.insert(TypeDef {
+            name: "T".into(),
+            param: "X".into(),
+            body: GuideType::send_val(
+                ppl_syntax::BaseType::Real,
+                GuideType::app("GT", GuideType::Var("X".into())),
+            ),
+        });
+        env.defs.insert(TypeDef {
+            name: "GT".into(),
+            param: "X".into(),
+            body: GuideType::Var("X".into()),
+        });
+        assert_eq!(
+            render_protocol(&GuideType::app("T", GuideType::End), &env),
+            "real /\\ GT[1]"
+        );
     }
 }

@@ -67,19 +67,9 @@ impl ImportanceResult {
         F: Fn(&Particle) -> Option<f64>,
     {
         let weights = self.normalized_weights.as_ref()?;
-        let mut total_w = 0.0;
-        let mut acc = 0.0;
-        for (p, &w) in self.particles.iter().zip(weights) {
-            if let Some(v) = f(p) {
-                acc += w * v;
-                total_w += w;
-            }
-        }
-        if total_w > 0.0 {
-            Some(acc / total_w)
-        } else {
-            None
-        }
+        crate::posterior::weighted_expectation(
+            self.particles.iter().zip(weights).map(|(p, &w)| (f(p), w)),
+        )
     }
 
     /// Posterior mean of the `index`-th latent sample.

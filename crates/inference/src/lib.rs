@@ -11,7 +11,10 @@
 //! * [`mcmc`] — Metropolis–Hastings with independence or data-dependent
 //!   guide proposals (MCMC);
 //! * [`vi`] — variational inference with a score-function ELBO gradient
-//!   estimator and Adam (VI).
+//!   estimator and Adam (VI);
+//! * [`posterior`] — the unified [`Posterior`] trait and
+//!   [`PosteriorSummary`] statistics shared by all three engines, so their
+//!   results are interchangeable behind one interface.
 //!
 //! # Example
 //!
@@ -46,9 +49,11 @@
 pub mod engine;
 pub mod importance;
 pub mod mcmc;
+pub mod posterior;
 pub mod vi;
 
 pub use engine::Engine;
 pub use importance::{ImportanceResult, ImportanceSampler, Particle};
 pub use mcmc::{ChainState, GuidedMh, IndependenceMh, McmcResult};
+pub use posterior::{Draw, Posterior, PosteriorSummary, Quantiles, ViPosterior};
 pub use vi::{ParamSpec, VariationalInference, ViConfig, ViResult};

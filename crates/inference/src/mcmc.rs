@@ -51,12 +51,7 @@ impl McmcResult {
     where
         F: Fn(&ChainState) -> Option<f64>,
     {
-        let values: Vec<f64> = self.chain.iter().filter_map(&f).collect();
-        if values.is_empty() {
-            None
-        } else {
-            Some(values.iter().sum::<f64>() / values.len() as f64)
-        }
+        crate::posterior::weighted_expectation(self.chain.iter().map(|s| (f(s), 1.0)))
     }
 
     /// Posterior mean of the `index`-th latent sample.

@@ -220,6 +220,14 @@ impl CompiledProgram {
         self.by_name.get(name).copied()
     }
 
+    /// Looks up a compiled procedure by name — the entry-point metadata
+    /// (parameter arity, consumed and provided channel names) that a query
+    /// layer needs to build a [`JointSpec`](crate::JointSpec) and validate
+    /// a call *before* spawning any coroutine.
+    pub fn proc_named(&self, name: &Ident) -> Option<&CompiledProc> {
+        self.proc_id(name).map(|id| self.proc(id))
+    }
+
     /// The compiled procedure at `id`.
     pub fn proc(&self, id: ProcId) -> &CompiledProc {
         &self.procs[id]
@@ -291,6 +299,26 @@ mod tests {
             compiled.node(*first),
             CmdNode::Sample { declared: true, .. }
         ));
+    }
+
+    #[test]
+    fn proc_named_exposes_entry_point_metadata() {
+        let prog = parse_program(
+            r#"
+            proc M(a : real, b : preal) consume lat provide data {
+              let x <- sample recv lat (Normal(a, b));
+              let _ <- sample send data (Normal(x, 1.0));
+              return ()
+            }
+        "#,
+        )
+        .unwrap();
+        let compiled = CompiledProgram::compile(&prog);
+        let meta = compiled.proc_named(&"M".into()).expect("M exists");
+        assert_eq!(meta.params.len(), 2);
+        assert_eq!(meta.consumes.as_ref().map(|c| c.as_str()), Some("lat"));
+        assert_eq!(meta.provides.as_ref().map(|c| c.as_str()), Some("data"));
+        assert!(compiled.proc_named(&"Nope".into()).is_none());
     }
 
     #[test]

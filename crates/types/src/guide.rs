@@ -100,6 +100,22 @@ impl GuideType {
         }
     }
 
+    /// True if the type contains an application of the operator `op` — a
+    /// *structural* occurs-check, used to detect recursive operator
+    /// definitions.  Unlike a textual search over the rendering, it cannot
+    /// be fooled by an operator whose name is a suffix of another's (`T`
+    /// vs `GT`).
+    pub fn mentions_op(&self, op: &str) -> bool {
+        match self {
+            GuideType::End | GuideType::Var(_) => false,
+            GuideType::App(name, a) => name == op || a.mentions_op(op),
+            GuideType::SendVal(_, a) | GuideType::RecvVal(_, a) => a.mentions_op(op),
+            GuideType::Offer(a, b) | GuideType::Accept(a, b) => {
+                a.mentions_op(op) || b.mentions_op(op)
+            }
+        }
+    }
+
     /// True if the type mentions the given type variable.
     pub fn mentions_var(&self, var: &str) -> bool {
         match self {
@@ -485,6 +501,26 @@ mod tests {
         // Unknown operators are conservatively rejected.
         let unknown = GuideType::app("Missing", GuideType::End);
         assert!(!defs.is_offer_free(&unknown));
+    }
+
+    #[test]
+    fn mentions_op_is_structural() {
+        // R's body mentions R (recursive) but not G; and an operator named
+        // "T" is not confused with one named "GT" the way a textual
+        // `contains("T[")` search would be.
+        let body = GuideType::send_val(
+            ureal(),
+            GuideType::accept(
+                GuideType::Var("X".into()),
+                GuideType::app("R", GuideType::app("GT", GuideType::Var("X".into()))),
+            ),
+        );
+        assert!(body.mentions_op("R"));
+        assert!(body.mentions_op("GT"));
+        assert!(!body.mentions_op("T"));
+        assert!(!body.mentions_op("G"));
+        assert!(!GuideType::End.mentions_op("R"));
+        assert!(!GuideType::Var("R".into()).mentions_op("R"));
     }
 
     #[test]

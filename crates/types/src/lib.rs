@@ -51,6 +51,7 @@ pub mod check;
 pub mod error;
 pub mod guide;
 pub mod infer;
+pub mod obs;
 
 pub use base::{check_expr, infer_expr, is_subtype, join, TypingCtx};
 pub use check::{
@@ -59,3 +60,4 @@ pub use check::{
 pub use error::TypeError;
 pub use guide::{GuideType, TypeDef, TypeDefs};
 pub use infer::{check_model_guide, infer_program, Compatibility, TypeEnv};
+pub use obs::{carrier_admits, validate_observations, ObsValue, ObsViolation};

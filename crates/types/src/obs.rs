@@ -1,0 +1,564 @@
+//! Static validation of concrete observation sequences against an inferred
+//! **observation protocol**.
+//!
+//! The guide-type inference of [`crate::infer`] derives, for every model
+//! procedure, the protocol of the channel it *provides* — for a model with
+//! the conventional `provide obs` header, the exact order and carrier of
+//! the observations the model will condition on.  The paper's thesis is
+//! that protocol information certifies inference soundness *before*
+//! anything runs; this module extends that discipline to the data: a query
+//! layer can walk the obs protocol against the caller's concrete
+//! observation vector and reject mismatches (wrong count, wrong carrier,
+//! no feasible branch) up front, instead of failing mid-particle with a
+//! runtime `ObservationMismatch`.
+//!
+//! The walker treats the protocol as a small nondeterministic automaton:
+//!
+//! * `τ ∧ A` consumes one observation whose value must inhabit the carrier
+//!   `τ` (strict supports, matching `ppl_dist`: `preal` means `> 0`,
+//!   `ureal` means the open interval `(0, 1)`);
+//! * `A ⊕ B` is a *model-driven* branch — the sequence is valid if it is
+//!   feasible under **either** arm;
+//! * `T[A]` unfolds its operator definition (recursive protocols are
+//!   handled with a fuel bound on consecutive unfolds that consume
+//!   nothing, so unproductive recursion cannot loop);
+//! * `τ ⊃ A` and `A & B` require the (non-existent) *consumer* of the
+//!   observation channel to act, which the joint executor does not
+//!   support — they are reported as [`ObsViolation::ConsumerDriven`].
+//!
+//! Validation succeeds when some path through the protocol consumes the
+//! observation vector **exactly**.  On failure the walker reports the
+//! violation that made the most progress, which names the first offending
+//! position — the diagnostic a caller wants.
+
+use crate::guide::{GuideType, TypeDefs};
+use ppl_syntax::ast::BaseType;
+use std::fmt;
+
+/// A concrete observation value, as supplied by a caller.
+///
+/// This mirrors the scalar `Sample` enum of `ppl_dist` without taking a
+/// dependency on it (the same pattern `ppl-models` uses for its
+/// `GuideParam`); the facade crate converts between the two.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsValue {
+    /// A Boolean observation (`bool` carrier).
+    Bool(bool),
+    /// A real-valued observation (`real`, `preal`, `ureal` carriers).
+    Real(f64),
+    /// A natural-number observation (`nat`, `nat[n]` carriers).
+    Nat(u64),
+}
+
+impl ObsValue {
+    /// The name of the value's carrier family, for diagnostics.
+    pub fn carrier_name(&self) -> &'static str {
+        match self {
+            ObsValue::Bool(_) => "bool",
+            ObsValue::Real(_) => "real",
+            ObsValue::Nat(_) => "nat",
+        }
+    }
+}
+
+impl fmt::Display for ObsValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsValue::Bool(b) => write!(f, "{b}"),
+            ObsValue::Real(r) => write!(f, "{r}"),
+            ObsValue::Nat(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Why an observation vector cannot be produced by an obs protocol.
+///
+/// Every variant names the offending zero-based `position` in the supplied
+/// vector, so error messages can point at the exact argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsViolation {
+    /// The protocol ended (on every feasible branch) after consuming
+    /// `consumed` observations, but more were supplied.
+    TooMany {
+        /// Observations consumed along the best path.
+        consumed: usize,
+        /// Observations supplied.
+        supplied: usize,
+    },
+    /// The protocol expects another observation of carrier `expected` at
+    /// `position`, but the supplied vector is exhausted.
+    TooFew {
+        /// Position of the missing observation.
+        position: usize,
+        /// Observations supplied.
+        supplied: usize,
+        /// Carrier of the expected observation.
+        expected: BaseType,
+    },
+    /// The observation at `position` does not inhabit the expected carrier
+    /// (wrong kind, or outside a strict support such as `preal`/`ureal`).
+    Carrier {
+        /// Position of the offending observation.
+        position: usize,
+        /// Carrier the protocol expects there.
+        expected: BaseType,
+        /// The value actually supplied.
+        found: ObsValue,
+    },
+    /// The protocol requires the observation channel's *consumer* to send
+    /// a value or a branch selection (`τ ⊃ A` / `A & B`), which joint
+    /// execution does not support for conditioned channels.
+    ConsumerDriven {
+        /// Position at which the consumer-driven step occurs.
+        position: usize,
+    },
+    /// The protocol references an operator with no definition.
+    UndefinedOperator {
+        /// The operator name.
+        name: String,
+        /// Position at which the reference was hit.
+        position: usize,
+    },
+    /// A free protocol variable survived unfolding (malformed protocol).
+    UnresolvedVariable {
+        /// The variable name.
+        name: String,
+        /// Position at which it was hit.
+        position: usize,
+    },
+    /// The walker unfolded operators [`UNFOLD_FUEL`] times without
+    /// consuming an observation — an unproductive recursive protocol.
+    UnproductiveRecursion {
+        /// Position at which unfolding diverged.
+        position: usize,
+    },
+}
+
+impl ObsViolation {
+    /// The offending position (used to pick the most-progressed
+    /// diagnostic among the branches of a nondeterministic protocol).
+    pub fn position(&self) -> usize {
+        match self {
+            ObsViolation::TooMany { consumed, .. } => *consumed,
+            ObsViolation::TooFew { position, .. }
+            | ObsViolation::Carrier { position, .. }
+            | ObsViolation::ConsumerDriven { position }
+            | ObsViolation::UndefinedOperator { position, .. }
+            | ObsViolation::UnresolvedVariable { position, .. }
+            | ObsViolation::UnproductiveRecursion { position } => *position,
+        }
+    }
+}
+
+impl fmt::Display for ObsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsViolation::TooMany { consumed, supplied } => write!(
+                f,
+                "too many observations: the protocol consumes {consumed}, but {supplied} were supplied"
+            ),
+            ObsViolation::TooFew {
+                position,
+                supplied,
+                expected,
+            } => write!(
+                f,
+                "too few observations: the protocol expects a {expected} observation at position {position}, but only {supplied} were supplied"
+            ),
+            ObsViolation::Carrier {
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "observation {position} has the wrong carrier: the protocol expects {expected}, found {} value {found}",
+                found.carrier_name()
+            ),
+            ObsViolation::ConsumerDriven { position } => write!(
+                f,
+                "the protocol requires the observation consumer to act at position {position}, which conditioned execution does not support"
+            ),
+            ObsViolation::UndefinedOperator { name, position } => write!(
+                f,
+                "the protocol references the undefined operator '{name}' at position {position}"
+            ),
+            ObsViolation::UnresolvedVariable { name, position } => write!(
+                f,
+                "the protocol contains the free variable '{name}' at position {position}"
+            ),
+            ObsViolation::UnproductiveRecursion { position } => write!(
+                f,
+                "the protocol recurses without consuming an observation at position {position}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObsViolation {}
+
+/// Whether a concrete value inhabits a carrier type, with the same strict
+/// conventions as `ppl_dist`'s support checks: carriers are never coerced
+/// (a `nat` is not a `real`), and the refined reals are strict
+/// (`preal` ⇔ `> 0` and finite, `ureal` ⇔ the open interval `(0, 1)`).
+pub fn carrier_admits(carrier: &BaseType, value: &ObsValue) -> bool {
+    match (carrier, value) {
+        (BaseType::Bool, ObsValue::Bool(_)) => true,
+        (BaseType::Real, ObsValue::Real(x)) => x.is_finite(),
+        (BaseType::PosReal, ObsValue::Real(x)) => x.is_finite() && *x > 0.0,
+        (BaseType::UnitInterval, ObsValue::Real(x)) => *x > 0.0 && *x < 1.0,
+        (BaseType::Nat, ObsValue::Nat(_)) => true,
+        (BaseType::FinNat(n), ObsValue::Nat(k)) => (*k as usize) < *n,
+        _ => false,
+    }
+}
+
+/// Maximum consecutive operator unfolds between observation consumptions.
+///
+/// Productive recursive obs protocols consume at least one observation per
+/// cycle of unfolds; this bound only cuts off unproductive recursion
+/// (`T[X] = T[X]`-shaped definitions), far above any realistic nesting
+/// depth of distinct operators.
+pub const UNFOLD_FUEL: usize = 64;
+
+/// Checks that `obs` is a possible observation sequence of `protocol`.
+///
+/// Returns `Ok(())` when some path through the protocol consumes `obs`
+/// exactly; otherwise the violation that made the most progress through
+/// the vector (earliest failures are reported only if no branch gets
+/// further).
+///
+/// # Errors
+///
+/// Returns an [`ObsViolation`] naming the offending position.
+pub fn validate_observations(
+    defs: &TypeDefs,
+    protocol: &GuideType,
+    obs: &[ObsValue],
+) -> Result<(), ObsViolation> {
+    let mut best: Option<ObsViolation> = None;
+    if walk(defs, protocol, 0, UNFOLD_FUEL, obs, &mut best) {
+        return Ok(());
+    }
+    Err(best.expect("a failed walk always records a violation"))
+}
+
+/// Records `violation` if it progressed at least as far as the current
+/// best (later recordings win ties, so the *last* deepest branch reports —
+/// deterministic either way).
+fn record(best: &mut Option<ObsViolation>, violation: ObsViolation) {
+    let replace = match best {
+        None => true,
+        Some(current) => violation.position() >= current.position(),
+    };
+    if replace {
+        *best = Some(violation);
+    }
+}
+
+/// True if some path through `ty` consumes `obs[pos..]` exactly.
+fn walk(
+    defs: &TypeDefs,
+    ty: &GuideType,
+    pos: usize,
+    fuel: usize,
+    obs: &[ObsValue],
+    best: &mut Option<ObsViolation>,
+) -> bool {
+    match ty {
+        GuideType::End => {
+            if pos == obs.len() {
+                true
+            } else {
+                record(
+                    best,
+                    ObsViolation::TooMany {
+                        consumed: pos,
+                        supplied: obs.len(),
+                    },
+                );
+                false
+            }
+        }
+        GuideType::Var(name) => {
+            record(
+                best,
+                ObsViolation::UnresolvedVariable {
+                    name: name.clone(),
+                    position: pos,
+                },
+            );
+            false
+        }
+        GuideType::SendVal(carrier, rest) => match obs.get(pos) {
+            None => {
+                record(
+                    best,
+                    ObsViolation::TooFew {
+                        position: pos,
+                        supplied: obs.len(),
+                        expected: carrier.clone(),
+                    },
+                );
+                false
+            }
+            Some(value) if !carrier_admits(carrier, value) => {
+                record(
+                    best,
+                    ObsViolation::Carrier {
+                        position: pos,
+                        expected: carrier.clone(),
+                        found: *value,
+                    },
+                );
+                false
+            }
+            // Consuming an observation restores the unfold fuel: the
+            // recursion made progress.
+            Some(_) => walk(defs, rest, pos + 1, UNFOLD_FUEL, obs, best),
+        },
+        GuideType::RecvVal(_, _) | GuideType::Accept(_, _) => {
+            record(best, ObsViolation::ConsumerDriven { position: pos });
+            false
+        }
+        GuideType::Offer(a, b) => {
+            // Model-driven branch: either arm may produce the sequence.
+            // Walk both even if the first succeeds not being necessary —
+            // short-circuit on success.
+            walk(defs, a, pos, fuel, obs, best) || walk(defs, b, pos, fuel, obs, best)
+        }
+        GuideType::App(op, arg) => {
+            if fuel == 0 {
+                record(best, ObsViolation::UnproductiveRecursion { position: pos });
+                return false;
+            }
+            match defs.unfold(op, arg) {
+                Some(body) => walk(defs, &body, pos, fuel - 1, obs, best),
+                None => {
+                    record(
+                        best,
+                        ObsViolation::UndefinedOperator {
+                            name: op.clone(),
+                            position: pos,
+                        },
+                    );
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guide::TypeDef;
+
+    fn real() -> BaseType {
+        BaseType::Real
+    }
+    fn ureal() -> BaseType {
+        BaseType::UnitInterval
+    }
+
+    /// `real ∧ bool ∧ 1`.
+    fn straight() -> GuideType {
+        GuideType::send_val(real(), GuideType::send_val(BaseType::Bool, GuideType::End))
+    }
+
+    #[test]
+    fn straight_line_protocol_accepts_exact_match() {
+        let defs = TypeDefs::new();
+        let obs = [ObsValue::Real(1.5), ObsValue::Bool(true)];
+        assert!(validate_observations(&defs, &straight(), &obs).is_ok());
+    }
+
+    #[test]
+    fn count_mismatches_name_the_position() {
+        let defs = TypeDefs::new();
+        let too_few =
+            validate_observations(&defs, &straight(), &[ObsValue::Real(0.0)]).unwrap_err();
+        assert_eq!(
+            too_few,
+            ObsViolation::TooFew {
+                position: 1,
+                supplied: 1,
+                expected: BaseType::Bool,
+            }
+        );
+        let too_many = validate_observations(
+            &defs,
+            &straight(),
+            &[
+                ObsValue::Real(0.0),
+                ObsValue::Bool(false),
+                ObsValue::Real(1.0),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            too_many,
+            ObsViolation::TooMany {
+                consumed: 2,
+                supplied: 3,
+            }
+        );
+        assert!(too_many.to_string().contains("too many"));
+    }
+
+    #[test]
+    fn carrier_checks_are_strict() {
+        let defs = TypeDefs::new();
+        // Wrong kind at position 1.
+        let err = validate_observations(
+            &defs,
+            &straight(),
+            &[ObsValue::Real(0.0), ObsValue::Real(1.0)],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ObsViolation::Carrier {
+                position: 1,
+                expected: BaseType::Bool,
+                found: ObsValue::Real(1.0),
+            }
+        );
+        assert!(err.to_string().contains("observation 1"));
+        // Refined reals check the value, not just the kind.
+        let ureal_proto = GuideType::send_val(ureal(), GuideType::End);
+        assert!(validate_observations(&defs, &ureal_proto, &[ObsValue::Real(0.8)]).is_ok());
+        assert!(matches!(
+            validate_observations(&defs, &ureal_proto, &[ObsValue::Real(1.5)]),
+            Err(ObsViolation::Carrier { position: 0, .. })
+        ));
+        let preal_proto = GuideType::send_val(BaseType::PosReal, GuideType::End);
+        assert!(validate_observations(&defs, &preal_proto, &[ObsValue::Real(0.1)]).is_ok());
+        assert!(validate_observations(&defs, &preal_proto, &[ObsValue::Real(-0.1)]).is_err());
+        assert!(validate_observations(&defs, &preal_proto, &[ObsValue::Real(f64::NAN)]).is_err());
+        // Finite naturals check the bound.
+        let fin = GuideType::send_val(BaseType::FinNat(3), GuideType::End);
+        assert!(validate_observations(&defs, &fin, &[ObsValue::Nat(2)]).is_ok());
+        assert!(validate_observations(&defs, &fin, &[ObsValue::Nat(3)]).is_err());
+    }
+
+    #[test]
+    fn offer_branches_are_feasibility_checked() {
+        // (real ∧ 1) ⊕ (real ∧ real ∧ 1): one or two observations.
+        let defs = TypeDefs::new();
+        let proto = GuideType::offer(
+            GuideType::send_val(real(), GuideType::End),
+            GuideType::send_val(real(), GuideType::send_val(real(), GuideType::End)),
+        );
+        assert!(validate_observations(&defs, &proto, &[ObsValue::Real(1.0)]).is_ok());
+        assert!(
+            validate_observations(&defs, &proto, &[ObsValue::Real(1.0), ObsValue::Real(2.0)])
+                .is_ok()
+        );
+        // Zero and three are infeasible on every branch; the reported
+        // violation is the most-progressed one.
+        assert!(matches!(
+            validate_observations(&defs, &proto, &[]),
+            Err(ObsViolation::TooFew { position: 0, .. })
+        ));
+        let err = validate_observations(
+            &defs,
+            &proto,
+            &[
+                ObsValue::Real(1.0),
+                ObsValue::Real(2.0),
+                ObsValue::Real(3.0),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ObsViolation::TooMany {
+                consumed: 2,
+                supplied: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn recursive_protocols_consume_any_feasible_count() {
+        // T[X] = (X ⊕ real ∧ T[X]): zero or more reals (model-driven).
+        let mut defs = TypeDefs::new();
+        defs.insert(TypeDef {
+            name: "T".into(),
+            param: "X".into(),
+            body: GuideType::offer(
+                GuideType::Var("X".into()),
+                GuideType::send_val(real(), GuideType::app("T", GuideType::Var("X".into()))),
+            ),
+        });
+        let proto = GuideType::app("T", GuideType::End);
+        for n in 0..5 {
+            let obs: Vec<ObsValue> = (0..n).map(|i| ObsValue::Real(i as f64)).collect();
+            assert!(
+                validate_observations(&defs, &proto, &obs).is_ok(),
+                "n = {n}"
+            );
+        }
+        // A carrier error deep inside the recursion is still located.
+        let obs = [ObsValue::Real(0.0), ObsValue::Bool(true)];
+        assert!(matches!(
+            validate_observations(&defs, &proto, &obs),
+            Err(ObsViolation::Carrier { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unproductive_recursion_is_cut_off() {
+        // L[X] = L[X]: never consumes, never ends.
+        let mut defs = TypeDefs::new();
+        defs.insert(TypeDef {
+            name: "L".into(),
+            param: "X".into(),
+            body: GuideType::app("L", GuideType::Var("X".into())),
+        });
+        let proto = GuideType::app("L", GuideType::End);
+        assert!(matches!(
+            validate_observations(&defs, &proto, &[ObsValue::Real(1.0)]),
+            Err(ObsViolation::UnproductiveRecursion { position: 0 })
+        ));
+    }
+
+    #[test]
+    fn consumer_driven_and_malformed_protocols_are_rejected() {
+        let defs = TypeDefs::new();
+        let recv = GuideType::recv_val(real(), GuideType::End);
+        assert!(matches!(
+            validate_observations(&defs, &recv, &[ObsValue::Real(1.0)]),
+            Err(ObsViolation::ConsumerDriven { position: 0 })
+        ));
+        let accept = GuideType::accept(GuideType::End, GuideType::End);
+        assert!(matches!(
+            validate_observations(&defs, &accept, &[]),
+            Err(ObsViolation::ConsumerDriven { position: 0 })
+        ));
+        let undefined = GuideType::app("Nope", GuideType::End);
+        assert!(matches!(
+            validate_observations(&defs, &undefined, &[]),
+            Err(ObsViolation::UndefinedOperator { position: 0, .. })
+        ));
+        let var = GuideType::Var("X".into());
+        assert!(matches!(
+            validate_observations(&defs, &var, &[]),
+            Err(ObsViolation::UnresolvedVariable { position: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn violations_display_helpfully() {
+        let v = ObsViolation::Carrier {
+            position: 2,
+            expected: BaseType::UnitInterval,
+            found: ObsValue::Bool(true),
+        };
+        let shown = v.to_string();
+        assert!(shown.contains("ureal"), "{shown}");
+        assert!(shown.contains("bool"), "{shown}");
+        assert_eq!(v.position(), 2);
+        assert_eq!(ObsValue::Nat(3).carrier_name(), "nat");
+    }
+}

@@ -5,25 +5,29 @@
 //!
 //! Run with `cargo run --example branching_importance`.
 
-use guide_ppl::Session;
-use ppl_dist::rng::Pcg32;
+use guide_ppl::{Method, Posterior, Session};
 use ppl_dist::{Distribution, Sample};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::from_benchmark("ex-1")?;
     println!("inferred latent protocol: {}", session.latent_protocol());
 
-    let mut rng = Pcg32::seed_from_u64(88);
-    let posterior = session.importance_sampling(vec![Sample::Real(0.8)], 100_000, &mut rng)?;
+    let posterior = session
+        .query()
+        .observe(vec![Sample::Real(0.8)])
+        .seed(88)
+        .run(&Method::Importance { particles: 100_000 })?;
 
-    println!("effective sample size: {:.0}", posterior.ess);
+    println!("effective sample size: {:.0}", posterior.ess());
     let p_else = posterior
-        .posterior_probability(|p| p.samples[0].as_f64() >= 2.0)
+        .probability(&|d| d.samples[0].as_f64() >= 2.0)
         .expect("non-degenerate weights");
     println!("posterior P(x >= 2): {p_else:.3} (prior: 0.406)");
 
-    // Fig. 2: prior vs posterior density of @x on a grid.
-    let hist = posterior.weighted_histogram(0.0, 7.0, 28, |p| Some(p.samples[0].as_f64()));
+    // Fig. 2: prior vs posterior density of @x on a grid, via the unified
+    // summary (its histogram spans the posterior draws).
+    let is = posterior.as_importance().expect("importance posterior");
+    let hist = is.weighted_histogram(0.0, 7.0, 28, |p| Some(p.samples[0].as_f64()));
     let prior = Distribution::gamma(2.0, 1.0)?;
     println!("\n  x      prior   posterior");
     for (x, dens) in hist.centers().iter().zip(hist.densities()) {

@@ -4,10 +4,13 @@
 //! control flow diverges from the model's, both follow the same guidance
 //! protocol `ℝ(0,1) ∧ 𝟚 ∧ 1`, so the proposal is sound.
 //!
+//! Custom proposals are the advanced path: the observations are still
+//! validated up front by building a [`Query`], whose executor and spec
+//! then drive [`GuidedMh`] directly.
+//!
 //! Run with `cargo run --example mh_outliers --release`.
 
 use guide_ppl::inference::GuidedMh;
-use guide_ppl::runtime::JointSpec;
 use guide_ppl::semantics::{Trace, Value};
 use guide_ppl::Session;
 use ppl_dist::rng::Pcg32;
@@ -18,8 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("latent protocol: {}", session.latent_protocol());
 
     // Observation far from the inlier mean: almost certainly an outlier.
-    let executor = session.executor(vec![Sample::Real(9.5)]);
-    let spec = JointSpec::new("OutlierModel", "OutlierGuide");
+    // Building the query validates it against the obs protocol before the
+    // chain starts.
+    let query = session.query().observe(vec![Sample::Real(9.5)]).build()?;
 
     // The proposal argument: the previous is_outlier value (second latent).
     let extract_old = |trace: &Trace| -> Vec<Value> {
@@ -32,7 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut rng = Pcg32::seed_from_u64(123);
-    let result = GuidedMh::new(8_000, 1_000, &extract_old).run(&executor, &spec, &mut rng)?;
+    let result =
+        GuidedMh::new(8_000, 1_000, &extract_old).run(query.executor(), query.spec(), &mut rng)?;
 
     let p_outlier = result
         .posterior_expectation(|s| {

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example pcfg_recursion`.
 
-use guide_ppl::Session;
-use ppl_dist::rng::Pcg32;
+use guide_ppl::{Method, Posterior, Session};
+use ppl_dist::Sample;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::from_benchmark("ex-2")?;
@@ -18,17 +18,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nlatent protocol: {}", session.latent_protocol());
 
-    // The PCFG has no observations: importance sampling recovers the prior
-    // over generated expression values; report the distribution of the
-    // number of leaves (recursion depth proxy).
-    let mut rng = Pcg32::seed_from_u64(6);
-    let result = session.importance_sampling(vec![], 20_000, &mut rng)?;
+    // The PCFG has no observations — which the query validator enforces:
+    // supplying one is rejected before anything runs.
+    let err = session
+        .query()
+        .observe(vec![Sample::Real(1.0)])
+        .build()
+        .unwrap_err();
+    println!("\nobservations rejected up front: {err}");
+
+    // Importance sampling recovers the prior over generated expression
+    // values; report the distribution of the number of latent samples
+    // (recursion depth proxy).
+    let result = session
+        .query()
+        .seed(6)
+        .run(&Method::Importance { particles: 20_000 })?;
     let mean_sites = result
-        .posterior_expectation(|p| Some(p.samples.len() as f64))
+        .expectation(&|d| Some(d.samples.len() as f64))
         .expect("weights are positive");
     println!("\naverage number of latent samples per tree: {mean_sites:.2}");
     let deep = result
-        .posterior_probability(|p| p.samples.len() > 8)
+        .probability(&|d| d.samples.len() > 8)
         .expect("weights are positive");
     println!("probability of more than 8 latent samples: {deep:.3}");
     Ok(())

@@ -1,11 +1,10 @@
 //! Quickstart: write a model and a guide, let guide-type inference certify
 //! that they are compatible (absolutely continuous), and run importance
-//! sampling on the posterior.
+//! sampling on the posterior through the validated query layer.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use guide_ppl::Session;
-use ppl_dist::rng::Pcg32;
+use guide_ppl::{Method, Posterior, Session};
 use ppl_dist::Sample;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,20 +30,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("latent protocol : {}", session.latent_protocol());
     println!("compatible      : {}", session.compatibility().compatible);
 
-    // Condition on y = 1.0 and approximate the posterior of x.
-    let mut rng = Pcg32::seed_from_u64(2021);
-    let posterior = session.importance_sampling(vec![Sample::Real(1.0)], 20_000, &mut rng)?;
-    let mean = posterior
-        .posterior_mean_of_sample(0)
-        .expect("x is always sampled");
-    println!("posterior mean  : {mean:.3}   (analytic answer: 0.500)");
-    println!("effective sample size: {:.0}", posterior.ess);
-    println!("log evidence    : {:.3}", posterior.log_evidence);
+    // Condition on y = 1.0 and approximate the posterior of x.  The query
+    // is validated against the model's observation protocol before any
+    // particle runs, and the seed makes the run reproducible.
+    let posterior = session
+        .query()
+        .observe(vec![Sample::Real(1.0)])
+        .seed(2021)
+        .run(&Method::Importance { particles: 20_000 })?;
+    let summary = posterior.summarize_sample(0).expect("x is always sampled");
+    println!(
+        "posterior mean  : {:.3}   (analytic answer: 0.500)",
+        summary.mean
+    );
+    println!(
+        "posterior stdev : {:.3}   (analytic answer: 0.707)",
+        summary.std_dev()
+    );
+    println!(
+        "90% interval    : [{:.3}, {:.3}]",
+        summary.quantiles.q05, summary.quantiles.q95
+    );
+    println!("effective sample size: {:.0}", posterior.ess());
+    println!(
+        "log evidence    : {:.3}",
+        posterior.log_evidence().expect("IS estimates evidence")
+    );
+
+    // A malformed request never reaches the engines: the validator names
+    // the offending position and the expected protocol.
+    let rejected = session
+        .query()
+        .observe(vec![Sample::Real(1.0), Sample::Real(2.0)])
+        .build()
+        .unwrap_err();
+    println!("\nrejected query  : {rejected}");
 
     // The same pair compiled to Pyro (coroutine style).
     let compiled = session.compile_to_pyro(guide_ppl::Style::Coroutine);
     println!(
-        "generated Pyro code: {} non-blank lines",
+        "\ngenerated Pyro code: {} non-blank lines",
         compiled.generated_loc
     );
     Ok(())

@@ -6,41 +6,58 @@
 //! Run with `cargo run --example vi_weight --release`.
 
 use guide_ppl::inference::{ParamSpec, ViConfig};
-use guide_ppl::Session;
-use ppl_dist::rng::Pcg32;
+use guide_ppl::{Method, Posterior, Session};
 use ppl_dist::Sample;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::from_benchmark("weight")?;
     println!("latent protocol: {}", session.latent_protocol());
 
-    let observations = vec![Sample::Real(9.0), Sample::Real(9.0)];
-    let params = [
-        ParamSpec::unconstrained("mu", 2.0),
-        ParamSpec::positive("sigma", 1.0),
-    ];
-    let config = ViConfig {
-        iterations: 300,
-        samples_per_iteration: 10,
-        learning_rate: 0.08,
-        fd_epsilon: 1e-4,
-        ..ViConfig::default()
+    let method = Method::Vi {
+        params: vec![
+            ParamSpec::unconstrained("mu", 2.0),
+            ParamSpec::positive("sigma", 1.0),
+        ],
+        config: ViConfig {
+            iterations: 300,
+            samples_per_iteration: 10,
+            learning_rate: 0.08,
+            fd_epsilon: 1e-4,
+            ..ViConfig::default()
+        },
     };
-    let mut rng = Pcg32::seed_from_u64(11);
-    let result = session.variational_inference(observations, &params, config, &mut rng)?;
+    let posterior = session
+        .query()
+        .observe(vec![Sample::Real(9.0), Sample::Real(9.0)])
+        .seed(11)
+        .run(&method)?;
 
+    // The fit itself (the ViResult) is still available behind the unified
+    // interface...
+    let vi = posterior.as_vi().expect("VI posterior");
     println!(
         "learned mu    = {:.3} (analytic posterior mean  ≈ 7.463)",
-        result.param("mu").unwrap()
+        vi.fit.param("mu").unwrap()
     );
     println!(
         "learned sigma = {:.3} (analytic posterior stdev ≈ 0.469)",
-        result.param("sigma").unwrap()
+        vi.fit.param("sigma").unwrap()
     );
-    println!("final ELBO    = {:.3}", result.final_elbo());
+    println!("final ELBO    = {:.3}", vi.fit.final_elbo());
+
+    // ...and, like every other engine, the result exposes posterior draws
+    // and summary statistics.
+    let summary = posterior.summarize_sample(0).expect("draws exist");
     println!(
-        "first ELBO    = {:.3}",
-        result.elbo_trace.first().copied().unwrap_or(f64::NAN)
+        "posterior draws: mean {:.3}, stdev {:.3}, 90% interval [{:.3}, {:.3}]",
+        summary.mean,
+        summary.std_dev(),
+        summary.quantiles.q05,
+        summary.quantiles.q95
+    );
+    println!(
+        "log evidence   : {:.3}",
+        posterior.log_evidence().expect("estimated at the optimum")
     );
     Ok(())
 }

@@ -1,10 +1,9 @@
 //! End-to-end inference over the whole benchmark registry: every
-//! expressible benchmark runs its designated inference algorithm with small
-//! budgets and produces sane results.
+//! expressible benchmark runs its designated inference algorithm through
+//! the validated query layer with small budgets and produces sane results.
 
 use guide_ppl::inference::{ParamSpec, ViConfig};
-use guide_ppl::Session;
-use ppl_dist::rng::Pcg32;
+use guide_ppl::{Method, Posterior, Session};
 use ppl_models::{all_benchmarks, benchmark, InferenceKind};
 
 #[test]
@@ -14,18 +13,21 @@ fn importance_sampling_runs_on_every_is_benchmark() {
             continue;
         }
         let session = Session::from_benchmark(b.name).unwrap();
-        let mut rng = Pcg32::seed_from_u64(0xC0FFEE);
         let result = session
-            .importance_sampling(b.observations.clone(), 500, &mut rng)
+            .query()
+            .observe(b.observations.clone())
+            .seed(0xC0FFEE)
+            .run(&Method::Importance { particles: 500 })
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        assert_eq!(result.particles.len(), 500, "{}", b.name);
+        assert_eq!(result.num_draws(), 500, "{}", b.name);
+        let is = result.as_importance().unwrap();
         assert!(
-            result.normalized_weights.is_some(),
+            is.normalized_weights.is_some(),
             "{}: all particles had zero weight",
             b.name
         );
-        assert!(result.ess >= 1.0, "{}: ess {}", b.name, result.ess);
-        assert!(result.log_evidence.is_finite(), "{}", b.name);
+        assert!(result.ess() >= 1.0, "{}: ess {}", b.name, result.ess());
+        assert!(result.log_evidence().unwrap().is_finite(), "{}", b.name);
     }
 }
 
@@ -47,21 +49,27 @@ fn variational_inference_runs_on_every_vi_benchmark() {
                 }
             })
             .collect();
-        let config = ViConfig {
-            iterations: 60,
-            samples_per_iteration: 6,
-            learning_rate: 0.08,
-            fd_epsilon: 1e-4,
-            ..ViConfig::default()
+        let method = Method::Vi {
+            params,
+            config: ViConfig {
+                iterations: 60,
+                samples_per_iteration: 6,
+                learning_rate: 0.08,
+                fd_epsilon: 1e-4,
+                ..ViConfig::default()
+            },
         };
-        let mut rng = Pcg32::seed_from_u64(0xBEEF);
         let result = session
-            .variational_inference(b.observations.clone(), &params, config, &mut rng)
+            .query()
+            .observe(b.observations.clone())
+            .seed(0xBEEF)
+            .run(&method)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        assert_eq!(result.params.len(), b.guide_params.len(), "{}", b.name);
-        assert!(result.final_elbo().is_finite(), "{}", b.name);
+        let vi = result.as_vi().unwrap();
+        assert_eq!(vi.fit.params.len(), b.guide_params.len(), "{}", b.name);
+        assert!(vi.fit.final_elbo().is_finite(), "{}", b.name);
         // Positivity constraints are respected.
-        for (value, spec) in result.params.iter().zip(&b.guide_params) {
+        for (value, spec) in vi.fit.params.iter().zip(&b.guide_params) {
             if spec.positive {
                 assert!(
                     *value > 0.0,
@@ -71,6 +79,9 @@ fn variational_inference_runs_on_every_vi_benchmark() {
                 );
             }
         }
+        // The fitted guide yields posterior draws like every other engine.
+        assert!(result.num_draws() > 0, "{}", b.name);
+        assert!(result.summarize_sample(0).is_some(), "{}", b.name);
     }
 }
 
@@ -79,13 +90,17 @@ fn mcmc_runs_on_the_outlier_benchmark() {
     let b = benchmark("outlier").unwrap();
     assert_eq!(b.inference, InferenceKind::Mcmc);
     let session = Session::from_benchmark("outlier").unwrap();
-    // The MCMC guide takes the old is_outlier as an argument; for the
-    // independence-MH smoke test we fix it to `false` via default args.
+    // The MCMC guide takes the old is_outlier as an argument and computes
+    // data-dependent proposals — the advanced path: the query validates
+    // the observations, then drives GuidedMh directly.
     use guide_ppl::inference::GuidedMh;
-    use guide_ppl::runtime::JointSpec;
     use guide_ppl::semantics::{Trace, Value};
-    let executor = session.executor(b.observations.clone());
-    let spec = JointSpec::new(b.model_proc, b.guide_proc);
+    use ppl_dist::rng::Pcg32;
+    let query = session
+        .query()
+        .observe(b.observations.clone())
+        .build()
+        .unwrap();
     let extract = |trace: &Trace| -> Vec<Value> {
         vec![Value::Bool(
             trace
@@ -97,10 +112,23 @@ fn mcmc_runs_on_the_outlier_benchmark() {
     };
     let mut rng = Pcg32::seed_from_u64(21);
     let result = GuidedMh::new(2_000, 500, &extract)
-        .run(&executor, &spec, &mut rng)
+        .run(query.executor(), query.spec(), &mut rng)
         .unwrap();
     assert!(!result.chain.is_empty());
     assert!(result.acceptance_rate > 0.01);
+    // Independence MH through the typed method also works, with the old
+    // is_outlier pinned via the query's guide arguments.
+    let pinned = session
+        .query()
+        .observe(b.observations.clone())
+        .guide_args(vec![Value::Bool(false)])
+        .seed(22)
+        .run(&Method::Mh {
+            iterations: 2_000,
+            burn_in: 500,
+        })
+        .unwrap();
+    assert_eq!(pinned.num_draws(), 1_500);
 }
 
 #[test]
@@ -108,21 +136,26 @@ fn posterior_quality_spot_checks() {
     // coin: Beta(2,2) prior with 3 heads / 1 tail → posterior mean 5/8.
     let session = Session::from_benchmark("coin").unwrap();
     let b = benchmark("coin").unwrap();
-    let mut rng = Pcg32::seed_from_u64(13);
     let result = session
-        .importance_sampling(b.observations.clone(), 40_000, &mut rng)
+        .query()
+        .observe(b.observations.clone())
+        .seed(13)
+        .run(&Method::Importance { particles: 40_000 })
         .unwrap();
-    let mean = result.posterior_mean_of_sample(0).unwrap();
+    let mean = result.mean_of_sample(0).unwrap();
     assert!((mean - 0.625).abs() < 0.02, "coin posterior mean {mean}");
 
     // sprinkler: observing wet grass raises P(rain) well above its prior 0.2.
     let session = Session::from_benchmark("sprinkler").unwrap();
     let b = benchmark("sprinkler").unwrap();
     let result = session
-        .importance_sampling(b.observations.clone(), 40_000, &mut rng)
+        .query()
+        .observe(b.observations.clone())
+        .seed(14)
+        .run(&Method::Importance { particles: 40_000 })
         .unwrap();
     let p_rain = result
-        .posterior_probability(|p| p.samples[0].as_bool() == Some(true))
+        .probability(&|d| d.samples[0].as_bool() == Some(true))
         .unwrap();
     assert!(p_rain > 0.25 && p_rain < 0.95, "P(rain | wet) = {p_rain}");
 
@@ -131,9 +164,12 @@ fn posterior_quality_spot_checks() {
     let session = Session::from_benchmark("geometric").unwrap();
     let b = benchmark("geometric").unwrap();
     let result = session
-        .importance_sampling(b.observations.clone(), 20_000, &mut rng)
+        .query()
+        .observe(b.observations.clone())
+        .seed(15)
+        .run(&Method::Importance { particles: 20_000 })
         .unwrap();
-    let mean_n = result.posterior_expectation(|p| p.model_value).unwrap();
+    let mean_n = result.expectation(&|d| d.value).unwrap();
     assert!(
         mean_n > 0.5 && mean_n < 3.5,
         "geometric posterior mean {mean_n}"

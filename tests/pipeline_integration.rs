@@ -2,8 +2,7 @@
 //! compatibility check → compilation → inference, across the paper's
 //! example programs (Figs. 1–6) and the benchmark registry.
 
-use guide_ppl::{Session, SessionError, Style};
-use ppl_dist::rng::Pcg32;
+use guide_ppl::{Method, Posterior, Session, SessionError, Style};
 use ppl_dist::Sample;
 use ppl_models::sources;
 
@@ -39,12 +38,14 @@ fn fig5_pair_passes_the_whole_pipeline() {
     assert!(coro.model_code.contains("greenlet"));
 
     // Inference: posterior mass moves toward the else branch under z = 0.8.
-    let mut rng = Pcg32::seed_from_u64(1);
     let posterior = session
-        .importance_sampling(vec![Sample::Real(0.8)], 20_000, &mut rng)
+        .query()
+        .observe(vec![Sample::Real(0.8)])
+        .seed(1)
+        .run(&Method::Importance { particles: 20_000 })
         .unwrap();
     let p_else = posterior
-        .posterior_probability(|p| p.samples[0].as_f64() >= 2.0)
+        .probability(&|d| d.samples[0].as_f64() >= 2.0)
         .unwrap();
     assert!(p_else > 0.5, "posterior else-branch probability {p_else}");
 }
@@ -148,7 +149,7 @@ fn recursive_benchmarks_infer_recursive_operators() {
             .model_types()
             .defs
             .iter()
-            .any(|def| def.body.to_string().contains(&format!("{}[", def.name)));
+            .any(|def| def.body.mentions_op(&def.name));
         assert!(
             has_recursive_def,
             "{name}: expected a recursive type operator"
@@ -180,16 +181,28 @@ fn type_inference_is_fast_in_practice() {
 #[test]
 fn mcmc_and_is_agree_on_the_normal_normal_posterior() {
     let session = Session::from_benchmark("normal-normal").unwrap();
-    let mut rng = Pcg32::seed_from_u64(10);
-    let is = session
-        .importance_sampling(vec![Sample::Real(1.0)], 20_000, &mut rng)
+    let query = session
+        .query()
+        .observe(vec![Sample::Real(1.0)])
+        .seed(10)
+        .build()
         .unwrap();
-    let mh = session
-        .metropolis_hastings(vec![Sample::Real(1.0)], 20_000, 2_000, &mut rng)
+    // The same validated query answers under either algorithm, behind the
+    // same `Posterior` interface.
+    let is = query
+        .run(&Method::Importance { particles: 20_000 })
         .unwrap();
-    let is_mean = is.posterior_mean_of_sample(0).unwrap();
-    let mh_mean = mh.posterior_mean_of_sample(0).unwrap();
+    let mh = query
+        .run(&Method::Mh {
+            iterations: 20_000,
+            burn_in: 2_000,
+        })
+        .unwrap();
+    let is_mean = is.mean_of_sample(0).unwrap();
+    let mh_mean = mh.mean_of_sample(0).unwrap();
     assert!((is_mean - 0.5).abs() < 0.05, "IS mean {is_mean}");
     assert!((mh_mean - 0.5).abs() < 0.05, "MH mean {mh_mean}");
     assert!((is_mean - mh_mean).abs() < 0.08);
+    assert_eq!(is.method(), "IS");
+    assert_eq!(mh.method(), "MCMC");
 }

@@ -1,0 +1,270 @@
+//! Up-front query validation: malformed observation vectors are rejected
+//! when the query is *built* — before a single joint execution runs — with
+//! a `QueryError` naming the offending position and the expected protocol.
+
+use guide_ppl::{Method, QueryError, Session, SessionError};
+use ppl_dist::Sample;
+use ppl_types::obs::ObsViolation;
+
+/// Builds the Fig. 5 session (one `real` observation).
+fn ex1() -> Session {
+    Session::from_benchmark("ex-1").unwrap()
+}
+
+#[test]
+fn wrong_observation_count_is_rejected_at_build_time() {
+    let session = ex1();
+    // Too few: the protocol expects a real at position 0.
+    let err = session.query().build().unwrap_err();
+    let QueryError::Observations {
+        violation,
+        supplied,
+        protocol,
+    } = &err
+    else {
+        panic!("expected an observation error, got {err:?}");
+    };
+    assert_eq!(*supplied, 0);
+    assert!(
+        matches!(violation, ObsViolation::TooFew { position: 0, .. }),
+        "{violation:?}"
+    );
+    assert!(protocol.contains("real"), "protocol {protocol}");
+    let shown = err.to_string();
+    assert!(shown.contains("position 0"), "{shown}");
+    assert!(shown.contains("protocol"), "{shown}");
+
+    // Too many: the protocol ends after one observation.
+    let err = session
+        .query()
+        .observe(vec![Sample::Real(0.8), Sample::Real(0.9)])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Observations {
+                violation: ObsViolation::TooMany {
+                    consumed: 1,
+                    supplied: 2
+                },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn wrong_carrier_type_is_rejected_at_build_time() {
+    // normal-normal observes through a Normal: carrier `real`.
+    let session = Session::from_benchmark("normal-normal").unwrap();
+    let err = session
+        .query()
+        .observe(vec![Sample::Bool(true)])
+        .build()
+        .unwrap_err();
+    let QueryError::Observations { violation, .. } = &err else {
+        panic!("expected an observation error, got {err:?}");
+    };
+    assert!(
+        matches!(violation, ObsViolation::Carrier { position: 0, .. }),
+        "{violation:?}"
+    );
+    assert!(err.to_string().contains("wrong carrier"), "{err}");
+
+    // coin observes through a Bernoulli: carrier `bool`, so a real at
+    // position 2 is caught (and located).
+    let session = Session::from_benchmark("coin").unwrap();
+    let err = session
+        .query()
+        .observe(vec![
+            Sample::Bool(true),
+            Sample::Bool(true),
+            Sample::Real(1.0),
+            Sample::Bool(true),
+        ])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Observations {
+                violation: ObsViolation::Carrier { position: 2, .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // Strict refined carriers: a Beta-observed value must lie in (0, 1).
+    let model = "proc M() : ureal consume latent provide obs {
+        let p <- sample recv latent (Unif);
+        let _ <- sample send obs (Beta(1.0, 1.0));
+        return p }";
+    let guide = "proc G() provide latent {
+        let p <- sample send latent (Unif);
+        return () }";
+    let session = Session::from_sources(model, "M", guide, "G").unwrap();
+    assert!(session
+        .query()
+        .observe(vec![Sample::Real(0.4)])
+        .build()
+        .is_ok());
+    let err = session
+        .query()
+        .observe(vec![Sample::Real(1.5)])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Observations {
+                violation: ObsViolation::Carrier { position: 0, .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn models_without_observations_reject_any_observation() {
+    // ex-2 (the PCFG) conditions on nothing.
+    let session = Session::from_benchmark("ex-2").unwrap();
+    assert!(session.query().build().is_ok());
+    let err = session
+        .query()
+        .observe(vec![Sample::Real(1.0)])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Observations { .. } | QueryError::NoObservationChannel { .. }
+        ),
+        "{err:?}"
+    );
+
+    // A model with no observation channel at all.
+    let model = "proc M() : real consume latent {
+        let x <- sample recv latent (Normal(0.0, 1.0));
+        return x }";
+    let guide = "proc G() provide latent {
+        let x <- sample send latent (Normal(0.0, 1.5));
+        return () }";
+    let session = Session::from_sources(model, "M", guide, "G").unwrap();
+    assert!(session.query().build().is_ok());
+    let err = session
+        .query()
+        .observe(vec![Sample::Real(1.0)])
+        .build()
+        .unwrap_err();
+    assert_eq!(err, QueryError::NoObservationChannel { supplied: 1 });
+    assert!(err.to_string().contains("no observation channel"));
+}
+
+#[test]
+fn branch_dependent_observation_counts_are_feasibility_checked() {
+    // The model chooses (and announces on the obs channel) whether it
+    // emits one or two observations: both counts are feasible, others are
+    // not.
+    let model = "proc M() : real consume latent provide obs {
+        let x <- sample recv latent (Normal(0.0, 1.0));
+        if send obs (x < 0.0) {
+          let _ <- sample send obs (Normal(x, 1.0));
+          return x
+        } else {
+          let _ <- sample send obs (Normal(x, 1.0));
+          let _ <- sample send obs (Normal(x, 2.0));
+          return x
+        } }";
+    let guide = "proc G() provide latent {
+        let x <- sample send latent (Normal(0.0, 1.5));
+        return () }";
+    let session = Session::from_sources(model, "M", guide, "G").unwrap();
+    assert!(session
+        .query()
+        .observe(vec![Sample::Real(1.0)])
+        .build()
+        .is_ok());
+    assert!(session
+        .query()
+        .observe(vec![Sample::Real(1.0), Sample::Real(2.0)])
+        .build()
+        .is_ok());
+    let err = session.query().build().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Observations {
+                violation: ObsViolation::TooFew { position: 0, .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    let err = session
+        .query()
+        .observe(vec![
+            Sample::Real(1.0),
+            Sample::Real(2.0),
+            Sample::Real(3.0),
+        ])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Observations {
+                violation: ObsViolation::TooMany {
+                    consumed: 2,
+                    supplied: 3
+                },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn every_registry_benchmark_validates_its_own_observations() {
+    for b in ppl_models::all_benchmarks() {
+        if !b.expressible {
+            continue;
+        }
+        let session = Session::from_benchmark(b.name).unwrap();
+        let query = session.query().observe(b.observations.clone()).build();
+        assert!(
+            query.is_ok(),
+            "{}: registered observations rejected: {}",
+            b.name,
+            query.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+        // One extra observation always breaks the protocol.
+        let mut extra = b.observations.clone();
+        extra.push(Sample::Real(0.5));
+        assert!(
+            session.query().observe(extra).build().is_err(),
+            "{}: an extra observation should be rejected",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn validation_errors_surface_through_the_one_shot_run_path_too() {
+    // `.run(..)` on the builder performs the same build-time validation,
+    // wrapped as SessionError::Query — still before anything executes.
+    let session = ex1();
+    let err = session
+        .query()
+        .observe(vec![Sample::Bool(true)])
+        .run(&Method::Importance { particles: 1_000 })
+        .unwrap_err();
+    assert!(
+        matches!(err, SessionError::Query(QueryError::Observations { .. })),
+        "{err:?}"
+    );
+}
