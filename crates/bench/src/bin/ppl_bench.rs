@@ -14,9 +14,16 @@
 //! trajectory is tracked per commit.
 
 use ppl_bench::throughput::{
-    bench_json, engine_timings, serving_rows, throughput_rows, ThroughputConfig,
+    bench_json, engine_timings, mcmc_rows, serving_rows, throughput_rows, ThroughputConfig,
 };
 use std::process::ExitCode;
+
+/// Counting allocator so the report can include `allocs_per_particle` /
+/// `allocs_per_proposal` (the steady-state targets are zero); the counter
+/// is a relaxed atomic increment per allocation, far below measurement
+/// noise on the timed sections.
+#[global_allocator]
+static GLOBAL: ppl_bench::alloc_track::CountingAlloc = ppl_bench::alloc_track::CountingAlloc;
 
 fn main() -> ExitCode {
     let mut config = ThroughputConfig::default();
@@ -53,14 +60,21 @@ fn main() -> ExitCode {
     );
     let rows = throughput_rows(&config);
     println!(
-        "{:<12} {:>14} {:>14} {:>9} {:>10} {:>14} {:>10}",
-        "benchmark", "1-thread p/s", "N-thread p/s", "speedup", "ess", "log-evidence", "identical"
+        "{:<12} {:>14} {:>14} {:>9} {:>10} {:>14} {:>10} {:>10}",
+        "benchmark",
+        "1-thread p/s",
+        "N-thread p/s",
+        "speedup",
+        "ess",
+        "log-evidence",
+        "identical",
+        "allocs/p"
     );
     let mut all_identical = true;
     for r in &rows {
         all_identical &= r.bit_identical;
         println!(
-            "{:<12} {:>14.0} {:>14.0} {:>8.2}x {:>10.1} {:>14.4} {:>10}",
+            "{:<12} {:>14.0} {:>14.0} {:>8.2}x {:>10.1} {:>14.4} {:>10} {:>10.3}",
             r.name,
             r.seq_particles_per_sec,
             r.par_particles_per_sec,
@@ -68,6 +82,20 @@ fn main() -> ExitCode {
             r.ess,
             r.log_evidence,
             r.bit_identical,
+            r.allocs_per_particle,
+        );
+    }
+
+    println!("\nMCMC proposal throughput — sequential chain, recycled scratch");
+    println!(
+        "{:<12} {:>10} {:>16} {:>12} {:>10}",
+        "benchmark", "proposals", "proposals/sec", "acceptance", "allocs/p"
+    );
+    let mcmc = mcmc_rows(&config);
+    for r in &mcmc {
+        println!(
+            "{:<12} {:>10} {:>16.0} {:>12.3} {:>10.3}",
+            r.name, r.iterations, r.proposals_per_sec, r.acceptance_rate, r.allocs_per_proposal,
         );
     }
 
@@ -107,7 +135,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let json = bench_json(&config, &rows, &engines, &serving);
+        let json = bench_json(&config, &rows, &engines, &serving, &mcmc);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -13,6 +13,7 @@
 //!   a `--json` mode that writes the machine-readable
 //!   `BENCH_inference.json` tracked by CI.
 
+pub mod alloc_track;
 pub mod throughput;
 
 use guide_ppl::{Method, Session};

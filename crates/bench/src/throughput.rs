@@ -17,10 +17,12 @@
 //! machine-readable `BENCH_inference.json` consumed by CI, so the perf
 //! trajectory of the runtime is tracked from commit to commit.
 
+use crate::alloc_track;
 use guide_ppl::{Method, PosteriorResult, Query, Session};
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
 use ppl_inference::{ImportanceSampler, IndependenceMh, ParamSpec, VariationalInference, ViConfig};
+use ppl_runtime::{JointExecutor, JointScratch, JointSpec, LatentSource};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -71,6 +73,35 @@ pub struct ThroughputRow {
     /// Whether the two configurations produced bit-identical results
     /// (always expected to be `true`; recorded so CI can assert it).
     pub bit_identical: bool,
+    /// Heap allocations per particle in the *steady state* (a recycled
+    /// joint-execution loop after warm-up; the tentpole target is `0`).
+    /// `NaN` (serialised as `null`) when the counting allocator is not
+    /// installed in the measuring binary.
+    pub allocs_per_particle: f64,
+}
+
+/// Allocations per joint execution of a warmed, recycled steady-state loop
+/// (the number the allocation-free-hot-loop refactor drives to zero), or
+/// `NaN` when the counting allocator is not installed.
+fn steady_state_allocs_per_particle(executor: &JointExecutor, spec: &JointSpec, seed: u64) -> f64 {
+    if !alloc_track::installed() {
+        return f64::NAN;
+    }
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut scratch = JointScratch::new();
+    let mut run_batch = |count: usize, rng: &mut Pcg32| -> u64 {
+        let before = alloc_track::thread_allocations();
+        for _ in 0..count {
+            let joint = executor
+                .run_with_scratch(spec, LatentSource::FromGuide, rng, &mut scratch)
+                .expect("joint execution");
+            scratch.recycle(joint.latent);
+        }
+        alloc_track::thread_allocations() - before
+    };
+    run_batch(200, &mut rng); // warm-up: grow buffers to working size
+    let allocs = run_batch(1_000, &mut rng);
+    allocs as f64 / 1_000.0
 }
 
 /// Wall time of one engine on its reference workload.
@@ -137,6 +168,81 @@ fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRo
         ess: seq.ess,
         log_evidence: seq.log_evidence,
         bit_identical,
+        allocs_per_particle: steady_state_allocs_per_particle(&executor, &spec, config.seed),
+    }
+}
+
+/// One MCMC throughput measurement: proposals per second through the
+/// sequential chain (independence MH over the recycled scratch pool).
+#[derive(Debug, Clone)]
+pub struct McmcRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Proposal iterations measured.
+    pub iterations: usize,
+    /// Wall time of the chain, in seconds.
+    pub wall_seconds: f64,
+    /// Proposals evaluated per second.
+    pub proposals_per_sec: f64,
+    /// Fraction of proposals accepted.
+    pub acceptance_rate: f64,
+    /// Heap allocations per proposal in the steady state (burn-in-only
+    /// chain, so no states are retained; target `0`).  `NaN`/`null` when
+    /// the counting allocator is not installed.
+    pub allocs_per_proposal: f64,
+}
+
+/// Measures MCMC proposal throughput on the Table 2 MCMC-style workloads
+/// (`ex-1` as the reference chain plus `gmm` for a multi-site model).
+pub fn mcmc_rows(config: &ThroughputConfig) -> Vec<McmcRow> {
+    ["ex-1", "gmm"]
+        .into_iter()
+        .map(|name| mcmc_row(name, config))
+        .collect()
+}
+
+fn mcmc_row(name: &'static str, config: &ThroughputConfig) -> McmcRow {
+    let session = Session::from_benchmark(name).expect("registered benchmark");
+    let b = ppl_models::benchmark(name).expect("registered benchmark");
+    let executor = session.executor(b.observations.clone());
+    let spec = session.spec();
+    let iterations = (config.particles / 2).max(100);
+
+    let mut rng = Pcg32::seed_from_u64(config.seed);
+    let start = Instant::now();
+    let result = IndependenceMh::new(iterations, iterations / 10)
+        .run(&executor, &spec, &mut rng)
+        .expect("MCMC chain");
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Steady-state allocation count: a burn-in-only chain retains no
+    // states, so what remains is the pure proposal loop.  The chain owns
+    // its scratch pool, so every run pays the same warm-up (same seed ⇒
+    // identical prefix); differencing a short and a long run cancels it
+    // and leaves the pure per-proposal increment.
+    let allocs_per_proposal = if alloc_track::installed() {
+        let measure = |iters: usize| -> u64 {
+            let mut rng = Pcg32::seed_from_u64(config.seed);
+            let before = alloc_track::thread_allocations();
+            IndependenceMh::new(iters, iters)
+                .run(&executor, &spec, &mut rng)
+                .expect("MCMC chain");
+            alloc_track::thread_allocations() - before
+        };
+        let short = measure(200);
+        let long = measure(1_200);
+        long.saturating_sub(short) as f64 / 1_000.0
+    } else {
+        f64::NAN
+    };
+
+    McmcRow {
+        name,
+        iterations,
+        wall_seconds,
+        proposals_per_sec: iterations as f64 / wall_seconds,
+        acceptance_rate: result.acceptance_rate,
+        allocs_per_proposal,
     }
 }
 
@@ -352,10 +458,11 @@ pub fn bench_json(
     rows: &[ThroughputRow],
     engines: &[EngineTiming],
     serving: &[ServingRow],
+    mcmc: &[McmcRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v2\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
     let _ = writeln!(s, "  \"seed\": {},", config.seed);
@@ -373,7 +480,7 @@ pub fn bench_json(
             "    {{\"name\": \"{}\", \"algorithm\": \"IS\", \"particles\": {}, \"threads\": {}, \
              \"seq_seconds\": {}, \"par_seconds\": {}, \"seq_particles_per_sec\": {}, \
              \"par_particles_per_sec\": {}, \"speedup\": {}, \"ess\": {}, \"log_evidence\": {}, \
-             \"bit_identical\": {}}}",
+             \"bit_identical\": {}, \"allocs_per_particle\": {}}}",
             r.name,
             r.particles,
             r.threads,
@@ -385,8 +492,26 @@ pub fn bench_json(
             json_f64(r.ess),
             json_f64(r.log_evidence),
             r.bit_identical,
+            json_f64(r.allocs_per_particle),
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"mcmc\": [\n");
+    for (i, r) in mcmc.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"algorithm\": \"MH\", \"iterations\": {}, \
+             \"wall_seconds\": {}, \"proposals_per_sec\": {}, \"acceptance_rate\": {}, \
+             \"allocs_per_proposal\": {}}}",
+            r.name,
+            r.iterations,
+            json_f64(r.wall_seconds),
+            json_f64(r.proposals_per_sec),
+            json_f64(r.acceptance_rate),
+            json_f64(r.allocs_per_proposal),
+        );
+        s.push_str(if i + 1 < mcmc.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str("  \"serving\": [\n");
@@ -459,6 +584,31 @@ mod tests {
             assert!(r.speedup.is_finite() && r.speedup > 0.0);
             assert!(r.log_evidence.is_finite(), "{}", r.name);
             assert!(r.ess > 1.0, "{}: ess {}", r.name, r.ess);
+            // The lib test binary does not install the counting allocator,
+            // so the metric must report unknown rather than a fake zero.
+            assert!(r.allocs_per_particle.is_nan() || r.allocs_per_particle >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mcmc_rows_measure_proposal_throughput() {
+        let config = ThroughputConfig {
+            particles: 400,
+            threads: 4,
+            seed: 13,
+        };
+        let rows = mcmc_rows(&config);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.iterations, 200);
+            assert!(r.proposals_per_sec > 0.0, "{}", r.name);
+            assert!(
+                (0.0..=1.0).contains(&r.acceptance_rate),
+                "{}: acceptance {}",
+                r.name,
+                r.acceptance_rate
+            );
+            assert!(r.allocs_per_proposal.is_nan() || r.allocs_per_proposal >= 0.0);
         }
     }
 
@@ -492,7 +642,8 @@ mod tests {
         let engines = engine_timings(&config);
         assert_eq!(engines.len(), 3);
         let serving = serving_rows(&config);
-        let json = bench_json(&config, &rows, &engines, &serving);
+        let mcmc = mcmc_rows(&config);
+        let json = bench_json(&config, &rows, &engines, &serving, &mcmc);
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
         assert_eq!(
@@ -506,11 +657,15 @@ mod tests {
             "\"host_cpus\"",
             "\"throughput\"",
             "\"serving\"",
+            "\"mcmc\"",
             "\"engines\"",
             "\"par_particles_per_sec\"",
             "\"par_queries_per_sec\"",
             "\"speedup\"",
             "\"bit_identical\": true",
+            "\"allocs_per_particle\"",
+            "\"proposals_per_sec\"",
+            "\"allocs_per_proposal\"",
             "\"engine\": \"IS\"",
             "\"engine\": \"VI\"",
             "\"engine\": \"MCMC\"",

@@ -306,13 +306,12 @@ impl Session {
             .expect("session construction verified the model procedure");
         let latent_chan = meta
             .consumes
-            .clone()
             .expect("session construction verified the model consumes a channel");
-        let obs_chan = meta.provides.clone().unwrap_or_else(|| "obs".into());
+        let obs_chan = meta.provides.unwrap_or_else(|| "obs".into());
         JointSpec {
-            model_proc: self.model_proc.clone(),
+            model_proc: self.model_proc,
             model_args: Vec::new(),
-            guide_proc: self.guide_proc.clone(),
+            guide_proc: self.guide_proc,
             guide_args: Vec::new(),
             latent_chan,
             obs_chan,

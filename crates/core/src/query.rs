@@ -334,11 +334,9 @@ impl<'s> QueryBuilder<'s> {
         // the guide provides.
         let latent_chan = model_meta
             .consumes
-            .clone()
             .expect("session construction verified the model consumes a channel");
         let guide_chan = guide_meta
             .provides
-            .clone()
             .expect("session construction verified the guide provides a channel");
         if latent_chan != guide_chan {
             return Err(QueryError::ChannelMismatch {
@@ -375,11 +373,11 @@ impl<'s> QueryBuilder<'s> {
             });
         }
 
-        let obs_chan = model_meta.provides.clone().unwrap_or_else(|| "obs".into());
+        let obs_chan = model_meta.provides.unwrap_or_else(|| "obs".into());
         let spec = JointSpec {
-            model_proc: session.model_proc.clone(),
+            model_proc: session.model_proc,
             model_args: self.model_args,
-            guide_proc: session.guide_proc.clone(),
+            guide_proc: session.guide_proc,
             guide_args: self.guide_args,
             latent_chan,
             obs_chan,

@@ -214,8 +214,11 @@ pub enum Distribution {
     },
     /// `Cat(w₀, …, w_{n−1})` over `ℕ_n`.
     Categorical {
-        /// Unnormalised positive weights.
-        weights: Vec<f64>,
+        /// Unnormalised positive weights, shared so that cloning a
+        /// categorical distribution (e.g. into a coroutine suspension on
+        /// the particle hot loop) is a reference-count bump, never a
+        /// buffer copy.
+        weights: std::sync::Arc<[f64]>,
     },
     /// `Pois(λ)` over `ℕ`.
     Poisson {
@@ -335,7 +338,9 @@ impl Distribution {
                 ));
             }
         }
-        Ok(Distribution::Categorical { weights })
+        Ok(Distribution::Categorical {
+            weights: weights.into(),
+        })
     }
 
     /// `Pois(rate)`.

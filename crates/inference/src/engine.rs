@@ -70,14 +70,46 @@ impl Engine {
         E: Send,
         F: Fn(usize, &mut Pcg32) -> Result<T, E> + Sync,
     {
+        self.run_particles_with(count, rng, || (), |_, i, sub| job(i, sub))
+    }
+
+    /// [`Engine::run_particles`] with *worker-local scratch state*: `init`
+    /// builds one `S` per worker (one total when sequential), and every job
+    /// a worker runs receives `&mut` access to that worker's state.
+    ///
+    /// This is how the inference loops keep per-worker
+    /// [`JointScratch`](ppl_runtime::JointScratch) pools alive across the
+    /// particles of a substream — coroutine stacks and trace buffers are
+    /// reused instead of reallocated per particle.  The scratch state must
+    /// not influence results (it is working memory, not input), so the
+    /// determinism guarantee is unchanged: outputs are bit-identical for
+    /// every `num_threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing job, if any.
+    pub fn run_particles_with<S, T, E, I, F>(
+        &self,
+        count: usize,
+        rng: &mut Pcg32,
+        init: I,
+        job: F,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &mut Pcg32) -> Result<T, E> + Sync,
+    {
         let master = rng.clone();
         rng.next_u64();
-        let run_one = |i: usize| {
+        let run_one = |state: &mut S, i: usize| {
             let mut sub = master.split(i as u64);
-            job(i, &mut sub)
+            job(state, i, &mut sub)
         };
         if self.num_threads == 1 || count < 2 {
-            return (0..count).map(run_one).collect();
+            let mut state = init();
+            return (0..count).map(|i| run_one(&mut state, i)).collect();
         }
         let threads = self.num_threads.min(count);
         let chunk = count.div_ceil(threads);
@@ -92,14 +124,16 @@ impl Engine {
         std::thread::scope(|scope| {
             for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
                 let run_one = &run_one;
+                let init = &init;
                 let lowest_failed = &lowest_failed;
                 scope.spawn(move || {
+                    let mut state = init();
                     for (j, slot) in chunk_slots.iter_mut().enumerate() {
                         let i = chunk_idx * chunk + j;
                         if i > lowest_failed.load(Ordering::Relaxed) {
                             continue;
                         }
-                        let result = run_one(i);
+                        let result = run_one(&mut state, i);
                         if result.is_err() {
                             lowest_failed.fetch_min(i, Ordering::Relaxed);
                         }
@@ -170,6 +204,46 @@ mod tests {
                 .unwrap_err();
             assert_eq!(err, 3, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker_and_never_changes_results() {
+        // The state counts how many jobs its worker has run; results must
+        // not depend on it, but the counter proves reuse happened.
+        let job = |state: &mut usize, i: usize, rng: &mut Pcg32| -> Result<(usize, u64), ()> {
+            *state += 1;
+            Ok((i, rng.next_u64()))
+        };
+        let mut rng1 = Pcg32::seed_from_u64(11);
+        let seq = Engine::new(1)
+            .run_particles_with(24, &mut rng1, || 0usize, job)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let mut rng_n = Pcg32::seed_from_u64(11);
+            let par = Engine::new(threads)
+                .run_particles_with(24, &mut rng_n, || 0usize, job)
+                .unwrap();
+            assert_eq!(seq, par, "worker state leaked into results");
+            assert_eq!(rng1, rng_n);
+        }
+        // Sequentially, one state serves every job.
+        let counter = std::sync::Mutex::new(Vec::new());
+        let mut rng = Pcg32::seed_from_u64(0);
+        Engine::new(1)
+            .run_particles_with(
+                5,
+                &mut rng,
+                || 0usize,
+                |state, i, _| -> Result<(), ()> {
+                    *state += 1;
+                    if i == 4 {
+                        counter.lock().unwrap().push(*state);
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(*counter.lock().unwrap(), vec![5]);
     }
 
     #[test]

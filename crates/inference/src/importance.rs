@@ -13,7 +13,7 @@ use ppl_dist::rng::Pcg32;
 use ppl_dist::special::log_sum_exp;
 use ppl_dist::stats::{effective_sample_size, normalize_log_weights, Histogram};
 use ppl_dist::Sample;
-use ppl_runtime::{JointExecutor, JointSpec, LatentSource, RuntimeError};
+use ppl_runtime::{JointExecutor, JointScratch, JointSpec, LatentSource, RuntimeError};
 use ppl_semantics::trace::Trace;
 
 /// One weighted particle.
@@ -148,11 +148,13 @@ impl ImportanceSampler {
         rng: &mut Pcg32,
     ) -> Result<ImportanceResult, RuntimeError> {
         let engine = Engine::new(self.num_threads);
-        let particles = engine.run_particles(
+        let particles = engine.run_particles_with(
             self.num_particles,
             rng,
-            |_, prng| -> Result<Particle, RuntimeError> {
-                let joint = executor.run(spec, LatentSource::FromGuide, prng)?;
+            JointScratch::new,
+            |scratch, _, prng| -> Result<Particle, RuntimeError> {
+                let joint =
+                    executor.run_with_scratch(spec, LatentSource::FromGuide, prng, scratch)?;
                 Ok(Particle {
                     samples: joint.latent_samples(),
                     log_weight: joint.log_importance_weight(),

@@ -21,7 +21,7 @@
 
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
-use ppl_runtime::{JointExecutor, JointSpec, LatentSource, RuntimeError};
+use ppl_runtime::{JointExecutor, JointScratch, JointSpec, LatentSource, RuntimeError};
 use ppl_semantics::trace::Trace;
 use ppl_semantics::value::Value;
 
@@ -93,25 +93,35 @@ impl IndependenceMh {
         let mut chain = Vec::new();
         let mut accepted = 0usize;
         let mut proposals = 0usize;
+        // One scratch pool for the whole chain: the coroutine stacks and
+        // the trace buffer of every rejected (or superseded) proposal are
+        // reused, so a proposal iteration allocates only when a state is
+        // actually recorded into the chain.
+        let mut scratch = JointScratch::new();
 
         // Initialise from the guide (retry until a positive-weight state).
         let mut current = loop {
-            let joint = executor.run(spec, LatentSource::FromGuide, rng)?;
+            let joint =
+                executor.run_with_scratch(spec, LatentSource::FromGuide, rng, &mut scratch)?;
             if joint.log_model.is_finite() {
                 break joint;
             }
+            scratch.recycle(joint.latent);
         };
 
         for it in 0..self.iterations {
-            let proposal = executor.run(spec, LatentSource::FromGuide, rng)?;
+            let proposal =
+                executor.run_with_scratch(spec, LatentSource::FromGuide, rng, &mut scratch)?;
             proposals += 1;
             // Acceptance ratio for an independence sampler:
             //   α = min(1, (w'_m / w'_g) / (w_m / w_g)).
             let log_alpha =
                 (proposal.log_model - proposal.log_guide) - (current.log_model - current.log_guide);
             if log_alpha >= 0.0 || rng.next_f64().ln() < log_alpha {
-                current = proposal;
+                scratch.recycle(std::mem::replace(&mut current, proposal).latent);
                 accepted += 1;
+            } else {
+                scratch.recycle(proposal.latent);
             }
             if it >= self.burn_in {
                 chain.push(ChainState {
@@ -175,40 +185,50 @@ impl<'f> GuidedMh<'f> {
         let mut chain = Vec::new();
         let mut accepted = 0usize;
         let mut proposals = 0usize;
+        let mut scratch = JointScratch::new();
+        // One spec serves the whole chain: it is cloned once here and its
+        // guide arguments are overwritten in place per move (the forward
+        // and backward proposals of one iteration differ only in those
+        // arguments), instead of rebuilding the spec — model arguments,
+        // procedure names, and channel names included — three times per
+        // iteration.
+        let mut run_spec = spec.clone();
 
         // Initialise with arguments computed from an empty trace.
-        let init_spec = JointSpec {
-            guide_args: (self.proposal_args)(&Trace::new()),
-            ..spec.clone()
-        };
+        run_spec.guide_args = (self.proposal_args)(&Trace::new());
         let mut current = loop {
-            let joint = executor.run(&init_spec, LatentSource::FromGuide, rng)?;
+            let joint =
+                executor.run_with_scratch(&run_spec, LatentSource::FromGuide, rng, &mut scratch)?;
             if joint.log_model.is_finite() {
                 break joint;
             }
+            scratch.recycle(joint.latent);
         };
 
         for it in 0..self.iterations {
             proposals += 1;
             // Forward move: propose σ'_ℓ ~ guide(args(σ_ℓ)).
-            let fwd_spec = JointSpec {
-                guide_args: (self.proposal_args)(&current.latent),
-                ..spec.clone()
-            };
-            let proposal = executor.run(&fwd_spec, LatentSource::FromGuide, rng)?;
+            run_spec.guide_args = (self.proposal_args)(&current.latent);
+            let proposal =
+                executor.run_with_scratch(&run_spec, LatentSource::FromGuide, rng, &mut scratch)?;
             let log_fwd = proposal.log_guide;
             // Backward density: score σ_ℓ under guide(args(σ'_ℓ)).
-            let bwd_spec = JointSpec {
-                guide_args: (self.proposal_args)(&proposal.latent),
-                ..spec.clone()
-            };
-            let backward = executor.run(&bwd_spec, LatentSource::Replay(&current.latent), rng)?;
+            run_spec.guide_args = (self.proposal_args)(&proposal.latent);
+            let backward = executor.run_with_scratch(
+                &run_spec,
+                LatentSource::Replay(&current.latent),
+                rng,
+                &mut scratch,
+            )?;
             let log_bwd = backward.log_guide;
+            scratch.recycle(backward.latent);
 
             let log_alpha = (proposal.log_model + log_bwd) - (current.log_model + log_fwd);
             if log_alpha >= 0.0 || rng.next_f64().ln() < log_alpha {
-                current = proposal;
+                scratch.recycle(std::mem::replace(&mut current, proposal).latent);
                 accepted += 1;
+            } else {
+                scratch.recycle(proposal.latent);
             }
             if it >= self.burn_in {
                 chain.push(ChainState {

@@ -22,7 +22,7 @@
 use crate::engine::Engine;
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
-use ppl_runtime::{JointExecutor, JointSpec, LatentSource, RuntimeError};
+use ppl_runtime::{JointExecutor, JointScratch, JointSpec, LatentSource, RuntimeError};
 use ppl_semantics::value::Value;
 
 /// A variational parameter: a name, an initial value, and whether it is
@@ -144,12 +144,18 @@ impl VariationalInference {
     ) -> Result<f64, RuntimeError> {
         let run_spec = spec_with_params(spec, params);
         let engine = Engine::new(self.config.num_threads);
-        let fs =
-            engine.run_particles(num_samples, rng, |_, prng| -> Result<f64, RuntimeError> {
-                let joint = executor.run(&run_spec, LatentSource::FromGuide, prng)?;
+        let fs = engine.run_particles_with(
+            num_samples,
+            rng,
+            JointScratch::new,
+            |scratch, _, prng| -> Result<f64, RuntimeError> {
+                let joint =
+                    executor.run_with_scratch(&run_spec, LatentSource::FromGuide, prng, scratch)?;
                 let f = joint.log_model - joint.log_guide;
+                scratch.recycle(joint.latent);
                 Ok(if f.is_finite() { f } else { -1e6 })
-            })?;
+            },
+        )?;
         Ok(fs.iter().sum::<f64>() / num_samples as f64)
     }
 
@@ -181,12 +187,20 @@ impl VariationalInference {
 
             // Draw the mini-batch of joint executions at the current θ —
             // independent particles, so the engine fans them out over its
-            // worker threads with one RNG substream each.
-            let batch = engine.run_particles(
+            // worker threads with one RNG substream each.  The traces are
+            // retained (the gradient stage replays them), so only the
+            // coroutine stacks recycle here.
+            let batch = engine.run_particles_with(
                 self.config.samples_per_iteration,
                 rng,
-                |_, prng| -> Result<(f64, ppl_semantics::trace::Trace), RuntimeError> {
-                    let joint = executor.run(&run_spec, LatentSource::FromGuide, prng)?;
+                JointScratch::new,
+                |scratch, _, prng| -> Result<(f64, ppl_semantics::trace::Trace), RuntimeError> {
+                    let joint = executor.run_with_scratch(
+                        &run_spec,
+                        LatentSource::FromGuide,
+                        prng,
+                        scratch,
+                    )?;
                     let f = joint.log_model - joint.log_guide;
                     Ok((if f.is_finite() { f } else { -1e6 }, joint.latent))
                 },
@@ -200,11 +214,14 @@ impl VariationalInference {
             // Each sample's contribution is independent (replays draw
             // nothing from the RNG), so this loop parallelises too; the
             // contributions are summed in sample order afterwards to keep
-            // the floating-point reduction deterministic.
-            let contributions = engine.run_particles(
+            // the floating-point reduction deterministic.  Every worker
+            // re-scores through its own scratch pool and a single reusable
+            // spec whose parameter values are overwritten in place.
+            let contributions = engine.run_particles_with(
                 fs.len(),
                 rng,
-                |i, prng| -> Result<Vec<f64>, RuntimeError> {
+                || (JointScratch::new(), spec.clone()),
+                |(scratch, run_spec), i, prng| -> Result<Vec<f64>, RuntimeError> {
                     let advantage = fs[i] - baseline;
                     let mut g = vec![0.0; dim];
                     if advantage == 0.0 {
@@ -215,20 +232,10 @@ impl VariationalInference {
                         plus[d] += self.config.fd_epsilon;
                         let mut minus = theta.clone();
                         minus[d] -= self.config.fd_epsilon;
-                        let lp = score_guide(
-                            executor,
-                            spec,
-                            &constrain(&plus, param_specs),
-                            &traces[i],
-                            prng,
-                        )?;
-                        let lm = score_guide(
-                            executor,
-                            spec,
-                            &constrain(&minus, param_specs),
-                            &traces[i],
-                            prng,
-                        )?;
+                        set_params(run_spec, &constrain(&plus, param_specs));
+                        let lp = score_guide(executor, run_spec, &traces[i], prng, scratch)?;
+                        set_params(run_spec, &constrain(&minus, param_specs));
+                        let lm = score_guide(executor, run_spec, &traces[i], prng, scratch)?;
                         if lp.is_finite() && lm.is_finite() {
                             *slot = advantage * (lp - lm) / (2.0 * self.config.fd_epsilon);
                         }
@@ -256,27 +263,36 @@ impl VariationalInference {
     }
 }
 
-/// Scores a fixed latent trace under the guide at the given parameters by a
+/// Scores a fixed latent trace under the guide described by `spec` by a
 /// replayed joint execution, returning `log w_g`.  The trace is borrowed —
-/// replay walks it in place — and the RNG is never consulted because a
-/// replay draws nothing.
+/// replay walks it in place — the RNG is never consulted because a replay
+/// draws nothing, and the freshly recorded trace is recycled immediately,
+/// so a re-score is allocation-free in the steady state.
 fn score_guide(
     executor: &JointExecutor,
     spec: &JointSpec,
-    params: &[f64],
     trace: &ppl_semantics::trace::Trace,
     rng: &mut Pcg32,
+    scratch: &mut JointScratch,
 ) -> Result<f64, RuntimeError> {
-    let run_spec = spec_with_params(spec, params);
-    let joint = executor.run(&run_spec, LatentSource::Replay(trace), rng)?;
-    Ok(joint.log_guide)
+    let joint = executor.run_with_scratch(spec, LatentSource::Replay(trace), rng, scratch)?;
+    let log_guide = joint.log_guide;
+    scratch.recycle(joint.latent);
+    Ok(log_guide)
+}
+
+/// Overwrites `spec`'s guide arguments with the given parameter values in
+/// place (reusing the argument buffer).
+fn set_params(spec: &mut JointSpec, params: &[f64]) {
+    spec.guide_args.clear();
+    spec.guide_args
+        .extend(params.iter().map(|&p| Value::Real(p)));
 }
 
 fn spec_with_params(spec: &JointSpec, params: &[f64]) -> JointSpec {
-    JointSpec {
-        guide_args: params.iter().map(|&p| Value::Real(p)).collect(),
-        ..spec.clone()
-    }
+    let mut out = spec.clone();
+    set_params(&mut out, params);
+    out
 }
 
 fn constrain(theta: &[f64], specs: &[ParamSpec]) -> Vec<f64> {

@@ -7,23 +7,37 @@
 //! driver can pause it at every channel operation and resume it with the
 //! value produced by the other coroutine.
 //!
-//! The interpreter executes a shared [`CompiledProgram`]: continuation
-//! frames hold [`CmdId`] indices into the program's node table plus an O(1)
-//! scope-chain [`Env`], so stepping, suspending, and resuming never clone an
-//! AST subtree or copy an environment map.  A coroutine owns only its
-//! `Arc` handle to the program and is `Send`, which lets the parallel
-//! particle driver run many of them concurrently over one compiled program.
+//! The interpreter executes a shared [`CompiledProgram`] and is built so
+//! that its *steady state allocates nothing*:
+//!
+//! * continuation frames are three machine words (a [`CmdId`] plus two
+//!   stack indices) in a reusable `Vec`;
+//! * variable bindings live on a flat, reusable
+//!   [`ValueStack`] — procedure entry
+//!   raises the scope base, `bind` frames remember the depth to restore —
+//!   so binding a variable is a push into retained capacity, and lookup
+//!   compares interned `u32` symbols;
+//! * suspensions carry `Copy` channel ids and pre-compiled distributions
+//!   (see [`DistNode`]), never a cloned `String` or AST subtree.
+//!
+//! A coroutine can be re-armed over the same program with
+//! [`Coroutine::respawn`], which reuses all of its buffers — this is what
+//! the joint executor's scratch pool does between particles.
 
-use crate::program::{CalleeRef, CmdId, CmdNode, CompiledProgram, ProcId};
+use crate::program::{CalleeRef, CmdId, CmdNode, CompiledProgram, DistNode, ProcId};
 use ppl_dist::{Distribution, Sample};
-use ppl_semantics::eval::{eval_expr, EvalError};
-use ppl_semantics::value::{Env, Value};
+use ppl_semantics::eval::{eval_dist_in, eval_expr_in, EvalError};
+use ppl_semantics::value::{Bindings, Value, ValueStack};
 use ppl_syntax::ast::{ChannelName, Dir, Ident};
 use std::fmt;
 use std::sync::Arc;
 
 /// A channel operation at which a coroutine is suspended, awaiting the
 /// driver.
+///
+/// The channel is an interned [`ChannelName`] (a `Copy` id) and the
+/// distribution payload clones without heap allocation, so constructing,
+/// cloning, and matching suspensions is allocation-free.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Suspend {
     /// The coroutine executes `sample_sd{chan}(d)`: it is about to *send* a
@@ -139,52 +153,48 @@ impl From<EvalError> for CoroutineError {
 }
 
 /// A continuation frame: when the current command finishes with a value,
-/// bind it to the `Bind` node's variable and continue with its `rest`.
+/// restore the binding stack to `depth`/`base`, bind the value to the
+/// `Bind` node's variable, and continue with its `rest`.
 ///
-/// The frame is two machine words plus an `Arc` bump — it holds an index
-/// into the shared program and an O(1)-cloned environment, never a command
-/// subtree or a copied binding map.
-#[derive(Debug, Clone)]
+/// Three machine words — an index into the shared program plus two stack
+/// indices; no environment is captured because the bindings live on the
+/// coroutine's reusable [`ValueStack`].
+#[derive(Debug, Clone, Copy)]
 struct BindFrame {
     /// A [`CmdNode::Bind`] node in the shared program.
     node: CmdId,
-    /// The environment in which `rest` runs.
-    env: Env,
+    /// Stack length at the time the frame was pushed.
+    depth: usize,
+    /// Scope base at the time the frame was pushed.
+    base: usize,
 }
 
 /// What the coroutine is waiting for while suspended.
 #[derive(Debug, Clone)]
 enum Pending {
-    Sample {
-        dist: Distribution,
-    },
+    /// Suspended at a sample site, waiting for the concrete value to score.
+    Sample { dist: Distribution },
     /// Suspended at a [`CmdNode::Branch`] node, waiting for the peer's
     /// selection.
-    BranchRecv {
-        node: CmdId,
-        env: Env,
-    },
+    BranchRecv { node: CmdId },
     /// Suspended at a [`CmdNode::Branch`] node after announcing `selection`,
     /// waiting for the acknowledgement.
-    BranchSend {
-        node: CmdId,
-        selection: bool,
-        env: Env,
-    },
+    BranchSend { node: CmdId, selection: bool },
     /// Suspended at a [`CmdNode::Call`] node, emitting its fold markers one
     /// by one; `next_mark` indexes into the node's pre-computed mark list.
+    /// The evaluated arguments wait in the coroutine's `pending_args`
+    /// buffer.
     CallAck {
         node: CmdId,
         next_mark: usize,
         callee: ProcId,
-        args: Vec<Value>,
     },
 }
 
 /// Internal control state.
 #[derive(Debug, Clone)]
 enum Control {
-    Run { cmd: CmdId, env: Env },
+    Run { cmd: CmdId },
     Return { value: Value },
     AwaitResume(Pending),
     Finished,
@@ -195,6 +205,10 @@ enum Control {
 pub struct Coroutine {
     program: Arc<CompiledProgram>,
     frames: Vec<BindFrame>,
+    stack: ValueStack,
+    /// Evaluated arguments of the call currently awaiting its fold markers
+    /// (at most one call is pending at a time), reused across calls.
+    pending_args: Vec<Value>,
     control: Control,
     log_weight: f64,
     steps: u64,
@@ -213,17 +227,64 @@ impl Coroutine {
         proc_name: &Ident,
         args: Vec<Value>,
     ) -> Result<Self, CoroutineError> {
-        let id = program
-            .proc_id(proc_name)
-            .ok_or_else(|| CoroutineError::UnknownProc(proc_name.to_string()))?;
-        let (body, env) = bind_args(program, id, args)?;
-        Ok(Coroutine {
+        let mut co = Coroutine {
             program: Arc::clone(program),
             frames: Vec::new(),
-            control: Control::Run { cmd: body, env },
+            stack: ValueStack::new(),
+            pending_args: Vec::new(),
+            control: Control::Finished,
             log_weight: 0.0,
             steps: 0,
-        })
+        };
+        co.arm(proc_name, &args)?;
+        Ok(co)
+    }
+
+    /// Re-arms this coroutine to run `proc_name` from its entry point,
+    /// reusing the frame, binding-stack, and argument buffers — the
+    /// allocation-free way to run one program many times.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Coroutine::spawn`].
+    pub fn respawn(&mut self, proc_name: &Ident, args: &[Value]) -> Result<(), CoroutineError> {
+        self.arm(proc_name, args)
+    }
+
+    fn arm(&mut self, proc_name: &Ident, args: &[Value]) -> Result<(), CoroutineError> {
+        let id = self
+            .program
+            .proc_id(proc_name)
+            .ok_or_else(|| CoroutineError::UnknownProc(proc_name.to_string()))?;
+        self.check_arity(id, args.len())?;
+        self.frames.clear();
+        self.stack.clear();
+        self.pending_args.clear();
+        self.log_weight = 0.0;
+        self.steps = 0;
+        for (i, v) in args.iter().enumerate() {
+            let x = self.program.proc(id).params[i];
+            self.stack.push(x, v.clone());
+        }
+        self.control = Control::Run {
+            cmd: self.program.proc(id).body,
+        };
+        Ok(())
+    }
+
+    /// Checks that `got` arguments match the procedure's parameter count.
+    fn check_arity(&self, callee: ProcId, got: usize) -> Result<(), CoroutineError> {
+        let proc = self.program.proc(callee);
+        if proc.params.len() == got {
+            Ok(())
+        } else {
+            Err(CoroutineError::Protocol(format!(
+                "procedure '{}' expects {} argument(s), got {}",
+                proc.name,
+                proc.params.len(),
+                got
+            )))
+        }
     }
 
     /// The shared program this coroutine executes.
@@ -284,23 +345,14 @@ impl Coroutine {
                     value: Value::from_sample(sample),
                 };
             }
-            (Pending::BranchRecv { node, env }, Resume::Branch(sel)) => {
+            (Pending::BranchRecv { node }, Resume::Branch(sel)) => {
                 self.control = Control::Run {
                     cmd: self.branch_arm(node, sel),
-                    env,
                 };
             }
-            (
-                Pending::BranchSend {
-                    node,
-                    selection,
-                    env,
-                },
-                Resume::Ack,
-            ) => {
+            (Pending::BranchSend { node, selection }, Resume::Ack) => {
                 self.control = Control::Run {
                     cmd: self.branch_arm(node, selection),
-                    env,
                 };
             }
             (
@@ -308,7 +360,6 @@ impl Coroutine {
                     node,
                     next_mark,
                     callee,
-                    args,
                 },
                 Resume::Ack,
             ) => {
@@ -316,17 +367,16 @@ impl Coroutine {
                     unreachable!("CallAck always references a Call node");
                 };
                 if let Some(chan) = marks.get(next_mark) {
-                    let suspend = Suspend::CallMarker { chan: chan.clone() };
+                    let suspend = Suspend::CallMarker { chan: *chan };
                     self.control = Control::AwaitResume(Pending::CallAck {
                         node,
                         next_mark: next_mark + 1,
                         callee,
-                        args,
                     });
                     return Ok(Step::Suspended(suspend));
                 }
-                let (body, env) = bind_args(&self.program, callee, args)?;
-                self.control = Control::Run { cmd: body, env };
+                let body = self.enter_callee(callee);
+                self.control = Control::Run { cmd: body };
             }
             (pending, resume) => {
                 return Err(CoroutineError::Protocol(format!(
@@ -349,6 +399,20 @@ impl Coroutine {
         } else {
             *else_cmd
         }
+    }
+
+    /// Moves the pending call's evaluated arguments into a fresh procedure
+    /// scope (raising the lookup base so the callee cannot see its caller's
+    /// bindings) and returns the callee's entry node.  Arity was checked
+    /// when the arguments were evaluated.
+    fn enter_callee(&mut self, callee: ProcId) -> CmdId {
+        let base = self.stack.len();
+        for (i, v) in self.pending_args.drain(..).enumerate() {
+            let x = self.program.proc(callee).params[i];
+            self.stack.push(x, v);
+        }
+        self.stack.set_base(base);
+        self.program.proc(callee).body
     }
 
     /// Runs until suspension or completion.
@@ -378,25 +442,31 @@ impl Coroutine {
                             log_weight: self.log_weight,
                         });
                     }
-                    Some(BindFrame { node, env }) => {
+                    Some(BindFrame { node, depth, base }) => {
                         let CmdNode::Bind { var, rest, .. } = self.program.node(node) else {
                             unreachable!("bind frames always reference a Bind node");
                         };
-                        let env = env.extended(var.clone(), value);
-                        self.control = Control::Run { cmd: *rest, env };
+                        let (var, rest) = (*var, *rest);
+                        // Leave whatever scopes the first command opened and
+                        // bind its value in the frame's own scope.
+                        self.stack.truncate(depth);
+                        self.stack.set_base(base);
+                        self.stack.push(var, value);
+                        self.control = Control::Run { cmd: rest };
                     }
                 },
-                Control::Run { cmd, env } => match self.program.node(cmd) {
+                Control::Run { cmd } => match self.program.node(cmd) {
                     CmdNode::Ret(e) => {
-                        let value = eval_expr(&env, e)?;
+                        let value = eval_expr_in(&mut self.stack, e)?;
                         self.control = Control::Return { value };
                     }
                     CmdNode::Bind { first, .. } => {
                         self.frames.push(BindFrame {
                             node: cmd,
-                            env: env.clone(),
+                            depth: self.stack.len(),
+                            base: self.stack.base(),
                         });
-                        self.control = Control::Run { cmd: *first, env };
+                        self.control = Control::Run { cmd: *first };
                     }
                     CmdNode::Call {
                         callee,
@@ -407,31 +477,31 @@ impl Coroutine {
                         // matching the tree-walking interpreter's error
                         // order for programs that are both ill-scoped and
                         // call a missing procedure.
-                        let arg_values =
-                            args.iter()
-                                .map(|a| eval_expr(&env, a))
-                                .collect::<Result<Vec<_>, _>>()?;
+                        self.pending_args.clear();
+                        for a in args {
+                            let v = eval_expr_in(&mut self.stack, a)?;
+                            self.pending_args.push(v);
+                        }
                         let callee = match callee {
                             CalleeRef::Resolved(id) => *id,
                             CalleeRef::Unknown(name) => {
                                 return Err(CoroutineError::UnknownProc(name.to_string()))
                             }
                         };
+                        // Arity is checked before any fold marker is
+                        // emitted, matching the big-step evaluator's order.
+                        self.check_arity(callee, self.pending_args.len())?;
                         if let Some(chan) = marks.first() {
-                            let suspend = Suspend::CallMarker { chan: chan.clone() };
+                            let suspend = Suspend::CallMarker { chan: *chan };
                             self.control = Control::AwaitResume(Pending::CallAck {
                                 node: cmd,
                                 next_mark: 1,
                                 callee,
-                                args: arg_values,
                             });
                             return Ok(Step::Suspended(suspend));
                         }
-                        let (body, callee_env) = bind_args(&self.program, callee, arg_values)?;
-                        self.control = Control::Run {
-                            cmd: body,
-                            env: callee_env,
-                        };
+                        let body = self.enter_callee(callee);
+                        self.control = Control::Run { cmd: body };
                     }
                     CmdNode::Sample {
                         dir,
@@ -440,21 +510,25 @@ impl Coroutine {
                         declared,
                     } => {
                         check_declared(*declared, chan)?;
-                        let d = match eval_expr(&env, dist)? {
-                            Value::Dist(d) => d,
-                            other => {
-                                return Err(CoroutineError::Eval(EvalError::Dynamic(format!(
-                                    "sample requires a distribution, found {other}"
-                                ))))
-                            }
+                        let d = match dist {
+                            DistNode::Const(d) => d.clone(),
+                            DistNode::Ctor(de) => eval_dist_in(&mut self.stack, de)?,
+                            DistNode::Opaque(e) => match eval_expr_in(&mut self.stack, e)? {
+                                Value::Dist(d) => d,
+                                other => {
+                                    return Err(CoroutineError::Eval(EvalError::Dynamic(format!(
+                                        "sample requires a distribution, found {other}"
+                                    ))))
+                                }
+                            },
                         };
                         let suspend = match dir {
                             Dir::Send => Suspend::SampleSend {
-                                chan: chan.clone(),
+                                chan: *chan,
                                 dist: d.clone(),
                             },
                             Dir::Recv => Suspend::SampleRecv {
-                                chan: chan.clone(),
+                                chan: *chan,
                                 dist: d.clone(),
                             },
                         };
@@ -472,11 +546,13 @@ impl Coroutine {
                         match dir {
                             Dir::Send => {
                                 let selection = match pred {
-                                    Some(p) => eval_expr(&env, p)?.as_bool().ok_or_else(|| {
-                                        CoroutineError::Eval(EvalError::Dynamic(
-                                            "non-Boolean branch predicate".into(),
-                                        ))
-                                    })?,
+                                    Some(p) => eval_expr_in(&mut self.stack, p)?
+                                        .as_bool()
+                                        .ok_or_else(|| {
+                                            CoroutineError::Eval(EvalError::Dynamic(
+                                                "non-Boolean branch predicate".into(),
+                                            ))
+                                        })?,
                                     None => {
                                         return Err(CoroutineError::Eval(EvalError::Dynamic(
                                             "send-branch without a predicate".into(),
@@ -484,20 +560,19 @@ impl Coroutine {
                                     }
                                 };
                                 let suspend = Suspend::BranchSend {
-                                    chan: chan.clone(),
+                                    chan: *chan,
                                     selection,
                                 };
                                 self.control = Control::AwaitResume(Pending::BranchSend {
                                     node: cmd,
                                     selection,
-                                    env,
                                 });
                                 return Ok(Step::Suspended(suspend));
                             }
                             Dir::Recv => {
-                                let suspend = Suspend::BranchRecv { chan: chan.clone() };
+                                let suspend = Suspend::BranchRecv { chan: *chan };
                                 self.control =
-                                    Control::AwaitResume(Pending::BranchRecv { node: cmd, env });
+                                    Control::AwaitResume(Pending::BranchRecv { node: cmd });
                                 return Ok(Step::Suspended(suspend));
                             }
                         }
@@ -506,26 +581,6 @@ impl Coroutine {
             }
         }
     }
-}
-
-/// Checks arity and builds the callee's environment, returning its entry
-/// node.
-fn bind_args(
-    program: &Arc<CompiledProgram>,
-    id: ProcId,
-    args: Vec<Value>,
-) -> Result<(CmdId, Env), CoroutineError> {
-    let proc = program.proc(id);
-    if proc.params.len() != args.len() {
-        return Err(CoroutineError::Protocol(format!(
-            "procedure '{}' expects {} argument(s), got {}",
-            proc.name,
-            proc.params.len(),
-            args.len()
-        )));
-    }
-    let env = Env::from_bindings(proc.params.iter().cloned().zip(args));
-    Ok((proc.body, env))
 }
 
 fn check_declared(declared: bool, chan: &ChannelName) -> Result<(), CoroutineError> {
@@ -602,6 +657,30 @@ mod tests {
     }
 
     #[test]
+    fn respawn_reuses_buffers_and_resets_state() {
+        let prog = guide_program();
+        let mut co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
+        co.start().unwrap();
+        co.resume(Resume::Sample(Sample::Real(3.0))).unwrap();
+        co.resume(Resume::Branch(true)).unwrap();
+        let first_weight = co.log_weight();
+        assert!(first_weight.is_finite() && first_weight != 0.0);
+        // Re-arm: the weight and step counters reset, and a second run over
+        // the same path produces exactly the same result.
+        co.respawn(&"Guide1".into(), &[]).unwrap();
+        assert_eq!(co.log_weight(), 0.0);
+        assert_eq!(co.steps_taken(), 0);
+        co.start().unwrap();
+        co.resume(Resume::Sample(Sample::Real(3.0))).unwrap();
+        let step = co.resume(Resume::Branch(true)).unwrap();
+        assert!(matches!(step, Step::Done { .. }));
+        assert_eq!(co.log_weight().to_bits(), first_weight.to_bits());
+        // Respawn validates like spawn.
+        assert!(co.respawn(&"Nope".into(), &[]).is_err());
+        assert!(co.respawn(&"Guide1".into(), &[Value::Real(1.0)]).is_err());
+    }
+
+    #[test]
     fn then_branch_skips_second_sample() {
         let prog = guide_program();
         let mut co = Coroutine::spawn(&prog, &"Guide1".into(), vec![]).unwrap();
@@ -639,12 +718,12 @@ mod tests {
         let mut co = Coroutine::spawn(&prog, &"Outer".into(), vec![]).unwrap();
         let step = co.start().unwrap();
         let first_chan = match &step {
-            Step::Suspended(Suspend::CallMarker { chan }) => chan.clone(),
+            Step::Suspended(Suspend::CallMarker { chan }) => *chan,
             other => panic!("unexpected {other:?}"),
         };
         let step = co.resume(Resume::Ack).unwrap();
         let second_chan = match &step {
-            Step::Suspended(Suspend::CallMarker { chan }) => chan.clone(),
+            Step::Suspended(Suspend::CallMarker { chan }) => *chan,
             other => panic!("unexpected {other:?}"),
         };
         let mut chans = vec![
@@ -656,6 +735,37 @@ mod tests {
         // After both markers the callee body runs.
         let step = co.resume(Resume::Ack).unwrap();
         assert!(matches!(step, Step::Suspended(Suspend::SampleRecv { .. })));
+    }
+
+    #[test]
+    fn callee_scope_hides_caller_bindings() {
+        // `Inner` references `hidden`, which is bound in the caller but must
+        // not be visible in the callee's scope: the flat binding stack's
+        // scope base has to hide it, matching the per-call environments of
+        // the tree-walking interpreter.
+        let prog = compile(
+            r#"
+            proc Outer() provide latent {
+              let hidden <- sample send latent (Unif);
+              let x <- call Inner();
+              return x
+            }
+            proc Inner() : real provide latent {
+              return hidden
+            }
+        "#,
+        );
+        let mut co = Coroutine::spawn(&prog, &"Outer".into(), vec![]).unwrap();
+        co.start().unwrap();
+        let step = co.resume(Resume::Sample(Sample::Real(0.5))).unwrap();
+        // The call emits one fold marker (for `latent`), then the callee
+        // body evaluates `hidden` — which must be an unbound-variable error.
+        assert!(matches!(step, Step::Suspended(Suspend::CallMarker { .. })));
+        let result = co.resume(Resume::Ack);
+        assert!(
+            matches!(result, Err(CoroutineError::Eval(EvalError::Dynamic(ref m))) if m.contains("unbound variable 'hidden'")),
+            "callee saw its caller's bindings: {result:?}"
+        );
     }
 
     #[test]

@@ -144,6 +144,51 @@ impl JointSpec {
     }
 }
 
+/// Reusable per-worker scratch state for joint executions.
+///
+/// A joint execution needs two coroutines (frame stacks, binding stacks,
+/// argument buffers) and a trace buffer.  Allocating those per particle is
+/// what kept the steady-state particle loop off the allocation-free path,
+/// so the executor accepts a scratch pool: coroutines are parked here
+/// between runs and re-armed in place, and the pooled trace buffer is
+/// refilled rather than regrown.  Each engine
+/// worker owns one scratch and reuses it across every particle of its
+/// substream.
+///
+/// After a run, the recorded trace travels out inside the
+/// [`JointResult`]; callers that only needed it transiently (MCMC
+/// re-scoring, VI gradient replays, throughput loops) hand the buffer back
+/// with [`JointScratch::recycle`], making the whole cycle allocation-free.
+#[derive(Debug, Default)]
+pub struct JointScratch {
+    model: Option<Coroutine>,
+    guide: Option<Coroutine>,
+    trace: Trace,
+}
+
+impl JointScratch {
+    /// A fresh, empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands a no-longer-needed trace's buffer back for the next run (see
+    /// [`Trace::recycle`]).
+    pub fn recycle(&mut self, trace: Trace) {
+        self.trace.recycle(trace);
+    }
+
+    /// Takes a coroutine for `program` out of the pool (re-armed by the
+    /// caller), or `None` when the slot is empty or holds a coroutine for a
+    /// different program.
+    fn take_coroutine(
+        slot: &mut Option<Coroutine>,
+        program: &Arc<CompiledProgram>,
+    ) -> Option<Coroutine> {
+        slot.take().filter(|co| Arc::ptr_eq(co.program(), program))
+    }
+}
+
 /// The joint executor: shares the two compiled programs and the
 /// conditioning data.
 ///
@@ -204,7 +249,12 @@ impl JointExecutor {
         &self.observations
     }
 
-    /// Runs one joint execution.
+    /// Runs one joint execution with one-shot scratch state.
+    ///
+    /// Equivalent to [`JointExecutor::run_with_scratch`] over a fresh
+    /// [`JointScratch`]; loops that run many executions should hold a
+    /// scratch of their own so coroutine stacks and the trace buffer are
+    /// reused instead of reallocated per run.
     ///
     /// # Errors
     ///
@@ -217,16 +267,86 @@ impl JointExecutor {
         source: LatentSource<'_>,
         rng: &mut Pcg32,
     ) -> Result<JointResult, RuntimeError> {
-        let mut model = Coroutine::spawn(
-            &self.model_program,
-            &spec.model_proc,
-            spec.model_args.clone(),
-        )?;
-        let mut guide = Coroutine::spawn(
-            &self.guide_program,
-            &spec.guide_proc,
-            spec.guide_args.clone(),
-        )?;
+        self.run_with_scratch(spec, source, rng, &mut JointScratch::new())
+    }
+
+    /// Runs one joint execution, drawing all working memory from (and
+    /// returning it to) `scratch`.
+    ///
+    /// In the steady state — after the scratch's buffers have grown to the
+    /// program's working size, and provided the caller recycles the
+    /// returned trace via [`JointScratch::recycle`] — a joint execution
+    /// performs **zero heap allocations**.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`JointExecutor::run`].
+    pub fn run_with_scratch(
+        &self,
+        spec: &JointSpec,
+        source: LatentSource<'_>,
+        rng: &mut Pcg32,
+        scratch: &mut JointScratch,
+    ) -> Result<JointResult, RuntimeError> {
+        let mut model = match JointScratch::take_coroutine(&mut scratch.model, &self.model_program)
+        {
+            Some(mut co) => {
+                co.respawn(&spec.model_proc, &spec.model_args)?;
+                co
+            }
+            None => Coroutine::spawn(
+                &self.model_program,
+                &spec.model_proc,
+                spec.model_args.clone(),
+            )?,
+        };
+        let mut guide = match JointScratch::take_coroutine(&mut scratch.guide, &self.guide_program)
+        {
+            Some(mut co) => {
+                co.respawn(&spec.guide_proc, &spec.guide_args)?;
+                co
+            }
+            None => Coroutine::spawn(
+                &self.guide_program,
+                &spec.guide_proc,
+                spec.guide_args.clone(),
+            )?,
+        };
+        let mut latent = std::mem::take(&mut scratch.trace);
+        latent.clear();
+        let result = self.drive_joint(spec, source, rng, &mut model, &mut guide, &mut latent);
+        // Park the coroutines (and, on failure, the trace buffer) for the
+        // next run regardless of the outcome.
+        scratch.model = Some(model);
+        scratch.guide = Some(guide);
+        match result {
+            Ok((model_value, log_model, guide_value, log_guide, obs_used)) => Ok(JointResult {
+                latent,
+                log_guide,
+                log_model,
+                model_value,
+                guide_value,
+                observations_used: obs_used,
+            }),
+            Err(e) => {
+                scratch.recycle(latent);
+                Err(e)
+            }
+        }
+    }
+
+    /// The rendezvous loop of one joint execution; returns
+    /// `(model_value, log_model, guide_value, log_guide, observations_used)`.
+    #[allow(clippy::type_complexity)]
+    fn drive_joint(
+        &self,
+        spec: &JointSpec,
+        source: LatentSource<'_>,
+        rng: &mut Pcg32,
+        model: &mut Coroutine,
+        guide: &mut Coroutine,
+        latent: &mut Trace,
+    ) -> Result<(Value, f64, Value, f64, usize), RuntimeError> {
         // Replay borrows the trace and walks its sample values (`valP` and
         // `valC` — whichever side sent each one) in place, so re-scoring a
         // proposal (the MCMC inner loop) allocates nothing.
@@ -242,7 +362,6 @@ impl JointExecutor {
                 }
             };
 
-        let mut latent = Trace::new();
         let mut obs_used = 0usize;
         let mut model_step = model.start()?;
         let mut guide_step = guide.start()?;
@@ -394,14 +513,7 @@ impl JointExecutor {
                 self.observations.len()
             )));
         }
-        Ok(JointResult {
-            latent,
-            log_guide,
-            log_model,
-            model_value,
-            guide_value,
-            observations_used: obs_used,
-        })
+        Ok((model_value, log_model, guide_value, log_guide, obs_used))
     }
 }
 

@@ -47,5 +47,5 @@ pub mod joint;
 pub mod program;
 
 pub use coroutine::{Coroutine, CoroutineError, Resume, Step, Suspend};
-pub use joint::{JointExecutor, JointResult, JointSpec, LatentSource, RuntimeError};
-pub use program::{CalleeRef, CmdId, CmdNode, CompiledProc, CompiledProgram, ProcId};
+pub use joint::{JointExecutor, JointResult, JointScratch, JointSpec, LatentSource, RuntimeError};
+pub use program::{CalleeRef, CmdId, CmdNode, CompiledProc, CompiledProgram, DistNode, ProcId};

@@ -17,7 +17,10 @@
 //! in the table and reported as runtime errors only if the offending node is
 //! actually executed, exactly as the tree-walking interpreter behaved.
 
-use ppl_syntax::ast::{ChannelName, Cmd, Dir, Expr, Ident, Proc, Program};
+use ppl_dist::Distribution;
+use ppl_semantics::eval::eval_dist;
+use ppl_semantics::value::Env;
+use ppl_syntax::ast::{ChannelName, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -50,6 +53,50 @@ pub enum CalleeRef {
     /// No procedure of this name exists — executing the call reports
     /// `UnknownProc`, matching the tree-walking interpreter.
     Unknown(Ident),
+}
+
+/// A sample site's distribution expression, pre-compiled.
+///
+/// The tree-walking path re-evaluated the full distribution expression at
+/// every execution of every sample site.  Compilation splits the cases
+/// once, up front:
+///
+/// * **`Const`** — every parameter is a closed expression and construction
+///   succeeds: the [`Distribution`] is built at compile time and handed out
+///   per execution by an allocation-free clone (categorical weights are
+///   shared behind an `Arc`).
+/// * **`Ctor`** — a distribution constructor with variable parameters: the
+///   parameters are evaluated straight into the constructor at runtime (no
+///   intermediate environment or collection), preserving the evaluation
+///   order — and therefore the error behaviour — of the original
+///   expression.  Closed-but-invalid constructors (e.g. `Ber(2.0)`) also
+///   stay in this form so their `BadDistribution` error still surfaces at
+///   execution, exactly as before.
+/// * **`Opaque`** — not a constructor application (a variable bound to a
+///   distribution value, a conditional choosing between distributions, …):
+///   evaluated as a general expression at runtime.
+#[derive(Debug, Clone)]
+pub enum DistNode {
+    /// Constant parameters, folded at compile time.
+    Const(Distribution),
+    /// A constructor whose parameters are evaluated at runtime.
+    Ctor(DistExpr),
+    /// A general expression that must evaluate to a distribution value.
+    Opaque(Expr),
+}
+
+impl DistNode {
+    fn compile(e: &Expr) -> DistNode {
+        let Expr::Dist(d) = e else {
+            return DistNode::Opaque(e.clone());
+        };
+        if e.free_vars().is_empty() {
+            if let Ok(dist) = eval_dist(&Env::new(), d) {
+                return DistNode::Const(dist);
+            }
+        }
+        DistNode::Ctor(d.clone())
+    }
 }
 
 /// One flattened command node.
@@ -89,8 +136,9 @@ pub enum CmdNode {
         dir: Dir,
         /// The channel.
         chan: ChannelName,
-        /// The distribution expression.
-        dist: Expr,
+        /// The distribution expression, pre-compiled (constant parameters
+        /// folded).
+        dist: DistNode,
         /// Whether `chan` is declared by the enclosing procedure.
         declared: bool,
     },
@@ -128,7 +176,7 @@ impl CompiledProgram {
         let mut by_name: HashMap<Ident, ProcId> = HashMap::new();
         for (id, p) in program.procs.iter().enumerate() {
             // First declaration wins, matching `Program::proc` lookup order.
-            by_name.entry(p.name.clone()).or_insert(id);
+            by_name.entry(p.name).or_insert(id);
         }
         let mut compiled = CompiledProgram {
             procs: Vec::with_capacity(program.procs.len()),
@@ -138,10 +186,10 @@ impl CompiledProgram {
         for p in &program.procs {
             let body = compiled.flatten(program, p, &p.body);
             compiled.procs.push(CompiledProc {
-                name: p.name.clone(),
-                params: p.params.iter().map(|(x, _)| x.clone()).collect(),
-                consumes: p.consumes.clone(),
-                provides: p.provides.clone(),
+                name: p.name,
+                params: p.params.iter().map(|(x, _)| *x).collect(),
+                consumes: p.consumes,
+                provides: p.provides,
                 body,
             });
         }
@@ -160,7 +208,7 @@ impl CompiledProgram {
                 let first = self.flatten(program, proc, first);
                 let rest = self.flatten(program, proc, rest);
                 CmdNode::Bind {
-                    var: var.clone(),
+                    var: *var,
                     first,
                     rest,
                 }
@@ -181,15 +229,15 @@ impl CompiledProgram {
                     }
                 }
                 None => CmdNode::Call {
-                    callee: CalleeRef::Unknown(callee.clone()),
+                    callee: CalleeRef::Unknown(*callee),
                     args: args.clone(),
                     marks: Vec::new(),
                 },
             },
             Cmd::Sample { dir, chan, dist } => CmdNode::Sample {
                 dir: *dir,
-                chan: chan.clone(),
-                dist: dist.clone(),
+                chan: *chan,
+                dist: DistNode::compile(dist),
                 declared: declares(proc, chan),
             },
             Cmd::Branch {
@@ -203,7 +251,7 @@ impl CompiledProgram {
                 let else_cmd = self.flatten(program, proc, else_cmd);
                 CmdNode::Branch {
                     dir: *dir,
-                    chan: chan.clone(),
+                    chan: *chan,
                     pred: pred.clone(),
                     then_cmd,
                     else_cmd,

@@ -8,7 +8,7 @@
 //! multiplied, for numerical robustness; the paper's `w` is `exp` of ours).
 
 use crate::trace::{Message, Trace, TraceCursor};
-use crate::value::{Env, Value};
+use crate::value::{Bindings, Env, Value};
 use ppl_dist::{Distribution, Sample};
 use ppl_syntax::ast::{BinOp, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp};
 use std::fmt;
@@ -66,7 +66,11 @@ pub enum Mode {
     Reduce,
 }
 
-/// Evaluates pure expressions (`V ⊢ e ⇓ v`).
+/// Evaluates pure expressions (`V ⊢ e ⇓ v`) against a persistent [`Env`].
+///
+/// A convenience wrapper over [`eval_expr_in`]; the coroutine hot loop
+/// calls [`eval_expr_in`] directly on its reusable
+/// [`ValueStack`](crate::value::ValueStack).
 ///
 /// # Errors
 ///
@@ -75,6 +79,19 @@ pub enum Mode {
 /// [`EvalError::BadDistribution`] when a distribution constructor receives
 /// invalid parameters.
 pub fn eval_expr(env: &Env, e: &Expr) -> Result<Value, EvalError> {
+    eval_expr_in(&mut env.clone(), e)
+}
+
+/// Evaluates pure expressions against any [`Bindings`] context.
+///
+/// Expression-local scopes (`let`, closure application) are pushed onto the
+/// context and restored before returning, so the context is left exactly as
+/// it was found.
+///
+/// # Errors
+///
+/// Same contract as [`eval_expr`].
+pub fn eval_expr_in<B: Bindings>(env: &mut B, e: &Expr) -> Result<Value, EvalError> {
     match e {
         Expr::Var(x) => env
             .lookup(x)
@@ -85,36 +102,36 @@ pub fn eval_expr(env: &Env, e: &Expr) -> Result<Value, EvalError> {
         Expr::Real(r) => Ok(Value::Real(*r)),
         Expr::Nat(n) => Ok(Value::Nat(*n)),
         Expr::If(c, a, b) => {
-            let cond = eval_expr(env, c)?
+            let cond = eval_expr_in(env, c)?
                 .as_bool()
                 .ok_or_else(|| EvalError::Dynamic("conditional on a non-Boolean".into()))?;
             if cond {
-                eval_expr(env, a)
+                eval_expr_in(env, a)
             } else {
-                eval_expr(env, b)
+                eval_expr_in(env, b)
             }
         }
         Expr::BinOp(op, a, b) => {
-            let va = eval_expr(env, a)?;
-            let vb = eval_expr(env, b)?;
+            let va = eval_expr_in(env, a)?;
+            let vb = eval_expr_in(env, b)?;
             eval_binop(*op, &va, &vb)
         }
         Expr::UnOp(op, a) => {
-            let va = eval_expr(env, a)?;
+            let va = eval_expr_in(env, a)?;
             eval_unop(*op, &va)
         }
         Expr::Lam(x, _, body) => Ok(Value::Closure {
-            env: env.clone(),
-            param: x.clone(),
+            env: env.capture(),
+            param: *x,
             body: body.clone(),
         }),
         Expr::App(f, a) => {
-            let vf = eval_expr(env, f)?;
-            let va = eval_expr(env, a)?;
+            let vf = eval_expr_in(env, f)?;
+            let va = eval_expr_in(env, a)?;
             match vf {
                 Value::Closure { env, param, body } => {
-                    let inner = env.extended(param, va);
-                    eval_expr(&inner, &body)
+                    let mut inner = env.extended(param, va);
+                    eval_expr_in(&mut inner, &body)
                 }
                 other => Err(EvalError::Dynamic(format!(
                     "application of non-function value {other}"
@@ -122,11 +139,14 @@ pub fn eval_expr(env: &Env, e: &Expr) -> Result<Value, EvalError> {
             }
         }
         Expr::Let(x, e1, e2) => {
-            let v1 = eval_expr(env, e1)?;
-            let inner = env.extended(x.clone(), v1);
-            eval_expr(&inner, e2)
+            let v1 = eval_expr_in(env, e1)?;
+            let mark = env.mark();
+            env.push(*x, v1);
+            let result = eval_expr_in(env, e2);
+            env.restore(mark);
+            result
         }
-        Expr::Dist(d) => eval_dist(env, d).map(Value::Dist),
+        Expr::Dist(d) => eval_dist_in(env, d).map(Value::Dist),
     }
 }
 
@@ -236,26 +256,45 @@ fn eval_unop(op: UnOp, a: &Value) -> Result<Value, EvalError> {
     }
 }
 
-/// Evaluates a distribution expression to a runtime [`Distribution`].
+/// Evaluates a distribution expression to a runtime [`Distribution`]
+/// against a persistent [`Env`] (wrapper over [`eval_dist_in`]).
 pub fn eval_dist(env: &Env, d: &DistExpr) -> Result<Distribution, EvalError> {
-    let f64_arg = |e: &Expr| -> Result<f64, EvalError> {
-        eval_expr(env, e)?
+    eval_dist_in(&mut env.clone(), d)
+}
+
+/// Evaluates a distribution expression against any [`Bindings`] context.
+///
+/// Scalar constructors evaluate their parameters straight into locals —
+/// no intermediate collection — so constructing a `Normal`/`Ber`/… at a
+/// sample site allocates nothing; only a categorical with *variable*
+/// weights pays one shared-buffer allocation (constant-weight sites are
+/// folded away entirely by the program compiler).
+pub fn eval_dist_in<B: Bindings>(env: &mut B, d: &DistExpr) -> Result<Distribution, EvalError> {
+    fn f64_arg<B: Bindings>(env: &mut B, e: &Expr) -> Result<f64, EvalError> {
+        eval_expr_in(env, e)?
             .as_f64()
             .ok_or_else(|| EvalError::Dynamic("distribution parameter is not numeric".into()))
-    };
+    }
     let bad = |e: ppl_dist::DistError| EvalError::BadDistribution(e.to_string());
     match d {
-        DistExpr::Bernoulli(p) => Distribution::bernoulli(f64_arg(p)?).map_err(bad),
+        DistExpr::Bernoulli(p) => Distribution::bernoulli(f64_arg(env, p)?).map_err(bad),
         DistExpr::Uniform => Ok(Distribution::uniform()),
-        DistExpr::Beta(a, b) => Distribution::beta(f64_arg(a)?, f64_arg(b)?).map_err(bad),
-        DistExpr::Gamma(a, b) => Distribution::gamma(f64_arg(a)?, f64_arg(b)?).map_err(bad),
-        DistExpr::Normal(a, b) => Distribution::normal(f64_arg(a)?, f64_arg(b)?).map_err(bad),
+        DistExpr::Beta(a, b) => Distribution::beta(f64_arg(env, a)?, f64_arg(env, b)?).map_err(bad),
+        DistExpr::Gamma(a, b) => {
+            Distribution::gamma(f64_arg(env, a)?, f64_arg(env, b)?).map_err(bad)
+        }
+        DistExpr::Normal(a, b) => {
+            Distribution::normal(f64_arg(env, a)?, f64_arg(env, b)?).map_err(bad)
+        }
         DistExpr::Categorical(ws) => {
-            let weights = ws.iter().map(f64_arg).collect::<Result<Vec<_>, _>>()?;
+            let weights = ws
+                .iter()
+                .map(|e| f64_arg(env, e))
+                .collect::<Result<Vec<_>, _>>()?;
             Distribution::categorical(weights).map_err(bad)
         }
-        DistExpr::Geometric(p) => Distribution::geometric(f64_arg(p)?).map_err(bad),
-        DistExpr::Poisson(l) => Distribution::poisson(f64_arg(l)?).map_err(bad),
+        DistExpr::Geometric(p) => Distribution::geometric(f64_arg(env, p)?).map_err(bad),
+        DistExpr::Poisson(l) => Distribution::poisson(f64_arg(env, l)?).map_err(bad),
     }
 }
 
@@ -318,7 +357,7 @@ impl<'a> Evaluator<'a> {
         let env = Env::from_bindings(
             proc.params
                 .iter()
-                .map(|(x, _)| x.clone())
+                .map(|(x, _)| *x)
                 .zip(args.iter().cloned()),
         );
         let mut a_cursor = consumed_trace.cursor();
@@ -377,7 +416,7 @@ impl<'a> Evaluator<'a> {
             }),
             Cmd::Bind { var, first, rest } => {
                 let first_eval = self.eval_cmd(proc, env, first, a_cursor, b_cursor)?;
-                let inner = env.extended(var.clone(), first_eval.value);
+                let inner = env.extended(*var, first_eval.value);
                 let rest_eval = self.eval_cmd(proc, &inner, rest, a_cursor, b_cursor)?;
                 Ok(Evaluation {
                     value: rest_eval.value,
@@ -404,13 +443,8 @@ impl<'a> Evaluator<'a> {
                 if callee_proc.provides.is_some() {
                     self.expect_fold(b_cursor, "provided")?;
                 }
-                let callee_env = Env::from_bindings(
-                    callee_proc
-                        .params
-                        .iter()
-                        .map(|(x, _)| x.clone())
-                        .zip(arg_values),
-                );
+                let callee_env =
+                    Env::from_bindings(callee_proc.params.iter().map(|(x, _)| *x).zip(arg_values));
                 self.eval_cmd(
                     callee_proc,
                     &callee_env,
@@ -429,11 +463,11 @@ impl<'a> Evaluator<'a> {
                     }
                 };
                 let mut a_state = ChannelState {
-                    name: proc.consumes.clone(),
+                    name: proc.consumes,
                     cursor: a_cursor,
                 };
                 let mut b_state = ChannelState {
-                    name: proc.provides.clone(),
+                    name: proc.provides,
                     cursor: b_cursor,
                 };
                 let (cursor, expected_provider) = if a_state.name.as_ref() == Some(chan) {

@@ -59,6 +59,33 @@ impl Trace {
         self.messages.push(m);
     }
 
+    /// Removes every message, retaining the allocated buffer so the trace
+    /// can be refilled without reallocating (the clear-and-refill half of
+    /// the reuse API; see [`Trace::recycle`] for handing buffers back).
+    pub fn clear(&mut self) {
+        self.messages.clear();
+    }
+
+    /// The message capacity currently allocated (used by the reuse tests).
+    pub fn capacity(&self) -> usize {
+        self.messages.capacity()
+    }
+
+    /// Takes `donor`'s buffer for later reuse: after scoring a trace whose
+    /// contents are no longer needed, hand it back here so the next
+    /// recording fills the retained allocation instead of growing a fresh
+    /// one.  `self`'s messages are discarded; the larger of the two buffers
+    /// is kept.
+    pub fn recycle(&mut self, donor: Trace) {
+        let mut buf = donor.messages;
+        buf.clear();
+        if buf.capacity() > self.messages.capacity() {
+            self.messages = buf;
+        } else {
+            self.messages.clear();
+        }
+    }
+
     /// Concatenation `σ₁ ++ σ₂`.
     pub fn concat(mut self, other: Trace) -> Trace {
         self.messages.extend(other.messages);

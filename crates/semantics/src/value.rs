@@ -253,6 +253,147 @@ impl PartialEq for Env {
     }
 }
 
+/// A binding context the expression evaluator can run against.
+///
+/// Two implementations exist: the persistent scope-chain [`Env`] (closures
+/// capture it; the big-step [`Evaluator`](crate::Evaluator) threads it) and
+/// the flat, reusable [`ValueStack`] that the coroutine interpreter keeps
+/// per worker so the particle hot loop never allocates an environment
+/// frame.  Expression-local scopes (`let`-bodies) are pushed and then
+/// restored via [`Bindings::mark`]/[`Bindings::restore`].
+pub trait Bindings {
+    /// An opaque token describing the current scope state.
+    type Mark;
+
+    /// Looks up a variable, innermost binding first.
+    fn lookup(&self, x: &Ident) -> Option<&Value>;
+
+    /// Records the current scope state.
+    fn mark(&self) -> Self::Mark;
+
+    /// Adds a binding (to be undone by [`Bindings::restore`]).
+    fn push(&mut self, x: Ident, v: Value);
+
+    /// Restores the scope state recorded by [`Bindings::mark`].
+    fn restore(&mut self, mark: Self::Mark);
+
+    /// Snapshots the visible bindings as a persistent [`Env`] (used when a
+    /// closure captures its environment).
+    fn capture(&self) -> Env;
+}
+
+impl Bindings for Env {
+    type Mark = Env;
+
+    fn lookup(&self, x: &Ident) -> Option<&Value> {
+        Env::lookup(self, x)
+    }
+
+    fn mark(&self) -> Env {
+        self.clone()
+    }
+
+    fn push(&mut self, x: Ident, v: Value) {
+        self.insert(x, v);
+    }
+
+    fn restore(&mut self, mark: Env) {
+        *self = mark;
+    }
+
+    fn capture(&self) -> Env {
+        self.clone()
+    }
+}
+
+/// A flat, reusable binding stack for the coroutine interpreter.
+///
+/// Where [`Env`] allocates one immutable frame per extension (so that
+/// continuations and closures can share it), a `ValueStack` is a single
+/// growable `Vec` of `(name, value)` entries plus a *scope base*: lookups
+/// walk from the top of the stack down to the base, which gives the usual
+/// shadowing semantics while keeping procedure scopes separate — a callee
+/// must not see its caller's bindings, so entering a procedure raises the
+/// base to the current length and returning restores it.  Once the stack
+/// has grown to a program's working depth, re-running the program pushes
+/// into retained capacity: the steady state allocates nothing.
+///
+/// Closures are the one construct that outlives stack discipline; creating
+/// one snapshots the visible bindings into a persistent [`Env`] via
+/// [`Bindings::capture`] (programs that build closures on the hot path pay
+/// that allocation; the benchmark models do not).
+#[derive(Debug, Clone, Default)]
+pub struct ValueStack {
+    entries: Vec<(Ident, Value)>,
+    base: usize,
+}
+
+impl ValueStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries (across all scopes).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no bindings are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current scope base: lookups do not descend below this index.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Sets the scope base (entering a procedure scope).
+    pub fn set_base(&mut self, base: usize) {
+        self.base = base;
+    }
+
+    /// Truncates the stack to `len` entries (leaving callee scopes).
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
+    /// Clears all entries and resets the base, retaining capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.base = 0;
+    }
+}
+
+impl Bindings for ValueStack {
+    type Mark = usize;
+
+    fn lookup(&self, x: &Ident) -> Option<&Value> {
+        self.entries[self.base..]
+            .iter()
+            .rev()
+            .find(|(name, _)| name == x)
+            .map(|(_, v)| v)
+    }
+
+    fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn push(&mut self, x: Ident, v: Value) {
+        self.entries.push((x, v));
+    }
+
+    fn restore(&mut self, mark: usize) {
+        self.entries.truncate(mark);
+    }
+
+    fn capture(&self) -> Env {
+        Env::from_bindings(self.entries[self.base..].iter().cloned())
+    }
+}
+
 impl fmt::Debug for Env {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let map = self.flattened();

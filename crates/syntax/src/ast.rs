@@ -6,27 +6,69 @@
 //! ([`Cmd`]) describe probabilistic computation with coroutine
 //! communication primitives (`sample`, branching, procedure calls).
 
+use crate::intern::{intern, Sym};
 use std::fmt;
 
 /// An identifier (program variable, procedure name, or channel name).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Ident(String);
+///
+/// Identifiers are interned symbols (see [`crate::intern`]): a `Copy`
+/// `u32` handle into a process-wide string table.  Cloning is a register
+/// copy, equality and hashing are integer operations, and the text is
+/// recovered on demand via [`Ident::as_str`] — so runtime structures
+/// (environments, coroutine suspensions, compiled programs) carry and
+/// compare identifiers without touching a heap string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ident(Sym);
 
 impl Ident {
-    /// Creates an identifier.
-    pub fn new(name: impl Into<String>) -> Self {
-        Ident(name.into())
+    /// Creates (interning if necessary) an identifier.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Ident(intern(name.as_ref()))
     }
 
     /// The identifier text.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned symbol id.
+    pub fn sym(&self) -> Sym {
+        self.0
+    }
+
+    /// Wraps an already-interned symbol.
+    pub fn from_sym(sym: Sym) -> Self {
+        Ident(sym)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ident({:?})", self.as_str())
     }
 }
 
 impl fmt::Display for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        f.write_str(self.as_str())
+    }
+}
+
+// Ordering is lexicographic (by text, not by interning order) so that any
+// sorted rendering of identifiers stays alphabetical.
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ident {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
     }
 }
 
@@ -317,7 +359,7 @@ impl Expr {
         match self {
             Expr::Var(x) => {
                 if !bound.contains(x) && !out.contains(x) {
-                    out.push(x.clone());
+                    out.push(*x);
                 }
             }
             Expr::Triv | Expr::Bool(_) | Expr::Real(_) | Expr::Nat(_) => {}
@@ -332,7 +374,7 @@ impl Expr {
             }
             Expr::UnOp(_, e) => e.collect_free_vars(bound, out),
             Expr::Lam(x, _, body) => {
-                bound.push(x.clone());
+                bound.push(*x);
                 body.collect_free_vars(bound, out);
                 bound.pop();
             }
@@ -342,7 +384,7 @@ impl Expr {
             }
             Expr::Let(x, e1, e2) => {
                 e1.collect_free_vars(bound, out);
-                bound.push(x.clone());
+                bound.push(*x);
                 e2.collect_free_vars(bound, out);
                 bound.pop();
             }
@@ -457,7 +499,7 @@ impl Cmd {
             }
             Cmd::Sample { chan, .. } => {
                 if !out.contains(chan) {
-                    out.push(chan.clone());
+                    out.push(*chan);
                 }
             }
             Cmd::Branch {
@@ -467,7 +509,7 @@ impl Cmd {
                 ..
             } => {
                 if !out.contains(chan) {
-                    out.push(chan.clone());
+                    out.push(*chan);
                 }
                 then_cmd.collect_channels(out);
                 else_cmd.collect_channels(out);

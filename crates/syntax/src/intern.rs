@@ -1,0 +1,125 @@
+//! A process-wide symbol interner.
+//!
+//! Every [`Ident`](crate::ast::Ident) — program variable, procedure name,
+//! or channel name — is a [`Sym`]: a `u32` index into one global,
+//! append-only string table.  Interning happens when source text is parsed
+//! (or an identifier is otherwise constructed from a string); from then on
+//! the steady-state execution paths copy, compare, and hash plain `u32`s.
+//! This is what lets coroutine suspensions carry their channel as a `Copy`
+//! id, environment frames bind and look up variables with integer
+//! comparisons, and `CompiledProgram`s share procedure names without ever
+//! cloning a `String` per particle.
+//!
+//! The table is global (rather than per-compiled-program) so that the model
+//! and the guide — compiled separately — agree on the id of every name they
+//! rendezvous on: the joint executor compares the model's channel id
+//! against the guide's directly, with no cross-program translation.
+//!
+//! Interned strings are leaked deliberately: the table only ever holds one
+//! copy of each distinct identifier that appears in any parsed program, so
+//! its size is bounded by the source text the process has seen.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned symbol: a dense `u32` id resolving to a unique string.
+///
+/// Two `Sym`s are equal exactly when their strings are equal, so equality,
+/// hashing, and copying are integer operations.  Ordering is by id (i.e.
+/// first-interned first); use [`Sym::as_str`] for lexicographic concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw id.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The interned string (a `'static` borrow of the global table).
+    pub fn as_str(self) -> &'static str {
+        resolve(self)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, Sym>,
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static Mutex<Interner> {
+    static TABLE: OnceLock<Mutex<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Interns a string, returning its (stable, process-wide) symbol.
+pub fn intern(s: &str) -> Sym {
+    let mut t = table().lock().expect("symbol interner poisoned");
+    if let Some(&sym) = t.map.get(s) {
+        return sym;
+    }
+    let owned: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let sym = Sym(u32::try_from(t.strings.len()).expect("interner overflow"));
+    t.strings.push(owned);
+    t.map.insert(owned, sym);
+    sym
+}
+
+/// Resolves a symbol back to its string.
+pub fn resolve(sym: Sym) -> &'static str {
+    table().lock().expect("symbol interner poisoned").strings[sym.0 as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_round_trips() {
+        let a = intern("latent");
+        let b = intern("latent");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "latent");
+        let c = intern("obs");
+        assert_ne!(a, c);
+        assert_eq!(resolve(c), "obs");
+    }
+
+    #[test]
+    fn symbols_are_copy_and_hashable() {
+        fn takes_copy<T: Copy + std::hash::Hash + Eq>(_: T) {}
+        takes_copy(intern("x"));
+        let s = intern("y");
+        let t = s; // Copy, not move.
+        assert_eq!(s, t);
+        assert_eq!(s.to_string(), "y");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let names: Vec<String> = (0..64).map(|i| format!("conc_sym_{i}")).collect();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let names = names.clone();
+            handles.push(std::thread::spawn(move || {
+                names.iter().map(|n| intern(n)).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "threads must agree on every symbol id");
+        }
+    }
+}

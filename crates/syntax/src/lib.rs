@@ -24,10 +24,12 @@
 //! ```
 
 pub mod ast;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
 
 pub use ast::{BaseType, BinOp, ChannelName, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp};
+pub use intern::Sym;
 pub use lexer::{lex, LexError, Token};
 pub use parser::{parse_expr, parse_program, ParseError};

@@ -107,12 +107,12 @@ pub type TraceTypeResult = Result<TraceType, Unsupported>;
 pub fn check_proc(program: &Program, entry: &Ident) -> TraceTypeResult {
     let mut sigma = Sigma::new();
     for p in &program.procs {
-        sigma.insert(p.name.clone(), ProcSignature::for_proc(p));
+        sigma.insert(p.name, ProcSignature::for_proc(p));
     }
     let proc = program
         .proc(entry)
         .ok_or_else(|| Unsupported::IllTyped(format!("unknown procedure '{entry}'")))?;
-    let mut stack = vec![entry.clone()];
+    let mut stack = vec![*entry];
     trace_type_of_proc(program, &sigma, proc, &mut stack)
 }
 
@@ -124,8 +124,8 @@ fn trace_type_of_proc(
 ) -> TraceTypeResult {
     let ctx = CheckCtx {
         sigma,
-        consumes: proc.consumes.clone(),
-        provides: proc.provides.clone(),
+        consumes: proc.consumes,
+        provides: proc.provides,
     };
     let gamma = TypingCtx::from_params(&proc.params);
     trace_type_of_cmd(program, sigma, &ctx, &gamma, &proc.body, call_stack)
@@ -144,7 +144,7 @@ fn trace_type_of_cmd(
         Cmd::Bind { var, first, rest } => {
             let first_ty = trace_type_of_cmd(program, sigma, ctx, gamma, first, call_stack)?;
             let binder_ty = base_type_of_cmd(ctx, gamma, first).map_err(ill_typed)?;
-            let inner = gamma.extended(var.clone(), binder_ty);
+            let inner = gamma.extended(*var, binder_ty);
             let rest_ty = trace_type_of_cmd(program, sigma, ctx, &inner, rest, call_stack)?;
             Ok(first_ty.concat(rest_ty))
         }
@@ -191,7 +191,7 @@ fn trace_type_of_cmd(
                     "arity mismatch calling '{callee}'"
                 )));
             }
-            call_stack.push(callee.clone());
+            call_stack.push(*callee);
             let result = trace_type_of_proc(program, sigma, callee_proc, call_stack);
             call_stack.pop();
             result

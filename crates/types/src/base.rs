@@ -42,7 +42,7 @@ impl TypingCtx {
     pub fn from_params(params: &[(Ident, BaseType)]) -> Self {
         let mut ctx = Self::new();
         for (x, t) in params {
-            ctx.insert(x.clone(), t.clone());
+            ctx.insert(*x, t.clone());
         }
         ctx
     }
@@ -113,7 +113,7 @@ pub fn infer_expr(ctx: &TypingCtx, e: &Expr) -> Result<BaseType, TypeError> {
         Expr::BinOp(op, a, b) => infer_binop(ctx, *op, a, b),
         Expr::UnOp(op, a) => infer_unop(ctx, *op, a),
         Expr::Lam(x, ty, body) => {
-            let inner = ctx.extended(x.clone(), ty.clone());
+            let inner = ctx.extended(*x, ty.clone());
             let body_ty = infer_expr(&inner, body)?;
             Ok(BaseType::arrow(ty.clone(), body_ty))
         }
@@ -131,7 +131,7 @@ pub fn infer_expr(ctx: &TypingCtx, e: &Expr) -> Result<BaseType, TypeError> {
         }
         Expr::Let(x, e1, e2) => {
             let t1 = infer_expr(ctx, e1)?;
-            let inner = ctx.extended(x.clone(), t1);
+            let inner = ctx.extended(*x, t1);
             infer_expr(&inner, e2)
         }
         Expr::Dist(d) => infer_dist(ctx, d),

@@ -35,14 +35,8 @@ impl ProcSignature {
         ProcSignature {
             params: p.params.iter().map(|(_, t)| t.clone()).collect(),
             ret: p.ret_ty.clone(),
-            consumes: p
-                .consumes
-                .clone()
-                .map(|c| (c.clone(), format!("T_{}_{}", p.name, c))),
-            provides: p
-                .provides
-                .clone()
-                .map(|c| (c.clone(), format!("T_{}_{}", p.name, c))),
+            consumes: p.consumes.map(|c| (c, format!("T_{}_{}", p.name, c))),
+            provides: p.provides.map(|c| (c, format!("T_{}_{}", p.name, c))),
         }
     }
 }
@@ -124,7 +118,7 @@ pub fn base_type_of_cmd(
         Cmd::Ret(e) => infer_expr(gamma, e),
         Cmd::Bind { var, first, rest } => {
             let t1 = base_type_of_cmd(ctx, gamma, first)?;
-            let inner = gamma.extended(var.clone(), t1);
+            let inner = gamma.extended(*var, t1);
             base_type_of_cmd(ctx, &inner, rest)
         }
         Cmd::Call { proc, args } => {
@@ -213,7 +207,7 @@ pub fn check_cmd(
             // Forward pass for the binder's base type, then backward through
             // `rest` and finally `first`.
             let t1 = base_type_of_cmd(ctx, gamma, first)?;
-            let inner = gamma.extended(var.clone(), t1.clone());
+            let inner = gamma.extended(*var, t1.clone());
             let rest_typing = check_cmd(ctx, &inner, rest, after)?;
             let first_typing = check_cmd(ctx, gamma, first, &rest_typing.before)?;
             if !is_subtype(&first_typing.value_ty, &t1) && first_typing.value_ty != t1 {
@@ -417,12 +411,12 @@ mod tests {
         let p = &prog.procs[0];
         let mut sigma = Sigma::new();
         for q in &prog.procs {
-            sigma.insert(q.name.clone(), ProcSignature::for_proc(q));
+            sigma.insert(q.name, ProcSignature::for_proc(q));
         }
         let ctx = CheckCtx {
             sigma: &sigma,
-            consumes: p.consumes.clone(),
-            provides: p.provides.clone(),
+            consumes: p.consumes,
+            provides: p.provides,
         };
         let gamma = TypingCtx::from_params(&p.params);
         check_cmd(&ctx, &gamma, &p.body, &ChannelTypes::ended())
@@ -545,13 +539,13 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let mut sigma = Sigma::new();
         for q in &prog.procs {
-            sigma.insert(q.name.clone(), ProcSignature::for_proc(q));
+            sigma.insert(q.name, ProcSignature::for_proc(q));
         }
         let main = prog.proc_named("Main").unwrap();
         let ctx = CheckCtx {
             sigma: &sigma,
-            consumes: main.consumes.clone(),
-            provides: main.provides.clone(),
+            consumes: main.consumes,
+            provides: main.provides,
         };
         let typing =
             check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended()).unwrap();
@@ -580,13 +574,13 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let mut sigma = Sigma::new();
         for q in &prog.procs {
-            sigma.insert(q.name.clone(), ProcSignature::for_proc(q));
+            sigma.insert(q.name, ProcSignature::for_proc(q));
         }
         let main = prog.proc_named("Main").unwrap();
         let ctx = CheckCtx {
             sigma: &sigma,
-            consumes: main.consumes.clone(),
-            provides: main.provides.clone(),
+            consumes: main.consumes,
+            provides: main.provides,
         };
         let err =
             check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended()).unwrap_err();
@@ -608,13 +602,13 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let mut sigma = Sigma::new();
         for q in &prog.procs {
-            sigma.insert(q.name.clone(), ProcSignature::for_proc(q));
+            sigma.insert(q.name, ProcSignature::for_proc(q));
         }
         let main = prog.proc_named("Main").unwrap();
         let ctx = CheckCtx {
             sigma: &sigma,
-            consumes: main.consumes.clone(),
-            provides: main.provides.clone(),
+            consumes: main.consumes,
+            provides: main.provides,
         };
         let err =
             check_cmd(&ctx, &TypingCtx::new(), &main.body, &ChannelTypes::ended()).unwrap_err();
@@ -648,11 +642,11 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let p = &prog.procs[0];
         let mut sigma = Sigma::new();
-        sigma.insert(p.name.clone(), ProcSignature::for_proc(p));
+        sigma.insert(p.name, ProcSignature::for_proc(p));
         let ctx = CheckCtx {
             sigma: &sigma,
-            consumes: p.consumes.clone(),
-            provides: p.provides.clone(),
+            consumes: p.consumes,
+            provides: p.provides,
         };
         let t = base_type_of_cmd(&ctx, &TypingCtx::new(), &p.body).unwrap();
         assert_eq!(t, BaseType::PosReal);

@@ -82,7 +82,7 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
             ))
             .in_proc(p.name.as_str()));
         }
-        sigma.insert(p.name.clone(), ProcSignature::for_proc(p));
+        sigma.insert(p.name, ProcSignature::for_proc(p));
     }
 
     let mut defs = TypeDefs::new();
@@ -91,8 +91,8 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
     for p in &program.procs {
         let ctx = CheckCtx {
             sigma: &sigma,
-            consumes: p.consumes.clone(),
-            provides: p.provides.clone(),
+            consumes: p.consumes,
+            provides: p.provides,
         };
         let gamma = TypingCtx::from_params(&p.params);
         let cont_a_var = p.consumes.as_ref().map(|c| format!("X_{}_{}", p.name, c));
@@ -116,7 +116,7 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
             ))
             .in_proc(p.name.as_str()));
         }
-        value_types.insert(p.name.clone(), typing.value_ty);
+        value_types.insert(p.name, typing.value_ty);
 
         let sig = &sigma[&p.name];
         if let (Some(var), Some((_, op))) = (&cont_a_var, &sig.consumes) {

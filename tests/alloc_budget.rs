@@ -1,0 +1,130 @@
+//! The allocation budget of the particle hot loop.
+//!
+//! The compiled-program / interned-symbol / scratch-pool refactor promises
+//! that the *steady state* of the particle loop — re-running a joint
+//! model–guide execution through a warmed [`JointScratch`] and recycling
+//! the recorded trace — performs **zero heap allocations per particle**.
+//! This test makes that property executable so it cannot silently regress:
+//! a counting global allocator measures 1 000 post-warm-up particles of
+//! `ex-1` and `gmm` (and, for the replay path, 1 000 MCMC-style re-scores)
+//! and asserts the count stays at zero.
+//!
+//! The allocator is the same [`ppl_bench::alloc_track`] instrumentation
+//! the `ppl-bench` binary uses for its `allocs_per_particle` column.
+//! Measurements delta the **per-thread** counter, so neither parallel
+//! sibling tests nor libtest's own main thread (which lazily allocates
+//! channel-parking state at an arbitrary point mid-run) can leak
+//! allocations into a measured window.
+
+use guide_ppl::runtime::{JointExecutor, JointScratch, JointSpec, LatentSource};
+use guide_ppl::Session;
+use ppl_bench::alloc_track::{thread_allocations, CountingAlloc};
+use ppl_dist::rng::Pcg32;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Builds the executor + spec for a registry benchmark.
+fn harness(name: &str) -> (JointExecutor, JointSpec) {
+    let session = Session::from_benchmark(name).expect("registered benchmark");
+    let b = ppl_models::benchmark(name).expect("registered benchmark");
+    let executor = session.executor(b.observations.clone());
+    let spec = session.spec();
+    (executor, spec)
+}
+
+/// Runs `count` fresh-sample particles through one scratch, recycling every
+/// trace, and returns the number of allocations the batch performed on
+/// this thread.
+fn run_batch(
+    executor: &JointExecutor,
+    spec: &JointSpec,
+    rng: &mut Pcg32,
+    scratch: &mut JointScratch,
+    count: usize,
+) -> u64 {
+    let before = thread_allocations();
+    let mut acc = 0.0f64;
+    for _ in 0..count {
+        let joint = executor
+            .run_with_scratch(spec, LatentSource::FromGuide, rng, scratch)
+            .expect("joint execution");
+        acc += joint.log_importance_weight();
+        scratch.recycle(joint.latent);
+    }
+    assert!(!acc.is_nan(), "weights must stay well-defined");
+    thread_allocations() - before
+}
+
+fn assert_zero_steady_state_allocations(name: &str) {
+    let (executor, spec) = harness(name);
+    let mut rng = Pcg32::seed_from_u64(0xA110C);
+    let mut scratch = JointScratch::new();
+    // Warm-up: grow the coroutine stacks and the trace buffer to the
+    // program's working size (and fault in any lazily initialised runtime
+    // state).  Randomised control flow means later particles can need
+    // deeper buffers than the first, so warm up across many executions.
+    run_batch(&executor, &spec, &mut rng, &mut scratch, 200);
+    // Steady state: 1 000 particles, zero allocations.
+    let allocs = run_batch(&executor, &spec, &mut rng, &mut scratch, 1_000);
+    assert_eq!(
+        allocs, 0,
+        "{name}: steady-state particles allocated ({allocs} allocations / 1000 particles)"
+    );
+}
+
+#[test]
+fn ex1_steady_state_is_allocation_free() {
+    assert_zero_steady_state_allocations("ex-1");
+}
+
+#[test]
+fn gmm_steady_state_is_allocation_free() {
+    assert_zero_steady_state_allocations("gmm");
+}
+
+#[test]
+fn replay_rescoring_is_allocation_free() {
+    // The MCMC inner loop: re-score a fixed latent trace by replaying it.
+    let (executor, spec) = harness("ex-1");
+    let mut rng = Pcg32::seed_from_u64(0xA110C + 1);
+    let mut scratch = JointScratch::new();
+    let reference = executor
+        .run_with_scratch(&spec, LatentSource::FromGuide, &mut rng, &mut scratch)
+        .expect("reference execution");
+    let mut replay = |count: usize| -> u64 {
+        let before = thread_allocations();
+        for _ in 0..count {
+            let joint = executor
+                .run_with_scratch(
+                    &spec,
+                    LatentSource::Replay(&reference.latent),
+                    &mut rng,
+                    &mut scratch,
+                )
+                .expect("replay");
+            assert_eq!(joint.log_model.to_bits(), reference.log_model.to_bits());
+            scratch.recycle(joint.latent);
+        }
+        thread_allocations() - before
+    };
+    replay(50); // warm-up
+    let allocs = replay(1_000);
+    assert_eq!(
+        allocs, 0,
+        "replay re-scoring allocated ({allocs} allocations / 1000 replays)"
+    );
+}
+
+#[test]
+fn counting_allocator_is_live() {
+    // Guard against the whole suite becoming vacuous: a heap allocation
+    // must move this thread's counter.
+    let before = thread_allocations();
+    let probe: Vec<u64> = Vec::with_capacity(1024);
+    drop(std::hint::black_box(probe));
+    assert!(
+        thread_allocations() > before,
+        "the counting allocator is not installed"
+    );
+}

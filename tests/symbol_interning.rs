@@ -1,0 +1,193 @@
+//! Edge cases of the interned-symbol identifier representation.
+//!
+//! Identifiers are `Copy` `u32` handles into a process-wide string table
+//! (`ppl_syntax::intern`), and the whole execution stack — environments,
+//! coroutine suspensions, compiled programs — compares them by id.  These
+//! tests pin the places where an id-based representation could plausibly go
+//! wrong: shadowed binders (equal symbols at different scope depths),
+//! distinct procedures declaring *same-named* channels, and channel names
+//! that collide with the conventional `latent`/`obs` spellings the joint
+//! spec defaults to.
+
+use guide_ppl::runtime::{JointExecutor, JointSpec, LatentSource};
+use ppl_dist::rng::Pcg32;
+use ppl_dist::{Distribution, Sample};
+use ppl_syntax::intern::{intern, Sym};
+use ppl_syntax::parse_program;
+use ppl_syntax::Ident;
+
+#[test]
+fn idents_intern_to_stable_copy_symbols() {
+    let a: Ident = "latent".into();
+    let b = Ident::new(String::from("latent"));
+    assert_eq!(a, b, "same spelling must intern to the same symbol");
+    assert_eq!(a.sym(), b.sym());
+    assert_eq!(a.as_str(), "latent");
+    assert_eq!(Ident::from_sym(a.sym()), a);
+    let copied = a; // Copy, not move …
+    assert_eq!(copied, a); // … and `a` is still usable.
+    assert_ne!(a, Ident::from("latent_")); // prefixes are distinct symbols
+    assert_eq!(intern("latent"), a.sym());
+    assert_eq!(Sym::as_str(a.sym()), "latent");
+    // Ordering stays lexicographic even though ids are interned in
+    // first-seen order.
+    let (z, y) = (Ident::from("zzz_order"), Ident::from("yyy_order"));
+    assert!(y < z);
+}
+
+#[test]
+fn shadowed_binders_resolve_innermost_first() {
+    // `x` is bound three times: as a sample, shadowed by a let-expression
+    // inside the return, and shadowed again inside a nested let.  Equal
+    // symbols at different depths must resolve innermost-first, and leaving
+    // the scope must un-shadow.
+    let model = parse_program(
+        r#"
+        proc Model() : real consume latent provide obs {
+          let x <- sample recv latent (Normal(0.0, 1.0));
+          let y <- sample recv latent (Normal(x, 1.0));
+          let _ <- sample send obs (Normal(y, 1.0));
+          return (let x = x + 10.0 in (let x = x * 2.0 in x) + x) + x
+        }
+    "#,
+    )
+    .unwrap();
+    let guide = parse_program(
+        r#"
+        proc Guide() provide latent {
+          let x <- sample send latent (Normal(0.0, 1.0));
+          let x <- sample send latent (Normal(x, 1.0));
+          return ()
+        }
+    "#,
+    )
+    .unwrap();
+    let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.5)]);
+    let spec = JointSpec::new("Model", "Guide");
+    let mut rng = Pcg32::seed_from_u64(7);
+    let r = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+    let samples = r.latent_samples();
+    let x = samples[0].as_f64();
+    let y = samples[1].as_f64();
+    // Inner `let x = x + 10` then `let x = x*2` ⇒ (2(x+10)) + (x+10) + x.
+    let expected = 2.0 * (x + 10.0) + (x + 10.0) + x;
+    assert!(
+        (r.model_value.as_f64().unwrap() - expected).abs() < 1e-12,
+        "shadowing resolved wrong: got {}, expected {expected}",
+        r.model_value
+    );
+    // The guide's second `x` shadows the first at the *command* level: its
+    // proposal is centred on the first draw, and both weights score the
+    // actual pair (x, y).
+    let expect_guide = Distribution::normal(0.0, 1.0).unwrap().log_density_f64(x)
+        + Distribution::normal(x, 1.0).unwrap().log_density_f64(y);
+    assert!((r.log_guide - expect_guide).abs() < 1e-10);
+}
+
+#[test]
+fn same_named_channels_in_different_procedures_stay_separate() {
+    // Both `Stage1` and `Stage2` declare a channel spelled `latent`; the
+    // interner maps both to one symbol, so correctness depends on the
+    // per-procedure `declared` resolution and scope bases, not on the
+    // names being distinct.
+    let model = parse_program(
+        r#"
+        proc Model() : real consume latent provide obs {
+          let a <- call Stage1();
+          let b <- call Stage2(a);
+          let _ <- sample send obs (Normal(b, 1.0));
+          return b
+        }
+        proc Stage1() : real consume latent {
+          let v <- sample recv latent (Normal(0.0, 1.0));
+          return v
+        }
+        proc Stage2(seen : real) : real consume latent {
+          let v <- sample recv latent (Normal(seen, 1.0));
+          return v + seen
+        }
+    "#,
+    )
+    .unwrap();
+    let guide = parse_program(
+        r#"
+        proc Guide() provide latent {
+          let _ <- call G1();
+          let _ <- call G2();
+          return ()
+        }
+        proc G1() provide latent {
+          let v <- sample send latent (Normal(0.0, 2.0));
+          return ()
+        }
+        proc G2() provide latent {
+          let v <- sample send latent (Normal(0.0, 2.0));
+          return ()
+        }
+    "#,
+    )
+    .unwrap();
+    let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(0.3)]);
+    let spec = JointSpec::new("Model", "Guide");
+    let mut rng = Pcg32::seed_from_u64(21);
+    let r = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+    let samples = r.latent_samples();
+    assert_eq!(samples.len(), 2);
+    let (a, b) = (samples[0].as_f64(), samples[1].as_f64());
+    assert_eq!(r.model_value.as_f64().unwrap(), b + a);
+    let expect_model = Distribution::normal(0.0, 1.0).unwrap().log_density_f64(a)
+        + Distribution::normal(a, 1.0).unwrap().log_density_f64(b)
+        + Distribution::normal(b + a, 1.0)
+            .unwrap()
+            .log_density_f64(0.3);
+    assert!((r.log_model - expect_model).abs() < 1e-10);
+    // And the replay path agrees bit-for-bit.
+    let replay = exec
+        .run(&spec, LatentSource::Replay(&r.latent), &mut rng)
+        .unwrap();
+    assert_eq!(replay.log_model.to_bits(), r.log_model.to_bits());
+}
+
+#[test]
+fn channel_names_colliding_with_latent_obs_conventions() {
+    // The channels are *swapped* relative to the conventional spelling: the
+    // latent rendezvous happens on a channel literally named `obs`, and the
+    // observation stream flows on a channel named `latent`.  Only the
+    // `JointSpec` routing may decide which is which — if any layer matched
+    // the conventional spellings (or confused equal symbols from the model
+    // and guide tables), this run would misroute or deadlock.
+    let model = parse_program(
+        r#"
+        proc Model() : real consume obs provide latent {
+          let x <- sample recv obs (Normal(0.0, 1.0));
+          let _ <- sample send latent (Normal(x, 1.0));
+          return x
+        }
+    "#,
+    )
+    .unwrap();
+    let guide = parse_program(
+        r#"
+        proc Guide() provide obs {
+          let x <- sample send obs (Normal(0.0, 1.5));
+          return ()
+        }
+    "#,
+    )
+    .unwrap();
+    let exec = JointExecutor::new(&model, &guide, vec![Sample::Real(1.0)]);
+    let spec = JointSpec {
+        latent_chan: "obs".into(),
+        obs_chan: "latent".into(),
+        ..JointSpec::new("Model", "Guide")
+    };
+    let mut rng = Pcg32::seed_from_u64(5);
+    let r = exec.run(&spec, LatentSource::FromGuide, &mut rng).unwrap();
+    let x = r.latent_samples()[0].as_f64();
+    let expect_model = Distribution::normal(0.0, 1.0).unwrap().log_density_f64(x)
+        + Distribution::normal(x, 1.0).unwrap().log_density_f64(1.0);
+    let expect_guide = Distribution::normal(0.0, 1.5).unwrap().log_density_f64(x);
+    assert!((r.log_model - expect_model).abs() < 1e-10);
+    assert!((r.log_guide - expect_guide).abs() < 1e-10);
+    assert_eq!(r.observations_used, 1);
+}
