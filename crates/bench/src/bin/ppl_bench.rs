@@ -14,7 +14,8 @@
 //! trajectory is tracked per commit.
 
 use ppl_bench::throughput::{
-    bench_json, engine_timings, mcmc_rows, serving_rows, throughput_rows, ThroughputConfig,
+    bench_json, engine_timings, http_rows, mcmc_rows, serving_rows, throughput_rows,
+    ThroughputConfig,
 };
 use std::process::ExitCode;
 
@@ -125,6 +126,26 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\nHTTP serving — loopback ppl-serve, cold inference vs warm exact-cache hits");
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>6}",
+        "benchmark", "requests", "particles/r", "cold req/s", "warm req/s", "hit rate", "ok"
+    );
+    let http = http_rows(&config);
+    for r in &http {
+        all_identical &= r.ok;
+        println!(
+            "{:<12} {:>9} {:>12} {:>12.1} {:>12.1} {:>10.3} {:>6}",
+            r.name,
+            r.requests,
+            r.particles_per_request,
+            r.cold_requests_per_sec,
+            r.warm_requests_per_sec,
+            r.cache_hit_rate,
+            r.ok,
+        );
+    }
+
     println!("\nengine wall times");
     let engines = engine_timings(&config);
     for e in &engines {
@@ -135,7 +156,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let json = bench_json(&config, &rows, &engines, &serving, &mcmc);
+        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -144,7 +165,7 @@ fn main() -> ExitCode {
     }
 
     if !all_identical {
-        eprintln!("error: thread count changed inference results");
+        eprintln!("error: a determinism check failed (thread-count bit-identity or HTTP warm/cold byte-identity)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -11,7 +11,10 @@
 //! [`serving_rows`] measures the batched-serving primitive on top of the
 //! same guarantee: one compiled model answers a grid of observation sets
 //! through [`Session::run_batch_threaded`], 1 vs N batch threads, with the
-//! per-query posteriors re-verified bit-identical.
+//! per-query posteriors re-verified bit-identical.  [`http_rows`] goes one
+//! layer further out: a real loopback `ppl-serve` instance, measuring
+//! requests/sec cold (inference per request) versus warm (exact cache
+//! hits) with the byte-identity of every warm response re-verified.
 //!
 //! [`bench_json`] serialises the rows (plus per-engine wall times) into the
 //! machine-readable `BENCH_inference.json` consumed by CI, so the perf
@@ -369,6 +372,93 @@ pub fn serving_rows(config: &ThroughputConfig) -> Vec<ServingRow> {
     }]
 }
 
+/// One HTTP serving measurement: requests per second through a real
+/// loopback `ppl-serve` instance, cold (every request runs inference)
+/// versus warm (every request is an exact cache hit).
+#[derive(Debug, Clone)]
+pub struct HttpRow {
+    /// Benchmark name served.
+    pub name: &'static str,
+    /// Requests per pass.
+    pub requests: usize,
+    /// Importance-sampling particles per request.
+    pub particles_per_request: usize,
+    /// Wall time of the cold pass, in seconds.
+    pub cold_seconds: f64,
+    /// Wall time of the warm (cache-hit) pass, in seconds.
+    pub warm_seconds: f64,
+    /// Requests per second, cold.
+    pub cold_requests_per_sec: f64,
+    /// Requests per second, warm.
+    pub warm_requests_per_sec: f64,
+    /// Cache hit rate over both passes (expected 0.5: all misses, then
+    /// all hits).
+    pub cache_hit_rate: f64,
+    /// Every response was a 200 and each warm body was byte-identical to
+    /// its cold counterpart.
+    pub ok: bool,
+}
+
+/// Measures HTTP serving over loopback: boots an in-process `ppl-serve`
+/// on an ephemeral port, fires one pass of distinct-seed queries (cold:
+/// every request runs inference) and then the identical pass again (warm:
+/// every request is an exact cache hit), over one keep-alive connection.
+pub fn http_rows(config: &ThroughputConfig) -> Vec<HttpRow> {
+    use ppl_serve::http::ClientConn;
+    use ppl_serve::{App, Registry, Server};
+
+    let name = "ex-1";
+    let requests = 32usize;
+    let particles_per_request = (config.particles / requests).max(100);
+    let app = App::new(Registry::from_benchmarks(), requests * 2);
+    let server = Server::bind("127.0.0.1:0", config.threads.clamp(1, 4), app.handler())
+        .expect("bind an ephemeral loopback port");
+    let mut conn = ClientConn::connect(server.local_addr()).expect("loopback connect");
+
+    let bodies: Vec<String> = (0..requests)
+        .map(|i| {
+            format!(
+                r#"{{"model":"{name}","observations":[0.8],"method":{{"algorithm":"importance","particles":{particles_per_request}}},"seed":{}}}"#,
+                config.seed ^ i as u64
+            )
+        })
+        .collect();
+
+    let mut run_pass = |expected: Option<&[Vec<u8>]>| -> (f64, Vec<Vec<u8>>, bool) {
+        let start = Instant::now();
+        let mut responses = Vec::with_capacity(requests);
+        let mut ok = true;
+        for (i, body) in bodies.iter().enumerate() {
+            let (status, _, response) = conn
+                .send("POST", "/v1/query", Some(body))
+                .expect("loopback request");
+            ok &= status == 200;
+            if let Some(expected) = expected {
+                ok &= response == expected[i];
+            }
+            responses.push(response);
+        }
+        (start.elapsed().as_secs_f64(), responses, ok)
+    };
+
+    let (cold_seconds, cold_bodies, cold_ok) = run_pass(None);
+    let (warm_seconds, _, warm_ok) = run_pass(Some(&cold_bodies));
+    let cache_hit_rate = app.cache.hit_rate();
+    server.shutdown();
+
+    vec![HttpRow {
+        name,
+        requests,
+        particles_per_request,
+        cold_seconds,
+        warm_seconds,
+        cold_requests_per_sec: requests as f64 / cold_seconds,
+        warm_requests_per_sec: requests as f64 / warm_seconds,
+        cache_hit_rate,
+        ok: cold_ok && warm_ok,
+    }]
+}
+
 /// Times each inference engine once on a reference workload.
 pub fn engine_timings(config: &ThroughputConfig) -> Vec<EngineTiming> {
     let mut out = Vec::new();
@@ -459,10 +549,11 @@ pub fn bench_json(
     engines: &[EngineTiming],
     serving: &[ServingRow],
     mcmc: &[McmcRow],
+    http: &[HttpRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v3\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
     let _ = writeln!(s, "  \"seed\": {},", config.seed);
@@ -534,6 +625,26 @@ pub fn bench_json(
             r.bit_identical,
         );
         s.push_str(if i + 1 < serving.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"http\": [\n");
+    for (i, r) in http.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"requests\": {}, \"particles_per_request\": {}, \
+             \"cold_seconds\": {}, \"warm_seconds\": {}, \"cold_requests_per_sec\": {}, \
+             \"warm_requests_per_sec\": {}, \"cache_hit_rate\": {}, \"ok\": {}}}",
+            r.name,
+            r.requests,
+            r.particles_per_request,
+            json_f64(r.cold_seconds),
+            json_f64(r.warm_seconds),
+            json_f64(r.cold_requests_per_sec),
+            json_f64(r.warm_requests_per_sec),
+            json_f64(r.cache_hit_rate),
+            r.ok,
+        );
+        s.push_str(if i + 1 < http.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str("  \"engines\": [\n");
@@ -632,6 +743,28 @@ mod tests {
     }
 
     #[test]
+    fn http_rows_serve_cold_and_warm_over_loopback() {
+        let config = ThroughputConfig {
+            particles: 3_200,
+            threads: 2,
+            seed: 5,
+        };
+        let rows = http_rows(&config);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.ok, "a response failed or a warm body diverged");
+        assert_eq!(r.requests, 32);
+        assert!(r.cold_requests_per_sec > 0.0);
+        assert!(r.warm_requests_per_sec > 0.0);
+        // One full miss pass then one full hit pass.
+        assert!(
+            (r.cache_hit_rate - 0.5).abs() < 1e-9,
+            "{}",
+            r.cache_hit_rate
+        );
+    }
+
+    #[test]
     fn bench_json_is_well_formed() {
         let config = ThroughputConfig {
             particles: 200,
@@ -643,7 +776,8 @@ mod tests {
         assert_eq!(engines.len(), 3);
         let serving = serving_rows(&config);
         let mcmc = mcmc_rows(&config);
-        let json = bench_json(&config, &rows, &engines, &serving, &mcmc);
+        let http = http_rows(&config);
+        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http);
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
         assert_eq!(
@@ -653,11 +787,16 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\"",
+            "\"schema\": \"ppl-bench/inference/v3\"",
             "\"host_cpus\"",
             "\"throughput\"",
             "\"serving\"",
             "\"mcmc\"",
+            "\"http\"",
+            "\"cold_requests_per_sec\"",
+            "\"warm_requests_per_sec\"",
+            "\"cache_hit_rate\"",
+            "\"ok\": true",
             "\"engines\"",
             "\"par_particles_per_sec\"",
             "\"par_queries_per_sec\"",

@@ -282,6 +282,18 @@ impl Session {
         render_protocol(&self.compatibility.model_latent, &self.model_env)
     }
 
+    /// The inferred observation protocol, rendered as text — `None` when
+    /// the model provides no observation channel.  This is the protocol
+    /// [`Session::query`] validates observations against, and the serving
+    /// layer publishes it per model so clients can shape requests without
+    /// trial and error.
+    pub fn observation_protocol(&self) -> Option<String> {
+        self.compatibility
+            .model_obs
+            .as_ref()
+            .map(|p| render_protocol(p, &self.model_env))
+    }
+
     /// Builds a joint executor conditioned on the given observations.
     ///
     /// Executors share the session's compiled programs — building one per

@@ -106,8 +106,33 @@ pub enum QueryError {
     },
 }
 
+impl QueryError {
+    /// The error's stable machine-readable code.
+    ///
+    /// Codes are part of the serving wire format (HTTP error bodies carry
+    /// them verbatim), so existing codes never change meaning.  For
+    /// [`QueryError::Observations`] the code is the underlying
+    /// [`ObsViolation::code`] (e.g. `obs.carrier`), so clients see the
+    /// most specific diagnostic.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::Observations { violation, .. } => violation.code(),
+            QueryError::NoObservationChannel { .. } => "obs.no_channel",
+            QueryError::ChannelMismatch { .. } => "channel.rendezvous",
+            QueryError::ModelArity { .. } => "model.arity",
+            QueryError::GuideArity { .. } => "guide.arity",
+            QueryError::InvalidMethod { .. } => "method.invalid",
+        }
+    }
+}
+
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The embedded violation of `Observations` renders its own (more
+        // specific) code, so only the other variants prefix theirs here.
+        if !matches!(self, QueryError::Observations { .. }) {
+            write!(f, "{}: ", self.code())?;
+        }
         match self {
             QueryError::Observations {
                 violation,
@@ -158,17 +183,33 @@ pub enum Method {
         /// Initial states to discard.
         burn_in: usize,
     },
-    /// Variational inference, followed by [`VI_POSTERIOR_PARTICLES`]
-    /// posterior draws from the fitted guide.
+    /// Variational inference, followed by posterior draws from the fitted
+    /// guide (an importance-sampling pass using the fitted guide as the
+    /// proposal).
     Vi {
         /// The variational parameters to optimise.
         params: Vec<ParamSpec>,
         /// Engine configuration.
         config: ViConfig,
+        /// Number of particles the fitted-guide draw pass runs; `None`
+        /// uses [`VI_POSTERIOR_PARTICLES`].  Exposed so callers (e.g. the
+        /// serving wire protocol) can trade draw fidelity for latency.
+        draw_particles: Option<usize>,
     },
 }
 
 impl Method {
+    /// Variational inference with the default
+    /// [`VI_POSTERIOR_PARTICLES`]-particle fitted-guide draw pass — the
+    /// pre-`draw_particles` behaviour.
+    pub fn vi(params: Vec<ParamSpec>, config: ViConfig) -> Method {
+        Method::Vi {
+            params,
+            config,
+            draw_particles: None,
+        }
+    }
+
     /// The algorithm's abbreviation (`"IS"`, `"MCMC"`, `"VI"`).
     pub fn name(&self) -> &'static str {
         match self {
@@ -497,11 +538,20 @@ impl Query {
                 }
                 check_guide_args(self.spec.guide_args.len())
             }
-            Method::Vi { params, config } => {
+            Method::Vi {
+                params,
+                config,
+                draw_particles,
+            } => {
                 if config.iterations == 0 || config.samples_per_iteration == 0 {
                     return Err(QueryError::InvalidMethod {
                         reason: "VI needs at least one iteration and one sample per iteration"
                             .into(),
+                    });
+                }
+                if *draw_particles == Some(0) {
+                    return Err(QueryError::InvalidMethod {
+                        reason: "the VI fitted-guide draw pass needs at least one particle".into(),
                     });
                 }
                 check_guide_args(params.len())
@@ -532,7 +582,11 @@ pub(crate) fn run_with_rng(
         } => Ok(PosteriorResult::Mcmc(
             IndependenceMh::new(*iterations, *burn_in).run(executor, spec, rng)?,
         )),
-        Method::Vi { params, config } => {
+        Method::Vi {
+            params,
+            config,
+            draw_particles,
+        } => {
             // The query's thread count drives every stage; an explicit
             // `ViConfig::num_threads` larger than it is respected.  (Either
             // choice is bit-identical — threads never change results.)
@@ -545,7 +599,7 @@ pub(crate) fn run_with_rng(
                 guide_args: fit.params.iter().map(|&p| Value::Real(p)).collect(),
                 ..spec.clone()
             };
-            let draws = ImportanceSampler::new(VI_POSTERIOR_PARTICLES)
+            let draws = ImportanceSampler::new(draw_particles.unwrap_or(VI_POSTERIOR_PARTICLES))
                 .with_threads(threads)
                 .run(executor, &fitted_spec, rng)?;
             Ok(PosteriorResult::Vi(ViPosterior { fit, draws }))
@@ -638,18 +692,18 @@ mod tests {
                 iterations: 4_000,
                 burn_in: 400,
             },
-            Method::Vi {
-                params: vec![
+            Method::vi(
+                vec![
                     ParamSpec::unconstrained("mu", 2.0),
                     ParamSpec::positive("sigma", 1.0),
                 ],
-                config: ViConfig {
+                ViConfig {
                     iterations: 150,
                     samples_per_iteration: 10,
                     learning_rate: 0.08,
                     ..ViConfig::default()
                 },
-            },
+            ),
         ];
         for method in &methods {
             // IS and MH run the parameterised guide at fixed arguments
@@ -736,10 +790,10 @@ mod tests {
         // The guide takes no parameters, so VI with params is an arity
         // error and IS with guide args would be too.
         assert!(matches!(
-            q.run(&Method::Vi {
-                params: vec![ParamSpec::unconstrained("mu", 0.0)],
-                config: ViConfig::default()
-            }),
+            q.run(&Method::vi(
+                vec![ParamSpec::unconstrained("mu", 0.0)],
+                ViConfig::default()
+            )),
             Err(SessionError::Query(QueryError::GuideArity {
                 expected: 0,
                 supplied: 1
@@ -834,6 +888,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn vi_draw_particles_is_configurable_with_the_old_default() {
+        let s = Session::from_benchmark("weight").unwrap();
+        let obs = vec![Sample::Real(9.0), Sample::Real(9.0)];
+        let params = vec![
+            ParamSpec::unconstrained("mu", 2.0),
+            ParamSpec::positive("sigma", 1.0),
+        ];
+        let config = ViConfig {
+            iterations: 30,
+            samples_per_iteration: 5,
+            ..ViConfig::default()
+        };
+        let run = |method: &Method| {
+            s.query()
+                .observe(obs.clone())
+                .seed(21)
+                .run(method)
+                .unwrap()
+                .as_vi()
+                .unwrap()
+                .clone()
+        };
+        // Regression: the default (None) is bit-identical to explicitly
+        // requesting the documented 2 000-particle pass.
+        let default = run(&Method::vi(params.clone(), config.clone()));
+        let explicit = run(&Method::Vi {
+            params: params.clone(),
+            config: config.clone(),
+            draw_particles: Some(VI_POSTERIOR_PARTICLES),
+        });
+        assert_eq!(default.num_draws(), VI_POSTERIOR_PARTICLES);
+        assert_eq!(
+            default.draws.log_evidence.to_bits(),
+            explicit.draws.log_evidence.to_bits()
+        );
+        // A custom pass size is honoured exactly.
+        let small = run(&Method::Vi {
+            params: params.clone(),
+            config: config.clone(),
+            draw_particles: Some(64),
+        });
+        assert_eq!(small.draws.particles.len(), 64);
+        // And the fit itself is unchanged by the draw pass size.
+        assert_eq!(small.fit.params, default.fit.params);
+        // Zero draw particles is a structural method error.
+        let err = s
+            .query()
+            .observe(obs.clone())
+            .build()
+            .unwrap()
+            .run(&Method::Vi {
+                params,
+                config,
+                draw_particles: Some(0),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Query(QueryError::InvalidMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn query_errors_carry_stable_codes() {
+        let s = session();
+        let err = s
+            .query()
+            .observe(vec![Sample::Real(1.0)])
+            .model_args(vec![Value::Real(1.0)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err.code(), "model.arity");
+        assert!(err.to_string().starts_with("model.arity: "), "{err}");
+        let err = s
+            .query()
+            .observe(vec![Sample::Bool(true)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err.code(), "obs.carrier");
+        // The observation variant defers to the violation's code, rendered
+        // once (inside the embedded violation), not twice.
+        let shown = err.to_string();
+        assert_eq!(shown.matches("obs.carrier").count(), 1, "{shown}");
     }
 
     #[test]

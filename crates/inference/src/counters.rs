@@ -1,0 +1,45 @@
+//! Process-wide counters of scheduled inference work.
+//!
+//! The serving layer's deterministic result cache promises that a warm hit
+//! is *exact* — the cached JSON is the byte-identical response a fresh run
+//! would produce — so a cache hit must run **zero** joint executions.
+//! These counters make that claim testable: every engine records how many
+//! joint model–guide executions it schedules, and a test (or the `/metrics`
+//! endpoint) can delta [`joint_executions`] around an operation to prove
+//! nothing ran.
+//!
+//! The counters are *scheduling-level*: each engine adds its total once per
+//! run (not once per particle), so the steady-state particle loop stays
+//! allocation- and atomic-free and the PR 4 hot-path guarantees are
+//! untouched.  Counts are monotone, relaxed, and process-wide; they are
+//! diagnostics, not synchronisation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static JOINT_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records that an engine scheduled `n` joint model–guide executions
+/// (particles, MH proposals, or VI mini-batch samples).
+pub fn record_joint_executions(n: usize) {
+    JOINT_EXECUTIONS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Total joint executions scheduled by inference engines since process
+/// start.  Delta this around an operation to prove it ran (or did not run)
+/// inference.
+pub fn joint_executions() -> u64 {
+    JOINT_EXECUTIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone() {
+        let before = joint_executions();
+        record_joint_executions(3);
+        record_joint_executions(0);
+        assert_eq!(joint_executions() - before, 3);
+    }
+}

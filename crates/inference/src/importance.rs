@@ -147,6 +147,7 @@ impl ImportanceSampler {
         spec: &JointSpec,
         rng: &mut Pcg32,
     ) -> Result<ImportanceResult, RuntimeError> {
+        crate::counters::record_joint_executions(self.num_particles);
         let engine = Engine::new(self.num_threads);
         let particles = engine.run_particles_with(
             self.num_particles,

@@ -14,7 +14,10 @@
 //!   estimator and Adam (VI);
 //! * [`posterior`] — the unified [`Posterior`] trait and
 //!   [`PosteriorSummary`] statistics shared by all three engines, so their
-//!   results are interchangeable behind one interface.
+//!   results are interchangeable behind one interface;
+//! * [`counters`] — process-wide counters of scheduled joint executions,
+//!   so callers (e.g. the serving layer's cache tests) can prove an
+//!   operation ran zero inference.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@
 //! # Ok::<(), ppl_runtime::RuntimeError>(())
 //! ```
 
+pub mod counters;
 pub mod engine;
 pub mod importance;
 pub mod mcmc;

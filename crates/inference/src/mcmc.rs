@@ -90,6 +90,7 @@ impl IndependenceMh {
         spec: &JointSpec,
         rng: &mut Pcg32,
     ) -> Result<McmcResult, RuntimeError> {
+        crate::counters::record_joint_executions(self.iterations);
         let mut chain = Vec::new();
         let mut accepted = 0usize;
         let mut proposals = 0usize;
@@ -182,6 +183,7 @@ impl<'f> GuidedMh<'f> {
         spec: &JointSpec,
         rng: &mut Pcg32,
     ) -> Result<McmcResult, RuntimeError> {
+        crate::counters::record_joint_executions(self.iterations);
         let mut chain = Vec::new();
         let mut accepted = 0usize;
         let mut proposals = 0usize;

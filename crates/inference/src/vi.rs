@@ -177,6 +177,9 @@ impl VariationalInference {
             .iter()
             .map(|p| if p.positive { p.init.ln() } else { p.init })
             .collect();
+        crate::counters::record_joint_executions(
+            self.config.iterations * self.config.samples_per_iteration,
+        );
         let mut adam = Adam::new(dim, self.config.learning_rate);
         let mut elbo_trace = Vec::with_capacity(self.config.iterations);
         let engine = Engine::new(self.config.num_threads);

@@ -1,0 +1,1106 @@
+//! The HTTP API: routes, the wire protocol, and the exact result cache.
+//!
+//! Every request is validated against the model's **inferred observation
+//! protocol** (the query layer's `validate_observations`) before a single
+//! particle runs, so malformed inputs become structured `400` bodies with
+//! the stable machine-readable codes of `QueryError::code` /
+//! `ObsViolation::code` — never worker crashes, never a `500`.
+//!
+//! Routes:
+//!
+//! * `GET /healthz` — liveness plus the number of servable models;
+//! * `GET /metrics` — request counts per route, a latency histogram, and
+//!   the cache hit rate;
+//! * `GET /v1/models` — the registry listing with each model's rendered
+//!   latent and observation protocols;
+//! * `POST /v1/query` — run one inference request (see below);
+//! * `POST /v1/batch` — run one method over many observation sets.
+//!
+//! # The query wire format
+//!
+//! ```json
+//! {
+//!   "model": "ex-1",
+//!   "observations": [0.8, true, {"nat": 3}],
+//!   "method": {"algorithm": "importance", "particles": 2000},
+//!   "seed": 7,
+//!   "threads": 1,
+//!   "guide_args": [7.4, 0.6],
+//!   "sample_index": 0
+//! }
+//! ```
+//!
+//! Observations are `true`/`false` (bool carrier), bare numbers (real
+//! carriers), or `{"nat": n}` (nat carriers — JSON numbers alone cannot
+//! distinguish `nat` from `real`).  Methods are
+//! `{"algorithm": "importance", "particles": N}`,
+//! `{"algorithm": "mh", "iterations": N, "burn_in": N}`, or
+//! `{"algorithm": "vi", ...}` whose fields (`iterations`,
+//! `samples_per_iteration`, `learning_rate`, `fd_epsilon`, `params`,
+//! `draw_particles`) all default sensibly — `params` to the registry's
+//! initial variational parameters.
+//!
+//! # Determinism and the cache
+//!
+//! A response is a pure function of the request fingerprint (model,
+//! exact observation bits, method configuration, seed, statistic): all
+//! randomness comes from the request's seed, and thread counts are
+//! excluded from the fingerprint because the engine's results are
+//! bit-identical for every thread count.  The LRU cache therefore returns
+//! **byte-identical** responses on warm hits while running zero particles
+//! (`X-Cache: hit`).
+
+use crate::cache::ResponseCache;
+use crate::http::{Handler, Request, Response};
+use crate::json::{Json, JsonError};
+use crate::metrics::Metrics;
+use crate::registry::{ModelEntry, Registry};
+use guide_ppl::{Method, Posterior, PosteriorResult, Query, QueryError, SessionError};
+use ppl_dist::Sample;
+use ppl_inference::{ParamSpec, PosteriorSummary, ViConfig};
+use ppl_semantics::value::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The served application: registry, cache, and metrics.
+#[derive(Debug)]
+pub struct App {
+    /// The compiled-session registry.
+    pub registry: Registry,
+    /// The exact response cache.
+    pub cache: ResponseCache,
+    /// Request metrics.
+    pub metrics: Metrics,
+}
+
+impl App {
+    /// Creates an app over a registry with the given cache capacity.
+    pub fn new(registry: Registry, cache_capacity: usize) -> Arc<App> {
+        Arc::new(App {
+            registry,
+            cache: ResponseCache::new(cache_capacity),
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// The HTTP handler for [`crate::http::Server::bind`]: routes the
+    /// request and records metrics.
+    pub fn handler(self: &Arc<App>) -> Handler {
+        let app = Arc::clone(self);
+        Arc::new(move |req: &Request| {
+            let start = Instant::now();
+            let response = route(&app, req);
+            app.metrics.record(
+                &req.path,
+                response.status,
+                start.elapsed().as_secs_f64() * 1e3,
+            );
+            response
+        })
+    }
+}
+
+/// A structured API error: HTTP status plus the machine-readable body.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status code (4xx for request errors, 5xx for server faults).
+    pub status: u16,
+    /// Stable machine-readable code (e.g. `obs.carrier`).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Extra structured fields merged into the error object (offending
+    /// position, byte offset, batch index, …).
+    pub details: Vec<(String, Json)>,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code: code.to_string(),
+            message: message.into(),
+            details: Vec::new(),
+        }
+    }
+
+    fn with(mut self, key: &str, value: Json) -> ApiError {
+        self.details.push((key.to_string(), value));
+        self
+    }
+
+    /// Renders the error as its HTTP response body:
+    /// `{"error": {"code": ..., "message": ..., ...details}}`.
+    pub fn to_response(&self) -> Response {
+        let mut fields = vec![
+            ("code".to_string(), Json::str(self.code.clone())),
+            ("message".to_string(), Json::str(self.message.clone())),
+        ];
+        fields.extend(self.details.iter().cloned());
+        let body = Json::Obj(vec![("error".into(), Json::Obj(fields))]);
+        Response::json(
+            self.status,
+            body.write()
+                .expect("error bodies contain no non-finite numbers"),
+        )
+    }
+}
+
+fn bad_json(err: JsonError) -> ApiError {
+    ApiError::new(400, "request.json", err.to_string()).with("offset", Json::Num(err.offset as f64))
+}
+
+fn bad_schema(message: impl Into<String>) -> ApiError {
+    ApiError::new(400, "request.schema", message)
+}
+
+fn from_session_error(err: SessionError) -> ApiError {
+    match err {
+        SessionError::Query(q) => {
+            let mut api = ApiError::new(400, q.code(), q.to_string());
+            if let QueryError::Observations { violation, .. } = &q {
+                api = api.with("position", Json::Num(violation.position() as f64));
+            }
+            api
+        }
+        other => ApiError::new(500, "runtime.error", other.to_string()),
+    }
+}
+
+fn route(app: &Arc<App>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(app),
+        ("GET", "/metrics") => metrics(app),
+        ("GET", "/v1/models") => models(app),
+        ("POST", "/v1/query") => query(app, req).unwrap_or_else(|e| e.to_response()),
+        ("POST", "/v1/batch") => batch(app, req).unwrap_or_else(|e| e.to_response()),
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/query" | "/v1/batch") => ApiError::new(
+            405,
+            "method.not_allowed",
+            "wrong HTTP method for this route",
+        )
+        .to_response(),
+        _ => ApiError::new(404, "route.unknown", format!("no route '{}'", req.path)).to_response(),
+    }
+}
+
+fn healthz(app: &App) -> Response {
+    let body = Json::Obj(vec![
+        ("status".into(), Json::str("ok")),
+        ("models".into(), Json::Num(app.registry.len() as f64)),
+    ]);
+    Response::json(200, body.write().expect("finite"))
+}
+
+fn metrics(app: &App) -> Response {
+    let body = app
+        .metrics
+        .render(app.cache.hits(), app.cache.misses(), app.cache.len());
+    Response::json(200, body.write().expect("finite"))
+}
+
+fn models(app: &App) -> Response {
+    let entries = app
+        .registry
+        .entries()
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(e.name.clone())),
+                ("description".into(), Json::str(e.description.clone())),
+                ("default_method".into(), Json::str(e.default_method)),
+                (
+                    "latent_protocol".into(),
+                    Json::str(e.latent_protocol.clone()),
+                ),
+                (
+                    "observation_protocol".into(),
+                    match &e.observation_protocol {
+                        Some(p) => Json::str(p.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "default_observation_count".into(),
+                    Json::Num(e.default_observation_count as f64),
+                ),
+                (
+                    "guide_params".into(),
+                    Json::Arr(
+                        e.guide_param_defaults
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::str(p.name.clone())),
+                                    ("init".into(), Json::num_or_null(p.init)),
+                                    ("positive".into(), Json::Bool(p.positive)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let body = Json::Obj(vec![("models".into(), Json::Arr(entries))]);
+    Response::json(200, body.write().expect("finite"))
+}
+
+/// Upper bound on the joint executions one request may schedule
+/// (particles, MH iterations, or VI mini-batch samples plus draw pass).
+/// Larger requests are rejected with `request.limit` so a single request
+/// cannot pin a worker thread for hours.
+pub const MAX_REQUEST_EXECUTIONS: u64 = 1_000_000;
+
+/// Upper bound on observation sets in one `/v1/batch` request.
+pub const MAX_BATCH_ITEMS: usize = 256;
+
+/// A decoded `/v1/query` request (one item of a `/v1/batch` too).
+#[derive(Clone)]
+struct QueryRequest {
+    observations: Vec<Sample>,
+    method: Method,
+    seed: u64,
+    threads: usize,
+    model_args: Vec<Value>,
+    guide_args: Vec<Value>,
+    sample_index: usize,
+}
+
+fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    let doc = parse_body(req)?;
+    let entry = lookup_model(app, &doc)?;
+    let request = decode_request(&doc, entry)?;
+    let (body, hit) = serve_one(app, entry, &request)?;
+    Ok(Response::json(200, body.to_string())
+        .with_header("X-Cache", if hit { "hit" } else { "miss" }))
+}
+
+fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    let doc = parse_body(req)?;
+    let entry = lookup_model(app, &doc)?;
+    let sets = doc
+        .get("observation_sets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad_schema("'observation_sets' must be an array of observation arrays"))?;
+    let seeds: Option<Vec<u64>> = match doc.get("seeds") {
+        None => None,
+        Some(json) => {
+            let items = json
+                .as_arr()
+                .ok_or_else(|| bad_schema("'seeds' must be an array of integers"))?;
+            if items.len() != sets.len() {
+                return Err(bad_schema(format!(
+                    "'seeds' has {} entries for {} observation sets",
+                    items.len(),
+                    sets.len()
+                )));
+            }
+            Some(
+                items
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .ok_or_else(|| bad_schema("seeds must be non-negative integers"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+    };
+    let base_seed = opt_u64(&doc, "seed")?.unwrap_or(0);
+    if sets.len() > MAX_BATCH_ITEMS {
+        return Err(ApiError::new(
+            400,
+            "request.limit",
+            format!(
+                "{} observation sets exceed the per-request limit of {MAX_BATCH_ITEMS}",
+                sets.len()
+            ),
+        ));
+    }
+
+    // The shared fields (method, threads, guide args, …) decode once; each
+    // item then only decodes its own observation set, keeping batch
+    // decoding linear in the number of sets.
+    let base = decode_request(&doc, entry)?;
+
+    // Decode and *validate* every item before running anything: a bad
+    // item rejects the whole batch with its index, and no partial work is
+    // spent on a request that was never going to succeed.
+    let mut requests = Vec::with_capacity(sets.len());
+    for (i, set) in sets.iter().enumerate() {
+        let at = |e: ApiError| e.with("index", Json::Num(i as f64));
+        let items = set
+            .as_arr()
+            .ok_or_else(|| at(bad_schema("each observation set must be an array")))?;
+        let mut request = base.clone();
+        request.observations = items
+            .iter()
+            .enumerate()
+            .map(|(j, item)| decode_observation(j, item))
+            .collect::<Result<_, _>>()
+            .map_err(at)?;
+        request.seed = match &seeds {
+            Some(seeds) => seeds[i],
+            None => base_seed + i as u64,
+        };
+        // Validation (observation protocol, arity, rendezvous) runs now,
+        // before any inference.
+        build_query(entry, &request).map_err(at)?;
+        requests.push(request);
+    }
+
+    let mut results = Vec::with_capacity(requests.len());
+    let mut hits = 0usize;
+    for (i, request) in requests.iter().enumerate() {
+        let (body, hit) =
+            serve_one(app, entry, request).map_err(|e| e.with("index", Json::Num(i as f64)))?;
+        hits += hit as usize;
+        // The cached body is itself a JSON document; splice it verbatim so
+        // each result stays byte-identical to its `/v1/query` response.
+        results.push(body);
+    }
+    let mut body = String::from("{\"model\":");
+    body.push_str(&Json::str(entry.name.clone()).write().expect("finite"));
+    body.push_str(",\"count\":");
+    body.push_str(&results.len().to_string());
+    body.push_str(",\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(r);
+    }
+    body.push_str("]}");
+    Ok(Response::json(200, body).with_header("X-Cache-Hits", &hits.to_string()))
+}
+
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| bad_schema("request body is not valid UTF-8"))?;
+    Json::parse(text).map_err(bad_json)
+}
+
+fn lookup_model<'a>(app: &'a Arc<App>, doc: &Json) -> Result<&'a ModelEntry, ApiError> {
+    let name = doc
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_schema("'model' must be a string"))?;
+    app.registry.get(name).ok_or_else(|| {
+        ApiError::new(
+            404,
+            "model.unknown",
+            format!("no model '{name}' in the registry"),
+        )
+    })
+}
+
+/// Runs one request through the cache: a hit returns the stored body
+/// (zero particles run), a miss validates, runs inference, and stores the
+/// body.  Consulting the cache *before* validation is sound because the
+/// fingerprint encoding is injective: a hit means a byte-equivalent
+/// request was served before, and that request passed validation.
+fn serve_one(
+    app: &Arc<App>,
+    entry: &ModelEntry,
+    request: &QueryRequest,
+) -> Result<(Arc<str>, bool), ApiError> {
+    let fingerprint = fingerprint(&entry.name, request);
+    if let Some(body) = app.cache.get(&fingerprint) {
+        return Ok((body, true));
+    }
+    let query = build_query(entry, request)?;
+    let posterior = query.run(&request.method).map_err(from_session_error)?;
+    let body: Arc<str> = query_response_json(
+        &entry.name,
+        &request.method,
+        request.seed,
+        &posterior,
+        request.sample_index,
+    )
+    .write()
+    .expect("response bodies map non-finite statistics to null")
+    .into();
+    app.cache.insert(fingerprint, Arc::clone(&body));
+    Ok((body, false))
+}
+
+fn build_query(entry: &ModelEntry, request: &QueryRequest) -> Result<Query, ApiError> {
+    entry
+        .session
+        .query()
+        .observe(request.observations.iter().cloned())
+        .seed(request.seed)
+        .threads(request.threads)
+        .model_args(request.model_args.clone())
+        .guide_args(request.guide_args.clone())
+        .build()
+        .map_err(|e| from_session_error(SessionError::Query(e)))
+}
+
+fn decode_request(doc: &Json, entry: &ModelEntry) -> Result<QueryRequest, ApiError> {
+    let observations = match doc.get("observations") {
+        None => Vec::new(),
+        Some(json) => {
+            let items = json
+                .as_arr()
+                .ok_or_else(|| bad_schema("'observations' must be an array"))?;
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| decode_observation(i, item))
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let method = decode_method(doc.get("method"), entry)?;
+    let cost = scheduled_executions(&method);
+    if cost > MAX_REQUEST_EXECUTIONS {
+        return Err(ApiError::new(
+            400,
+            "request.limit",
+            format!(
+                "the request schedules {cost} joint executions, above the per-request limit of {MAX_REQUEST_EXECUTIONS}"
+            ),
+        ));
+    }
+    let seed = opt_u64(doc, "seed")?.unwrap_or(0);
+    let threads = opt_u64(doc, "threads")?.unwrap_or(1).max(1) as usize;
+    let sample_index = opt_u64(doc, "sample_index")?.unwrap_or(0) as usize;
+    let model_args = real_args(doc, "model_args")?;
+    let mut guide_args = real_args(doc, "guide_args")?;
+    // IS and MH sample the guide at fixed arguments; when the guide is
+    // parameterised and the caller sent none, use the registry's initial
+    // values so argument-less requests work out of the box.  (VI ignores
+    // guide arguments — it owns the parameters.)
+    if guide_args.is_empty() && !matches!(method, Method::Vi { .. }) {
+        guide_args = entry
+            .guide_param_defaults
+            .iter()
+            .map(|p| Value::Real(p.init))
+            .collect();
+    }
+    Ok(QueryRequest {
+        observations,
+        method,
+        seed,
+        threads,
+        model_args,
+        guide_args,
+        sample_index,
+    })
+}
+
+/// Joint executions a method schedules (the work bound enforced by
+/// [`MAX_REQUEST_EXECUTIONS`]).
+fn scheduled_executions(method: &Method) -> u64 {
+    match method {
+        Method::Importance { particles } => *particles as u64,
+        Method::Mh { iterations, .. } => *iterations as u64,
+        Method::Vi {
+            config,
+            draw_particles,
+            ..
+        } => (config.iterations as u64)
+            .saturating_mul(config.samples_per_iteration as u64)
+            .saturating_add(
+                draw_particles.unwrap_or(guide_ppl::query::VI_POSTERIOR_PARTICLES) as u64,
+            ),
+    }
+}
+
+fn decode_observation(index: usize, json: &Json) -> Result<Sample, ApiError> {
+    match json {
+        Json::Bool(b) => Ok(Sample::Bool(*b)),
+        Json::Num(x) => Ok(Sample::Real(*x)),
+        Json::Obj(_) => {
+            if let Some(n) = json.get("nat") {
+                let n = n.as_u64().ok_or_else(|| {
+                    bad_schema(format!(
+                        "observation {index}: 'nat' must be a non-negative integer"
+                    ))
+                })?;
+                Ok(Sample::Nat(n))
+            } else if let Some(x) = json.get("real") {
+                let x = x.as_f64().ok_or_else(|| {
+                    bad_schema(format!("observation {index}: 'real' must be a number"))
+                })?;
+                Ok(Sample::Real(x))
+            } else if let Some(b) = json.get("bool") {
+                let b = b.as_bool().ok_or_else(|| {
+                    bad_schema(format!("observation {index}: 'bool' must be a boolean"))
+                })?;
+                Ok(Sample::Bool(b))
+            } else {
+                Err(bad_schema(format!(
+                    "observation {index}: object form must be {{\"nat\"|\"real\"|\"bool\": ...}}"
+                )))
+            }
+        }
+        _ => Err(bad_schema(format!(
+            "observation {index}: expected a boolean, a number, or a typed object"
+        ))),
+    }
+}
+
+fn decode_method(json: Option<&Json>, entry: &ModelEntry) -> Result<Method, ApiError> {
+    let json = json.ok_or_else(|| bad_schema("'method' is required"))?;
+    let algorithm = json
+        .get("algorithm")
+        .and_then(Json::as_str)
+        .ok_or_else(|| {
+            bad_schema("'method.algorithm' must be \"importance\", \"mh\", or \"vi\"")
+        })?;
+    match algorithm {
+        "importance" => {
+            let particles = opt_u64(json, "particles")?.unwrap_or(2_000) as usize;
+            Ok(Method::Importance { particles })
+        }
+        "mh" => {
+            let iterations = opt_u64(json, "iterations")?.unwrap_or(2_000) as usize;
+            let burn_in = opt_u64(json, "burn_in")?.unwrap_or(iterations as u64 / 10) as usize;
+            Ok(Method::Mh {
+                iterations,
+                burn_in,
+            })
+        }
+        "vi" => {
+            let mut config = ViConfig::default();
+            if let Some(n) = opt_u64(json, "iterations")? {
+                config.iterations = n as usize;
+            }
+            if let Some(n) = opt_u64(json, "samples_per_iteration")? {
+                config.samples_per_iteration = n as usize;
+            }
+            if let Some(x) = opt_f64(json, "learning_rate")? {
+                config.learning_rate = x;
+            }
+            if let Some(x) = opt_f64(json, "fd_epsilon")? {
+                config.fd_epsilon = x;
+            }
+            let params = match json.get("params") {
+                Some(json) => {
+                    let items = json
+                        .as_arr()
+                        .ok_or_else(|| bad_schema("'method.params' must be an array"))?;
+                    items
+                        .iter()
+                        .map(decode_param)
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+                // Default to the registry's initial variational parameters.
+                None => entry
+                    .guide_param_defaults
+                    .iter()
+                    .map(|p| {
+                        if p.positive {
+                            ParamSpec::positive(&p.name, p.init)
+                        } else {
+                            ParamSpec::unconstrained(&p.name, p.init)
+                        }
+                    })
+                    .collect(),
+            };
+            let draw_particles = opt_u64(json, "draw_particles")?.map(|n| n as usize);
+            Ok(Method::Vi {
+                params,
+                config,
+                draw_particles,
+            })
+        }
+        other => Err(bad_schema(format!(
+            "unknown algorithm '{other}' (expected \"importance\", \"mh\", or \"vi\")"
+        ))),
+    }
+}
+
+fn decode_param(json: &Json) -> Result<ParamSpec, ApiError> {
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_schema("variational params need a string 'name'"))?;
+    let init = json
+        .get("init")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad_schema("variational params need a numeric 'init'"))?;
+    let positive = json
+        .get("positive")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    Ok(if positive {
+        ParamSpec::positive(name, init)
+    } else {
+        ParamSpec::unconstrained(name, init)
+    })
+}
+
+fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, ApiError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(json) => json
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad_schema(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, ApiError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(json) => json
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad_schema(format!("'{key}' must be a number"))),
+    }
+}
+
+fn real_args(doc: &Json, key: &str) -> Result<Vec<Value>, ApiError> {
+    match doc.get(key) {
+        None => Ok(Vec::new()),
+        Some(json) => {
+            let items = json
+                .as_arr()
+                .ok_or_else(|| bad_schema(format!("'{key}' must be an array of numbers")))?;
+            items
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .map(Value::Real)
+                        .ok_or_else(|| bad_schema(format!("'{key}' must be an array of numbers")))
+                })
+                .collect()
+        }
+    }
+}
+
+/// The canonical request fingerprint: a pure function of everything that
+/// can influence the response bytes.  Floats are keyed by their exact IEEE
+/// bits, and the engine thread count is deliberately **excluded** — PR 2's
+/// determinism guarantee makes results bit-identical across thread counts,
+/// so requests differing only in `threads` share a cache line.
+fn fingerprint(model: &str, request: &QueryRequest) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "model={model};seed={};idx={};obs=",
+        request.seed, request.sample_index
+    );
+    for obs in &request.observations {
+        match obs {
+            Sample::Bool(b) => {
+                let _ = write!(s, "b{},", *b as u8);
+            }
+            Sample::Real(x) => {
+                let _ = write!(s, "r{:016x},", x.to_bits());
+            }
+            Sample::Nat(n) => {
+                let _ = write!(s, "n{n},");
+            }
+        }
+    }
+    s.push_str(";margs=");
+    for v in &request.model_args {
+        if let Value::Real(x) = v {
+            let _ = write!(s, "{:016x},", x.to_bits());
+        }
+    }
+    s.push_str(";gargs=");
+    for v in &request.guide_args {
+        if let Value::Real(x) = v {
+            let _ = write!(s, "{:016x},", x.to_bits());
+        }
+    }
+    s.push_str(";method=");
+    match &request.method {
+        Method::Importance { particles } => {
+            let _ = write!(s, "is:p={particles}");
+        }
+        Method::Mh {
+            iterations,
+            burn_in,
+        } => {
+            let _ = write!(s, "mh:i={iterations},b={burn_in}");
+        }
+        Method::Vi {
+            params,
+            config,
+            draw_particles,
+        } => {
+            let _ = write!(
+                s,
+                "vi:i={},s={},lr={:016x},fd={:016x},d={};params=",
+                config.iterations,
+                config.samples_per_iteration,
+                config.learning_rate.to_bits(),
+                config.fd_epsilon.to_bits(),
+                draw_particles.unwrap_or(guide_ppl::query::VI_POSTERIOR_PARTICLES),
+            );
+            for p in params {
+                // Length-prefixing the (client-supplied) name keeps the
+                // encoding injective: a name containing ':' or ',' cannot
+                // forge another parameter list's fingerprint.
+                let _ = write!(
+                    s,
+                    "{}:{}:{:016x}:{},",
+                    p.name.len(),
+                    p.name,
+                    p.init.to_bits(),
+                    p.positive as u8
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Serialises a finished inference run as the `/v1/query` response
+/// document.  Exposed so tests (and embedders) can produce the exact bytes
+/// the HTTP route would return for an in-process [`PosteriorResult`] — the
+/// bit-identity acceptance check compares the two.
+pub fn query_response_json(
+    model: &str,
+    method: &Method,
+    seed: u64,
+    posterior: &PosteriorResult,
+    sample_index: usize,
+) -> Json {
+    let summary = posterior
+        .summarize_sample(sample_index)
+        .map(|s| summary_json(&s))
+        .unwrap_or(Json::Null);
+    let diagnostics = posterior
+        .diagnostics()
+        .into_iter()
+        .map(|(k, v)| (k, Json::num_or_null(v)))
+        .collect();
+    Json::Obj(vec![
+        ("model".into(), Json::str(model)),
+        ("method".into(), Json::str(method.name())),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("sample_index".into(), Json::Num(sample_index as f64)),
+        ("num_draws".into(), Json::Num(posterior.num_draws() as f64)),
+        ("ess".into(), Json::num_or_null(posterior.ess())),
+        (
+            "log_evidence".into(),
+            match posterior.log_evidence() {
+                Some(x) => Json::num_or_null(x),
+                None => Json::Null,
+            },
+        ),
+        ("diagnostics".into(), Json::Obj(diagnostics)),
+        ("summary".into(), summary),
+    ])
+}
+
+fn summary_json(s: &PosteriorSummary) -> Json {
+    Json::Obj(vec![
+        ("mean".into(), Json::num_or_null(s.mean)),
+        ("variance".into(), Json::num_or_null(s.variance)),
+        ("std_dev".into(), Json::num_or_null(s.std_dev())),
+        (
+            "quantiles".into(),
+            Json::Obj(vec![
+                ("q05".into(), Json::num_or_null(s.quantiles.q05)),
+                ("q25".into(), Json::num_or_null(s.quantiles.q25)),
+                ("median".into(), Json::num_or_null(s.quantiles.median)),
+                ("q75".into(), Json::num_or_null(s.quantiles.q75)),
+                ("q95".into(), Json::num_or_null(s.quantiles.q95)),
+            ]),
+        ),
+        (
+            "histogram".into(),
+            Json::Obj(vec![
+                (
+                    "centers".into(),
+                    Json::Arr(
+                        s.histogram
+                            .centers()
+                            .into_iter()
+                            .map(Json::num_or_null)
+                            .collect(),
+                    ),
+                ),
+                (
+                    "densities".into(),
+                    Json::Arr(
+                        s.histogram
+                            .densities()
+                            .into_iter()
+                            .map(Json::num_or_null)
+                            .collect(),
+                    ),
+                ),
+                (
+                    "total_weight".into(),
+                    Json::num_or_null(s.histogram.total_weight()),
+                ),
+            ]),
+        ),
+        ("num_draws".into(), Json::Num(s.num_draws as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> Arc<App> {
+        App::new(Registry::from_benchmarks(), 16)
+    }
+
+    fn post(app: &Arc<App>, path: &str, body: &str) -> Response {
+        let handler = app.handler();
+        handler(&Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    fn get(app: &Arc<App>, path: &str) -> Response {
+        let handler = app.handler();
+        handler(&Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn routes_answer_without_a_socket() {
+        let app = app();
+        let health = get(&app, "/healthz");
+        assert_eq!(health.status, 200);
+        let parsed = Json::parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
+        let models = get(&app, "/v1/models");
+        assert_eq!(models.status, 200);
+        assert!(String::from_utf8_lossy(&models.body).contains("\"ex-1\""));
+        assert_eq!(get(&app, "/nope").status, 404);
+        assert_eq!(post(&app, "/healthz", "").status, 405);
+        // Metrics recorded every one of those requests.
+        assert_eq!(app.metrics.total_requests(), 4);
+    }
+
+    #[test]
+    fn query_runs_and_caches() {
+        let app = app();
+        let body = r#"{"model":"ex-1","observations":[0.8],
+                       "method":{"algorithm":"importance","particles":300},"seed":7}"#;
+        let cold = post(&app, "/v1/query", body);
+        assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+        assert!(cold
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Cache" && v == "miss"));
+        let warm = post(&app, "/v1/query", body);
+        assert_eq!(warm.status, 200);
+        assert!(warm
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Cache" && v == "hit"));
+        assert_eq!(cold.body, warm.body);
+        // Whitespace-only differences in the request reach the same line.
+        assert_eq!(app.cache.len(), 1);
+        let parsed = Json::parse(std::str::from_utf8(&cold.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("method").unwrap().as_str(), Some("IS"));
+        let mean = parsed
+            .get("summary")
+            .unwrap()
+            .get("mean")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(mean.is_finite());
+    }
+
+    #[test]
+    fn thread_counts_share_a_cache_line() {
+        let app = app();
+        let one = r#"{"model":"ex-1","observations":[0.8],
+                      "method":{"algorithm":"importance","particles":200},"seed":3,"threads":1}"#;
+        let four = r#"{"model":"ex-1","observations":[0.8],
+                       "method":{"algorithm":"importance","particles":200},"seed":3,"threads":4}"#;
+        let cold = post(&app, "/v1/query", one);
+        assert_eq!(cold.status, 200);
+        let warm = post(&app, "/v1/query", four);
+        assert!(warm
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Cache" && v == "hit"));
+        assert_eq!(cold.body, warm.body);
+    }
+
+    #[test]
+    fn invalid_requests_are_structured_400s() {
+        let app = app();
+        // Wrong carrier.
+        let r = post(
+            &app,
+            "/v1/query",
+            r#"{"model":"ex-1","observations":[true],
+                "method":{"algorithm":"importance","particles":100}}"#,
+        );
+        assert_eq!(r.status, 400);
+        let parsed = Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("obs.carrier")
+        );
+        assert_eq!(
+            parsed
+                .get("error")
+                .unwrap()
+                .get("position")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+        // Malformed JSON names the byte offset.
+        let r = post(&app, "/v1/query", "{\"model\": }");
+        assert_eq!(r.status, 400);
+        let parsed = Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("request.json")
+        );
+        assert_eq!(
+            parsed.get("error").unwrap().get("offset").unwrap().as_f64(),
+            Some(10.0)
+        );
+        // Unknown model is a 404.
+        let r = post(
+            &app,
+            "/v1/query",
+            r#"{"model":"nope","method":{"algorithm":"importance"}}"#,
+        );
+        assert_eq!(r.status, 404);
+        // Degenerate method config is a 400 with the method code.
+        let r = post(
+            &app,
+            "/v1/query",
+            r#"{"model":"ex-1","observations":[0.8],
+                "method":{"algorithm":"importance","particles":0}}"#,
+        );
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8_lossy(&r.body).contains("method.invalid"));
+    }
+
+    #[test]
+    fn fingerprint_is_injective_over_crafted_param_names() {
+        // Under a naive `name:bits:pos,` encoding these two parameter
+        // lists serialise identically: B's single name embeds A's
+        // separators verbatim.  The length prefix keeps them distinct, so
+        // B can never be served A's cached response.
+        let bits1 = 1.0f64.to_bits();
+        let a = vec![
+            ParamSpec::unconstrained("m", 1.0),
+            ParamSpec::unconstrained("m", 2.0),
+        ];
+        let b = vec![ParamSpec::unconstrained(format!("m:{bits1:016x}:0,m"), 2.0)];
+        let request = |params: Vec<ParamSpec>| QueryRequest {
+            observations: vec![Sample::Real(9.0), Sample::Real(9.0)],
+            method: Method::Vi {
+                params,
+                config: ViConfig::default(),
+                draw_particles: None,
+            },
+            seed: 1,
+            threads: 1,
+            model_args: vec![],
+            guide_args: vec![],
+            sample_index: 0,
+        };
+        assert_ne!(
+            fingerprint("weight", &request(a)),
+            fingerprint("weight", &request(b))
+        );
+    }
+
+    #[test]
+    fn oversized_work_and_batches_are_rejected() {
+        let app = app();
+        // 2^53 particles passes as_u64 but must hit the work limit, not a
+        // worker thread.
+        let r = post(
+            &app,
+            "/v1/query",
+            r#"{"model":"ex-1","observations":[0.8],
+                "method":{"algorithm":"importance","particles":9007199254740992}}"#,
+        );
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8_lossy(&r.body).contains("request.limit"));
+        // A VI config whose product overflows the limit is rejected too.
+        let r = post(
+            &app,
+            "/v1/query",
+            r#"{"model":"weight","observations":[9.0,9.0],
+                "method":{"algorithm":"vi","iterations":9007199254740992,
+                          "samples_per_iteration":9007199254740992}}"#,
+        );
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8_lossy(&r.body).contains("request.limit"));
+        // More observation sets than MAX_BATCH_ITEMS.
+        let sets: Vec<String> = (0..=MAX_BATCH_ITEMS).map(|_| "[0.5]".to_string()).collect();
+        let body = format!(
+            r#"{{"model":"normal-normal","observation_sets":[{}],
+                "method":{{"algorithm":"importance","particles":100}}}}"#,
+            sets.join(",")
+        );
+        let r = post(&app, "/v1/batch", &body);
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8_lossy(&r.body).contains("request.limit"));
+    }
+
+    #[test]
+    fn batch_matches_individual_queries_and_counts_hits() {
+        let app = app();
+        let q0 = r#"{"model":"normal-normal","observations":[0.5],
+                     "method":{"algorithm":"importance","particles":200},"seed":11}"#;
+        let solo = post(&app, "/v1/query", q0);
+        assert_eq!(solo.status, 200);
+        let batch = post(
+            &app,
+            "/v1/batch",
+            r#"{"model":"normal-normal",
+                "observation_sets":[[0.5],[1.5]],
+                "seeds":[11,12],
+                "method":{"algorithm":"importance","particles":200}}"#,
+        );
+        assert_eq!(
+            batch.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&batch.body)
+        );
+        // Item 0 was already cached by the solo query.
+        assert!(batch
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Cache-Hits" && v == "1"));
+        let parsed = Json::parse(std::str::from_utf8(&batch.body).unwrap()).unwrap();
+        let results = parsed.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        // The batch result is byte-identical to the solo response.
+        let solo_parsed = Json::parse(std::str::from_utf8(&solo.body).unwrap()).unwrap();
+        assert_eq!(results[0], solo_parsed);
+        // A bad item rejects the whole batch, naming the index.
+        let bad = post(
+            &app,
+            "/v1/batch",
+            r#"{"model":"normal-normal",
+                "observation_sets":[[0.5],[true]],
+                "method":{"algorithm":"importance","particles":200}}"#,
+        );
+        assert_eq!(bad.status, 400);
+        let parsed = Json::parse(std::str::from_utf8(&bad.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("error").unwrap().get("index").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The deterministic LRU response cache.
+//!
+//! Every query result in this system is a **pure function** of the
+//! canonical request fingerprint — model name, exact observation bits,
+//! method configuration, seed, and summary statistic — because inference
+//! draws all randomness from the request's own seed (PR 2's substream
+//! engine) and thread counts never change results.  A cache hit is
+//! therefore *exact*: the stored response body is byte-identical to what a
+//! fresh run would produce, not an approximation of it.  That turns the
+//! cache into free amortisation for repeated queries (the serving analogue
+//! of amortized inference) with no correctness trade-off at all.
+//!
+//! The implementation is a plain mutex-guarded map with last-use ticks and
+//! scan-on-evict — O(capacity) eviction is irrelevant next to the hundreds
+//! of microseconds a cache *miss* costs, and the simplicity keeps the
+//! lock-hold time trivial.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    body: Arc<str>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU map from canonical request fingerprints to response
+/// bodies, with hit/miss accounting.
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResponseCache {
+    /// Creates a cache holding at most `capacity` responses; capacity 0
+    /// disables caching (every lookup is a miss, nothing is stored).
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    pub fn get(&self, fingerprint: &str) -> Option<Arc<str>> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(fingerprint) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a response, evicting the least-recently-used entry when
+    /// full.  Re-inserting an existing fingerprint refreshes its body and
+    /// recency.
+    pub fn insert(&self, fingerprint: String, body: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&fingerprint) {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(
+            fingerprint,
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup count that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup count that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits as a fraction of all lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total > 0.0 {
+            hits / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = ResponseCache::new(2);
+        cache.insert("a".into(), "A".into());
+        cache.insert("b".into(), "B".into());
+        assert_eq!(cache.get("a").as_deref(), Some("A")); // refresh a
+        cache.insert("c".into(), "C".into()); // evicts b
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a").as_deref(), Some("A"));
+        assert_eq!(cache.get("c").as_deref(), Some("C"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let cache = ResponseCache::new(2);
+        cache.insert("a".into(), "A".into());
+        cache.insert("b".into(), "B".into());
+        cache.insert("a".into(), "A2".into()); // same key: no eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a").as_deref(), Some("A2"));
+        assert_eq!(cache.get("b").as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::new(0);
+        cache.insert("a".into(), "A".into());
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,531 @@
+//! A small HTTP/1.1 server (and loopback client) over `std::net`.
+//!
+//! No async runtime and no external crates: a blocking
+//! [`TcpListener`] accept loop hands connections to a fixed pool of worker
+//! threads over a channel.  Each worker owns a connection until it closes —
+//! requests on one connection are served back-to-back (keep-alive), bodies
+//! are framed by `Content-Length`, and responses always carry an exact
+//! `Content-Length` so clients can pipeline reads.
+//!
+//! The server supports:
+//!
+//! * **port 0** — bind to an ephemeral port and read the real one back
+//!   from [`Server::local_addr`], which is how every test and benchmark
+//!   boots an isolated instance;
+//! * **keep-alive** — HTTP/1.1 connections persist by default
+//!   (`Connection: close` honoured, HTTP/1.0 closes unless asked);
+//! * **graceful shutdown** — [`Server::shutdown`] stops accepting, wakes
+//!   the accept loop, lets workers finish their in-flight connections, and
+//!   joins every thread.
+//!
+//! Limits are deliberate: bodies over [`MAX_BODY_BYTES`] get a 413,
+//! `Transfer-Encoding: chunked` requests a 501, and reads time out after
+//! [`READ_TIMEOUT`] so an idle or stalled peer cannot pin a worker
+//! forever.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum accepted request-body size (1 MiB).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Socket read timeout; a peer that stalls longer than this mid-request
+/// (or sits idle on a keep-alive connection) is disconnected.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Maximum requests served on one keep-alive connection.
+const MAX_KEEPALIVE_REQUESTS: usize = 10_000;
+
+/// Maximum bytes of one request-head line (request line or header line);
+/// longer lines are rejected so an endless unterminated line cannot grow
+/// a buffer without bound.
+const MAX_HEAD_LINE_BYTES: u64 = 8 * 1024;
+
+/// Maximum header lines per request.
+const MAX_HEADER_LINES: usize = 100;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target (query string stripped).
+    pub path: String,
+    /// The query string after `?`, if any (undecoded).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of the given header (name matched
+    /// case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers to send verbatim.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+/// The request handler a [`Server`] dispatches to.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server; dropping it without [`Server::shutdown`] leaves
+/// the threads serving until the process exits (what the `ppl-serve`
+/// binary wants), shutting down joins them (what tests want).
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop plus `workers` connection-handling threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize, handler: Handler) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    // Holding the lock only for the recv keeps the other
+                    // workers free to take the next connection.
+                    let conn = match rx.lock().expect("worker queue poisoned").recv() {
+                        Ok(conn) => conn,
+                        Err(_) => return, // accept loop gone: shut down
+                    };
+                    serve_connection(conn, &handler, &stop);
+                })
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break; // the shutdown poke or a late client; stop now
+                }
+                match conn {
+                    Ok(conn) => {
+                        if tx.send(conn).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping `tx` here wakes every idle worker with RecvError.
+        });
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the listener actually bound (the real port when bound
+    /// with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// In-flight requests finish; idle keep-alive connections are closed
+    /// at their next read (bounded by [`READ_TIMEOUT`]).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors, or the server stops.
+fn serve_connection(conn: TcpStream, handler: &Handler, stop: &AtomicBool) {
+    let _ = conn.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = conn.set_nodelay(true);
+    let mut reader = BufReader::new(match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    });
+    let mut writer = conn;
+    for served in 0..MAX_KEEPALIVE_REQUESTS {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let last_allowed = served + 1 == MAX_KEEPALIVE_REQUESTS;
+        let (request, keep_alive) = match read_request(&mut reader) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => return, // clean EOF between requests
+            Err(ReadError::BadRequest(msg)) => {
+                let _ = write_response(&mut writer, &Response::text(400, &msg), false);
+                return;
+            }
+            Err(ReadError::TooLarge) => {
+                let _ = write_response(
+                    &mut writer,
+                    &Response::text(413, "request body too large"),
+                    false,
+                );
+                return;
+            }
+            Err(ReadError::Unsupported(msg)) => {
+                let _ = write_response(&mut writer, &Response::text(501, &msg), false);
+                return;
+            }
+            Err(ReadError::Io) => return,
+        };
+        // A panicking handler must not take the worker thread (and the
+        // pool's capacity) with it: catch it and answer 500.
+        let response =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request))) {
+                Ok(response) => response,
+                Err(_) => Response::text(500, "internal handler panic"),
+            };
+        // The connection's final response (stop requested, or the
+        // keep-alive budget exhausted) honestly advertises the close
+        // instead of resetting the client's next request.
+        let keep_alive = keep_alive && !last_allowed && !stop.load(Ordering::SeqCst);
+        if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+enum ReadError {
+    /// Malformed request head or framing.
+    BadRequest(String),
+    /// Body exceeds [`MAX_BODY_BYTES`].
+    TooLarge,
+    /// A framing mechanism this server does not implement.
+    Unsupported(String),
+    /// The socket failed or timed out.
+    Io,
+}
+
+/// Reads one `\n`-terminated head line with [`MAX_HEAD_LINE_BYTES`]
+/// enforced; `Ok(None)` on immediate EOF.  The advertised body limit is
+/// worthless if the *head* can grow a buffer without bound.
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ReadError> {
+    let mut line = String::new();
+    match reader
+        .by_ref()
+        .take(MAX_HEAD_LINE_BYTES)
+        .read_line(&mut line)
+    {
+        Ok(0) => Ok(None),
+        // A line that filled the whole budget without a terminator is an
+        // attack or a garbage peer, not a request.
+        Ok(_) if !line.ends_with('\n') && line.len() as u64 >= MAX_HEAD_LINE_BYTES => {
+            Err(ReadError::BadRequest(format!(
+                "request head line longer than {MAX_HEAD_LINE_BYTES} bytes"
+            )))
+        }
+        Ok(_) => Ok(Some(line)),
+        Err(_) => Err(ReadError::Io),
+    }
+}
+
+/// Reads one request; `Ok(None)` on clean EOF before a request line.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bool)>, ReadError> {
+    let line = match read_head_line(reader)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(ReadError::BadRequest("malformed request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::BadRequest(format!(
+            "unsupported protocol version '{version}'"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        if headers.len() >= MAX_HEADER_LINES {
+            return Err(ReadError::BadRequest(format!(
+                "more than {MAX_HEADER_LINES} header lines"
+            )));
+        }
+        let header_line = match read_head_line(reader)? {
+            Some(line) => line,
+            None => return Err(ReadError::BadRequest("truncated headers".into())),
+        };
+        let header_line = header_line.trim_end();
+        if header_line.is_empty() {
+            break;
+        }
+        match header_line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+            None => return Err(ReadError::BadRequest("malformed header line".into())),
+        }
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(ReadError::Unsupported(
+            "Transfer-Encoding is not supported; frame bodies with Content-Length".into(),
+        ));
+    }
+    let content_length = match find("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::BadRequest("invalid Content-Length".into()))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
+    }
+
+    // HTTP/1.1 defaults to keep-alive; 1.0 defaults to close.
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => version == "HTTP/1.1",
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        },
+        keep_alive,
+    )))
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// A client-side response: status code, lowercased headers, body bytes.
+pub type ClientResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// A persistent (keep-alive) client connection for tests, benchmarks, and
+/// the example client.
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: TcpStream,
+}
+
+impl ClientConn {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConn { stream })
+    }
+
+    /// Sends one request and reads the full response, keeping the
+    /// connection open for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed response framing.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ppl-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        read_client_response(&mut self.stream)
+    }
+}
+
+fn read_client_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header_line = String::new();
+        reader.read_line(&mut header_line)?;
+        let header_line = header_line.trim_end();
+        if header_line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header_line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "invalid Content-Length")
+                })?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    // Dropping the BufReader discards any read-ahead, which is safe only
+    // because requests are strictly serialised per connection: the server
+    // has sent exactly one response, consumed in full above.
+    Ok((status, headers, body))
+}
+
+/// One-shot convenience request on a fresh connection (`Connection:
+/// close` semantics — the connection is dropped after the response).
+///
+/// # Errors
+///
+/// Propagates socket failures and malformed response framing.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut conn = ClientConn::connect(addr)?;
+    conn.send(method, path, body)
+}

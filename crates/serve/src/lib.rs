@@ -1,0 +1,47 @@
+//! **ppl-serve** — the HTTP front door of the guide-types PPL.
+//!
+//! The paper's thesis is that a guide-type-checked model–guide pair is
+//! *provably sound to run inference on*; this crate is what that soundness
+//! buys operationally.  Every servable model is compiled **once** at boot
+//! into a shared [`Session`](guide_ppl::Session) (the registry), every
+//! request is validated against the model's inferred observation protocol
+//! **before any particle runs** (bad inputs are structured `400`s, not
+//! worker crashes), and — because all inference randomness derives from
+//! the request's own seed — responses are **pure functions of the
+//! request**, which makes an exact LRU response cache sound: a warm hit is
+//! the byte-identical response of a fresh run, at zero inference cost.
+//!
+//! Everything is plain `std` (the build environment is offline): a strict
+//! JSON codec with byte-position errors ([`json`]), a threaded HTTP/1.1
+//! server with keep-alive and graceful shutdown ([`http`]), the
+//! compiled-session registry ([`registry`]), the deterministic cache
+//! ([`cache`]), request metrics ([`metrics`]), and the routes and wire
+//! protocol ([`api`]).
+//!
+//! # Booting a server
+//!
+//! ```
+//! use ppl_serve::{api::App, http::{self, Server}, registry::Registry};
+//!
+//! let app = App::new(Registry::from_benchmarks(), 256);
+//! // Port 0: bind an ephemeral port, read it back from `local_addr`.
+//! let server = Server::bind("127.0.0.1:0", 2, app.handler()).unwrap();
+//! let addr = server.local_addr();
+//! let (status, _, body) = http::http_request(addr, "GET", "/healthz", None).unwrap();
+//! assert_eq!(status, 200);
+//! assert!(String::from_utf8_lossy(&body).contains("\"ok\""));
+//! server.shutdown();
+//! ```
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use api::App;
+pub use cache::ResponseCache;
+pub use http::{Request, Response, Server};
+pub use json::{Json, JsonError};
+pub use registry::Registry;

@@ -1,0 +1,65 @@
+//! The `ppl-serve` binary: boot the registry, bind, and serve until
+//! killed.
+//!
+//! ```text
+//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N]
+//! ```
+//!
+//! `--addr` defaults to `127.0.0.1:8080`; use port 0 to bind an ephemeral
+//! port (the bound address is printed, which is how the CI smoke step
+//! finds it).  `--workers` sets the connection-handling thread count
+//! (default 4) and `--cache` the response-cache capacity (default 256
+//! responses; 0 disables caching).
+
+use ppl_serve::{App, Registry, Server};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut workers = 4usize;
+    let mut cache = 256usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return usage("--addr expects HOST:PORT"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => return usage("--workers expects a positive integer"),
+            },
+            "--cache" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cache = n,
+                None => return usage("--cache expects a non-negative integer"),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let registry = Registry::from_benchmarks();
+    println!("ppl-serve: {} models compiled", registry.len());
+    let app = App::new(registry, cache);
+    let server = match Server::bind(addr.as_str(), workers, app.handler()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ppl-serve listening on http://{}", server.local_addr());
+    // The smoke step greps this line from a pipe; make sure it arrives.
+    let _ = std::io::stdout().flush();
+
+    // Serve until the process is killed; the server owns the threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3_600));
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N]");
+    ExitCode::FAILURE
+}

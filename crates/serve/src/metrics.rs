@@ -1,0 +1,261 @@
+//! Request metrics for the `/metrics` endpoint.
+//!
+//! Counters are relaxed atomics (they are diagnostics, not
+//! synchronisation); request latency feeds a fixed-range
+//! [`Histogram`] from `ppl_dist::stats` — the same estimator the posterior
+//! summaries use — plus exact running sum/max, all behind one short-lived
+//! mutex.
+
+use crate::json::Json;
+use ppl_dist::stats::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Upper bound of the latency histogram range, in milliseconds; slower
+/// requests land in [`Metrics::latency_overflow`] instead of a bin.
+pub const LATENCY_RANGE_MS: f64 = 2_000.0;
+
+/// Number of latency histogram bins.
+pub const LATENCY_BINS: usize = 40;
+
+/// The routes the server distinguishes in its per-route counters.
+pub const ROUTES: [&str; 6] = [
+    "/healthz",
+    "/metrics",
+    "/v1/models",
+    "/v1/query",
+    "/v1/batch",
+    "other",
+];
+
+struct Latency {
+    histogram: Histogram,
+    overflow: u64,
+    count: u64,
+    sum_ms: f64,
+    max_ms: f64,
+}
+
+/// Aggregated serving metrics.
+pub struct Metrics {
+    started: Instant,
+    requests_by_route: [AtomicU64; ROUTES.len()],
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    latency: Mutex<Latency>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("total_requests", &self.total_requests())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics with the clock started now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests_by_route: std::array::from_fn(|_| AtomicU64::new(0)),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            latency: Mutex::new(Latency {
+                histogram: Histogram::new(0.0, LATENCY_RANGE_MS, LATENCY_BINS),
+                overflow: 0,
+                count: 0,
+                sum_ms: 0.0,
+                max_ms: 0.0,
+            }),
+        }
+    }
+
+    /// Records one handled request: its route (normalised to a [`ROUTES`]
+    /// entry), response status, and wall-clock latency.
+    pub fn record(&self, path: &str, status: u16, latency_ms: f64) {
+        let idx = ROUTES
+            .iter()
+            .position(|r| *r == path)
+            .unwrap_or(ROUTES.len() - 1);
+        self.requests_by_route[idx].fetch_add(1, Ordering::Relaxed);
+        let status_counter = match status {
+            200..=299 => &self.responses_2xx,
+            500..=599 => &self.responses_5xx,
+            _ => &self.responses_4xx,
+        };
+        status_counter.fetch_add(1, Ordering::Relaxed);
+        let mut latency = self.latency.lock().expect("metrics poisoned");
+        if latency_ms >= LATENCY_RANGE_MS {
+            latency.overflow += 1;
+        } else {
+            latency.histogram.add(latency_ms, 1.0);
+        }
+        latency.count += 1;
+        latency.sum_ms += latency_ms;
+        latency.max_ms = latency.max_ms.max(latency_ms);
+    }
+
+    /// Total requests across every route.
+    pub fn total_requests(&self) -> u64 {
+        self.requests_by_route
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Requests that fell outside the latency histogram range.
+    pub fn latency_overflow(&self) -> u64 {
+        self.latency.lock().expect("metrics poisoned").overflow
+    }
+
+    /// Renders the metrics document served by `/metrics`.  `cache_hits`,
+    /// `cache_misses`, and `cache_len` come from the response cache.
+    pub fn render(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> Json {
+        let latency = self.latency.lock().expect("metrics poisoned");
+        let mean_ms = if latency.count > 0 {
+            latency.sum_ms / latency.count as f64
+        } else {
+            0.0
+        };
+        let histogram = Json::Obj(vec![
+            (
+                "range_ms".into(),
+                Json::Arr(vec![Json::Num(0.0), Json::Num(LATENCY_RANGE_MS)]),
+            ),
+            (
+                "centers_ms".into(),
+                Json::Arr(
+                    latency
+                        .histogram
+                        .centers()
+                        .into_iter()
+                        .map(Json::num_or_null)
+                        .collect(),
+                ),
+            ),
+            (
+                "counts".into(),
+                Json::Arr(
+                    latency
+                        .histogram
+                        .bin_weights()
+                        .iter()
+                        .map(|&w| Json::num_or_null(w))
+                        .collect(),
+                ),
+            ),
+            ("overflow".into(), Json::Num(latency.overflow as f64)),
+        ]);
+        let routes = ROUTES
+            .iter()
+            .zip(&self.requests_by_route)
+            .map(|(route, counter)| {
+                (
+                    route.to_string(),
+                    Json::Num(counter.load(Ordering::Relaxed) as f64),
+                )
+            })
+            .collect();
+        let cache_total = cache_hits + cache_misses;
+        let hit_rate = if cache_total > 0 {
+            cache_hits as f64 / cache_total as f64
+        } else {
+            0.0
+        };
+        Json::Obj(vec![
+            (
+                "uptime_seconds".into(),
+                Json::num_or_null(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "requests_total".into(),
+                Json::Num(self.total_requests() as f64),
+            ),
+            ("requests_by_route".into(), Json::Obj(routes)),
+            (
+                "responses".into(),
+                Json::Obj(vec![
+                    (
+                        "2xx".into(),
+                        Json::Num(self.responses_2xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "4xx".into(),
+                        Json::Num(self.responses_4xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "5xx".into(),
+                        Json::Num(self.responses_5xx.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "latency_ms".into(),
+                Json::Obj(vec![
+                    ("mean".into(), Json::num_or_null(mean_ms)),
+                    ("max".into(), Json::num_or_null(latency.max_ms)),
+                    ("histogram".into(), histogram),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Num(cache_hits as f64)),
+                    ("misses".into(), Json::Num(cache_misses as f64)),
+                    ("hit_rate".into(), Json::num_or_null(hit_rate)),
+                    ("entries".into(), Json::Num(cache_len as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_routes_statuses_and_latency() {
+        let m = Metrics::new();
+        m.record("/healthz", 200, 0.5);
+        m.record("/v1/query", 200, 12.0);
+        m.record("/v1/query", 400, 1.0);
+        m.record("/nope", 404, 0.1);
+        m.record("/v1/query", 500, LATENCY_RANGE_MS + 1.0);
+        assert_eq!(m.total_requests(), 5);
+        assert_eq!(m.latency_overflow(), 1);
+        let json = m.render(3, 1, 2);
+        assert_eq!(
+            json.get("requests_by_route").unwrap().get("/v1/query"),
+            Some(&Json::Num(3.0))
+        );
+        assert_eq!(
+            json.get("requests_by_route").unwrap().get("other"),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            json.get("responses").unwrap().get("4xx"),
+            Some(&Json::Num(2.0))
+        );
+        assert_eq!(
+            json.get("responses").unwrap().get("5xx"),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            json.get("cache").unwrap().get("hit_rate"),
+            Some(&Json::Num(0.75))
+        );
+        // The document always serialises (every number finite).
+        assert!(json.write().is_ok());
+    }
+}

@@ -1,0 +1,150 @@
+//! The compiled-session registry: every servable model, built once.
+//!
+//! At boot the server walks `ppl_models`' benchmark registry, runs the
+//! full pipeline on every expressible model–guide pair — parse, guide-type
+//! inference, compatibility check, compilation to shared
+//! `CompiledProgram`s — and keeps each resulting [`Session`] behind an
+//! `Arc`.  Request handling therefore never parses or type-checks
+//! anything: a query borrows the pre-compiled session, and all its
+//! particles (across all worker threads) execute the same immutable
+//! program tables, exactly as PR 2's zero-copy core intends.
+//!
+//! Each entry also carries the *rendered protocols* (latent and
+//! observation) so `GET /v1/models` can tell clients what a request must
+//! look like before they try one — the paper's static-certification
+//! discipline, published as API metadata.
+
+use guide_ppl::Session;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A variational parameter default for a registry model's guide (mirrors
+/// `ppl_models::GuideParam`, owned).
+#[derive(Debug, Clone)]
+pub struct ParamDefault {
+    /// Parameter name.
+    pub name: String,
+    /// Initial value.
+    pub init: f64,
+    /// Whether the parameter is constrained positive.
+    pub positive: bool,
+}
+
+/// One servable model: a compiled session plus the metadata the API
+/// publishes about it.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Registry name (e.g. `"ex-1"`).
+    pub name: String,
+    /// One-line description from the benchmark registry.
+    pub description: String,
+    /// The compiled, type-checked session.
+    pub session: Arc<Session>,
+    /// The latent protocol, rendered.
+    pub latent_protocol: String,
+    /// The observation protocol, rendered; `None` when the model has no
+    /// observation channel.
+    pub observation_protocol: Option<String>,
+    /// The benchmark's reference observation count (a hint for clients;
+    /// branchy protocols admit other counts too).
+    pub default_observation_count: usize,
+    /// The algorithm the paper's evaluation uses for this model.
+    pub default_method: &'static str,
+    /// Default guide arguments (the registry's initial variational
+    /// parameter values), used when a request supplies none.
+    pub guide_param_defaults: Vec<ParamDefault>,
+}
+
+/// The boot-time registry of compiled sessions, indexed by model name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Vec<ModelEntry>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Registry {
+    /// Builds sessions for every expressible benchmark in `ppl_models`.
+    ///
+    /// Benchmarks that are registered but not expressible (`dp`) are
+    /// skipped; an expressible benchmark whose pipeline fails would be a
+    /// bug in the model library, so it panics rather than silently serving
+    /// a partial catalogue.
+    pub fn from_benchmarks() -> Registry {
+        let mut registry = Registry::default();
+        for b in ppl_models::all_benchmarks() {
+            if !b.expressible {
+                continue;
+            }
+            let session = Session::from_benchmark(b.name)
+                .unwrap_or_else(|e| panic!("registry model '{}' failed the pipeline: {e}", b.name));
+            registry.push(ModelEntry {
+                name: b.name.to_string(),
+                description: b.description.to_string(),
+                latent_protocol: session.latent_protocol(),
+                observation_protocol: session.observation_protocol(),
+                default_observation_count: b.observations.len(),
+                default_method: b.inference.abbreviation(),
+                guide_param_defaults: b
+                    .guide_params
+                    .iter()
+                    .map(|p| ParamDefault {
+                        name: p.name.to_string(),
+                        init: p.init,
+                        positive: p.positive,
+                    })
+                    .collect(),
+                session: Arc::new(session),
+            });
+        }
+        registry
+    }
+
+    /// Adds an entry (later entries shadow earlier ones by name).
+    pub fn push(&mut self, entry: ModelEntry) {
+        self.by_name.insert(entry.name.clone(), self.entries.len());
+        self.entries.push(entry);
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&ModelEntry> {
+        self.by_name.get(name).map(|&i| &self.entries[i])
+    }
+
+    /// All entries, in registry order.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Number of servable models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_compiles_every_expressible_benchmark_once() {
+        let registry = Registry::from_benchmarks();
+        assert!(registry.len() >= 15, "{} models", registry.len());
+        let ex1 = registry.get("ex-1").expect("ex-1 registered");
+        assert!(!ex1.latent_protocol.is_empty());
+        assert!(ex1.observation_protocol.is_some());
+        assert_eq!(ex1.default_method, "IS");
+        assert_eq!(ex1.default_observation_count, 1);
+        // The inexpressible benchmark is not served.
+        assert!(registry.get("dp").is_none());
+        assert!(registry.get("unknown").is_none());
+        // `weight` carries VI parameter defaults for argument-less requests.
+        let weight = registry.get("weight").expect("weight registered");
+        assert_eq!(weight.guide_param_defaults.len(), 2);
+        assert_eq!(weight.guide_param_defaults[0].name, "mu");
+    }
+}

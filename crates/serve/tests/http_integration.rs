@@ -1,0 +1,320 @@
+//! Loopback integration tests for the serving layer.
+//!
+//! The acceptance-critical property: a `POST /v1/query` response is
+//! **bit-identical** to serialising an in-process [`Query::run`] for the
+//! same (model, observations, method, seed) — across all three inference
+//! methods.  The HTTP layer, worker threads, and JSON codec add transport,
+//! never perturbation.
+
+use guide_ppl::{Method, Session};
+use ppl_inference::{ParamSpec, ViConfig};
+use ppl_serve::http::ClientConn;
+use ppl_serve::{api, App, Json, Registry, Server};
+use std::sync::Arc;
+
+fn boot(cache: usize, workers: usize) -> (Arc<App>, Server) {
+    let app = App::new(Registry::from_benchmarks(), cache);
+    let server = Server::bind("127.0.0.1:0", workers, app.handler()).expect("bind port 0");
+    (app, server)
+}
+
+/// Serialises an in-process run exactly as the HTTP route would.
+fn in_process_response(
+    model: &str,
+    observations: Vec<ppl_dist::Sample>,
+    guide_args: Vec<ppl_semantics::value::Value>,
+    method: &Method,
+    seed: u64,
+) -> String {
+    let session = Session::from_benchmark(model).expect("benchmark session");
+    let posterior = session
+        .query()
+        .observe(observations)
+        .seed(seed)
+        .guide_args(guide_args)
+        .run(method)
+        .expect("in-process run");
+    api::query_response_json(model, method, seed, &posterior, 0)
+        .write()
+        .expect("serialise")
+}
+
+#[test]
+fn query_responses_are_bit_identical_to_in_process_runs_for_all_methods() {
+    let (_app, server) = boot(0, 3); // cache disabled: every request runs
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+
+    // Importance sampling on normal-normal (no guide parameters).
+    let expected = in_process_response(
+        "normal-normal",
+        vec![ppl_dist::Sample::Real(1.0)],
+        vec![],
+        &Method::Importance { particles: 1_500 },
+        42,
+    );
+    let (status, _, body) = conn
+        .send(
+            "POST",
+            "/v1/query",
+            Some(
+                r#"{"model":"normal-normal","observations":[1.0],
+                    "method":{"algorithm":"importance","particles":1500},"seed":42}"#,
+            ),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        String::from_utf8(body).unwrap(),
+        expected,
+        "IS bit-identity"
+    );
+
+    // Metropolis–Hastings on the same model.
+    let expected = in_process_response(
+        "normal-normal",
+        vec![ppl_dist::Sample::Real(1.0)],
+        vec![],
+        &Method::Mh {
+            iterations: 1_000,
+            burn_in: 100,
+        },
+        7,
+    );
+    let (status, _, body) = conn
+        .send(
+            "POST",
+            "/v1/query",
+            Some(
+                r#"{"model":"normal-normal","observations":[1.0],
+                    "method":{"algorithm":"mh","iterations":1000,"burn_in":100},"seed":7}"#,
+            ),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        String::from_utf8(body).unwrap(),
+        expected,
+        "MH bit-identity"
+    );
+
+    // Variational inference on weight; the wire request omits `params`, so
+    // the server uses the registry's initial variational parameters — the
+    // in-process side builds the same specs from the benchmark registry.
+    let b = ppl_models::benchmark("weight").unwrap();
+    let params: Vec<ParamSpec> = b
+        .guide_params
+        .iter()
+        .map(|p| {
+            if p.positive {
+                ParamSpec::positive(p.name, p.init)
+            } else {
+                ParamSpec::unconstrained(p.name, p.init)
+            }
+        })
+        .collect();
+    let method = Method::Vi {
+        params,
+        config: ViConfig {
+            iterations: 40,
+            samples_per_iteration: 5,
+            learning_rate: 0.08,
+            ..ViConfig::default()
+        },
+        draw_particles: Some(300),
+    };
+    let expected = in_process_response(
+        "weight",
+        vec![ppl_dist::Sample::Real(9.0), ppl_dist::Sample::Real(9.0)],
+        vec![],
+        &method,
+        11,
+    );
+    let (status, _, body) = conn
+        .send(
+            "POST",
+            "/v1/query",
+            Some(
+                r#"{"model":"weight","observations":[9.0,9.0],
+                    "method":{"algorithm":"vi","iterations":40,"samples_per_iteration":5,
+                              "learning_rate":0.08,"draw_particles":300},"seed":11}"#,
+            ),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        String::from_utf8(body).unwrap(),
+        expected,
+        "VI bit-identity"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn invalid_observations_are_structured_400s_never_500s() {
+    let (_app, server) = boot(8, 2);
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+    let cases = [
+        // Wrong carrier: bool where the protocol wants a real.
+        (
+            r#"{"model":"ex-1","observations":[true],
+                "method":{"algorithm":"importance","particles":100}}"#,
+            "obs.carrier",
+        ),
+        // Wrong count.
+        (
+            r#"{"model":"ex-1","observations":[0.8,0.8,0.8,0.8],
+                "method":{"algorithm":"importance","particles":100}}"#,
+            "obs.count",
+        ),
+        // Kind mismatch: a typed nat where the protocol wants a real
+        // (carriers are never coerced).
+        (
+            r#"{"model":"weight","observations":[{"nat":9},9.0],
+                "method":{"algorithm":"importance","particles":100}}"#,
+            "obs.carrier",
+        ),
+    ];
+    for (request, code) in cases {
+        let (status, _, body) = conn.send("POST", "/v1/query", Some(request)).unwrap();
+        assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+        let parsed = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let got = parsed
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(got.starts_with(code), "expected {code}, got {got}");
+        assert!(parsed.get("error").unwrap().get("position").is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn models_metrics_and_keep_alive_work_over_one_connection() {
+    let (app, server) = boot(8, 2);
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+
+    let (status, _, body) = conn.send("GET", "/v1/models", None).unwrap();
+    assert_eq!(status, 200);
+    let parsed = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let models = parsed.get("models").unwrap().as_arr().unwrap();
+    assert!(models.len() >= 15);
+    let ex1 = models
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some("ex-1"))
+        .expect("ex-1 listed");
+    assert!(ex1.get("latent_protocol").unwrap().as_str().is_some());
+    assert!(ex1.get("observation_protocol").unwrap().as_str().is_some());
+
+    // Two queries and a metrics read on the same keep-alive connection.
+    let query = r#"{"model":"ex-1","observations":[0.8],
+                    "method":{"algorithm":"importance","particles":150},"seed":5}"#;
+    let (s1, _, b1) = conn.send("POST", "/v1/query", Some(query)).unwrap();
+    let (s2, _, b2) = conn.send("POST", "/v1/query", Some(query)).unwrap();
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "cache hit is byte-identical");
+    let (status, _, body) = conn.send("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let parsed = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    // The /metrics request itself is recorded after it responds, so the
+    // total covers the three requests before it.
+    assert!(parsed.get("requests_total").unwrap().as_f64().unwrap() >= 3.0);
+    let cache = parsed.get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_f64(), Some(1.0));
+    assert!(cache.get("hit_rate").unwrap().as_f64().unwrap() > 0.0);
+    assert!(parsed
+        .get("latency_ms")
+        .unwrap()
+        .get("histogram")
+        .unwrap()
+        .get("counts")
+        .unwrap()
+        .as_arr()
+        .is_some());
+    assert_eq!(app.cache.len(), 1);
+
+    // 404 and 405 answers also arrive on the same connection.
+    let (status, _, _) = conn.send("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _, _) = conn.send("DELETE", "/v1/query", None).unwrap();
+    assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_over_http_matches_per_query_responses() {
+    let (_app, server) = boot(16, 2);
+    let addr = server.local_addr();
+    let mut conn = ClientConn::connect(addr).unwrap();
+    let (status, _, batch_body) = conn
+        .send(
+            "POST",
+            "/v1/batch",
+            Some(
+                r#"{"model":"normal-normal",
+                    "observation_sets":[[0.0],[0.5],[1.0]],
+                    "seeds":[100,101,102],
+                    "method":{"algorithm":"importance","particles":250}}"#,
+            ),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&batch_body));
+    let parsed = Json::parse(std::str::from_utf8(&batch_body).unwrap()).unwrap();
+    assert_eq!(parsed.get("count").unwrap().as_f64(), Some(3.0));
+    let results = parsed.get("results").unwrap().as_arr().unwrap();
+    for (i, (obs, seed)) in [(0.0, 100u64), (0.5, 101), (1.0, 102)].iter().enumerate() {
+        let (status, _, body) = conn
+            .send(
+                "POST",
+                "/v1/query",
+                Some(&format!(
+                    r#"{{"model":"normal-normal","observations":[{obs:?}],
+                        "method":{{"algorithm":"importance","particles":250}},"seed":{seed}}}"#
+                )),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let solo = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(results[i], solo, "batch item {i} matches its solo query");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_heads_are_rejected_not_buffered() {
+    let (_app, server) = boot(4, 2);
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+    // A 16 KiB request line blows the 8 KiB head-line bound: the server
+    // answers 400 and closes instead of buffering it.
+    let long_path = format!("/{}", "a".repeat(16 * 1024));
+    let (status, _, _) = conn.send("GET", &long_path, None).unwrap();
+    assert_eq!(status, 400);
+    // The server is still healthy for well-formed clients.
+    let (status, _, _) =
+        ppl_serve::http::http_request(server.local_addr(), "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_joins_and_stops_accepting() {
+    let (_app, server) = boot(4, 2);
+    let addr = server.local_addr();
+    // A request completes before shutdown...
+    let (status, _, _) = ppl_serve::http::http_request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+    // ...and afterwards the port no longer serves: either the connection
+    // is refused outright or the accept loop is gone and nothing answers.
+    match ClientConn::connect(addr) {
+        Err(_) => {}
+        Ok(mut conn) => {
+            assert!(conn.send("GET", "/healthz", None).is_err());
+        }
+    }
+}

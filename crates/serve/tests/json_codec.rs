@@ -1,0 +1,204 @@
+//! The JSON codec test suite: round-trip property tests over nested
+//! values, float formatting edge cases, and a malformed-input suite
+//! proving the parser reports byte positions and never panics.
+
+use ppl_dist::rng::Pcg32;
+use ppl_serve::{Json, JsonError};
+
+/// Deterministically generates an arbitrary JSON value of bounded depth.
+fn arbitrary(rng: &mut Pcg32, depth: usize) -> Json {
+    let choice = if depth == 0 {
+        rng.next_below(4)
+    } else {
+        rng.next_below(6)
+    };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_f64() < 0.5),
+        2 => {
+            // A mix of magnitudes, signs, negative zero, and subnormals —
+            // anything finite must survive a write/parse cycle bit-exactly.
+            let x = match rng.next_below(6) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => (rng.next_f64() - 0.5) * 10.0,
+                3 => (rng.next_f64() - 0.5) * 1e300,
+                4 => rng.next_f64() * 1e-310, // subnormal range
+                _ => (rng.next_below(1_000_000) as f64) - 500_000.0,
+            };
+            Json::Num(x)
+        }
+        3 => {
+            let len = rng.next_below(12) as usize;
+            let s: String = (0..len)
+                .map(|_| match rng.next_below(7) {
+                    0 => '"',
+                    1 => '\\',
+                    2 => '\n',
+                    3 => '\u{1}',
+                    4 => '😀',
+                    5 => 'é',
+                    _ => char::from(b'a' + (rng.next_below(26) as u8)),
+                })
+                .collect();
+            Json::Str(s)
+        }
+        4 => {
+            let len = rng.next_below(4) as usize;
+            Json::Arr((0..len).map(|_| arbitrary(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.next_below(4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), arbitrary(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn round_trips_arbitrary_nested_values() {
+    let mut rng = Pcg32::seed_from_u64(0xC0DEC);
+    for case in 0..500 {
+        let value = arbitrary(&mut rng, 4);
+        let text = value.write().unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e} in {text}"));
+        assert_eq!(back, value, "case {case}: {text}");
+        // Writing is deterministic: a second cycle produces the same bytes.
+        assert_eq!(back.write().unwrap(), text, "case {case}");
+    }
+}
+
+#[test]
+fn float_formatting_round_trips_exact_bits() {
+    for x in [
+        0.0,
+        -0.0,
+        1.0,
+        -1.5,
+        0.1,
+        1e-300,
+        -1e300,
+        5e-324, // smallest subnormal
+        f64::MAX,
+        f64::MIN,
+        f64::EPSILON,
+        std::f64::consts::PI,
+    ] {
+        let text = Json::Num(x).write().unwrap();
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+    }
+    // Exponent forms parse.
+    for (text, expected) in [("1e3", 1e3), ("-2.5E-2", -2.5e-2), ("1.25e+10", 1.25e10)] {
+        assert_eq!(Json::parse(text).unwrap(), Json::Num(expected));
+    }
+}
+
+#[test]
+fn non_finite_numbers_are_rejected_both_ways() {
+    // The writer refuses to emit them...
+    assert!(Json::Num(f64::NAN).write().is_err());
+    assert!(Json::Num(f64::INFINITY).write().is_err());
+    assert!(Json::Num(f64::NEG_INFINITY).write().is_err());
+    // ...nested anywhere.
+    let nested = Json::Arr(vec![Json::Obj(vec![("x".into(), Json::Num(f64::NAN))])]);
+    assert!(nested.write().is_err());
+    // ...and the parser rejects the tokens and overflow.
+    for text in [
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        "nan",
+        "inf",
+        "1e999",
+        "-1e999",
+    ] {
+        assert!(Json::parse(text).is_err(), "{text} parsed");
+    }
+}
+
+/// Every malformed input errors with the expected byte position — and, by
+/// virtue of returning at all, never panics.
+#[test]
+fn malformed_inputs_error_with_positions() {
+    let cases: &[(&str, usize)] = &[
+        ("", 0),
+        ("   ", 3),
+        ("{", 1),
+        ("}", 0),
+        ("[1, 2", 5),
+        ("[1 2]", 3),
+        ("{\"a\" 1}", 5),
+        ("{\"a\": 1,}", 8),
+        ("{a: 1}", 1),
+        ("[,]", 1),
+        ("tru", 0),
+        ("falsey", 5),
+        ("nulll", 4),
+        ("\"unterminated", 13),
+        ("\"bad \\q escape\"", 6),
+        ("\"\\u12G4\"", 5),
+        ("\"\\ud800\"", 1), // unpaired high surrogate (points at the escape)
+        ("\"\\udc00\"", 1), // unpaired low surrogate
+        ("01", 1),
+        ("-", 1),
+        ("1.", 2),
+        ("1e", 2),
+        ("1e+", 3),
+        ("--1", 1),
+        ("+1", 0),
+        (".5", 0),
+        ("1 2", 2),
+        ("{\"a\": 1} extra", 9),
+        ("\"\u{1}\"", 1), // unescaped control character
+    ];
+    for (text, offset) in cases {
+        match Json::parse(text) {
+            Err(JsonError {
+                offset: got,
+                message,
+            }) => {
+                assert_eq!(
+                    got, *offset,
+                    "input {text:?}: expected offset {offset}, got {got} ({message})"
+                );
+            }
+            Ok(v) => panic!("input {text:?} unexpectedly parsed as {v:?}"),
+        }
+    }
+}
+
+/// Fuzz the parser with deterministic garbage: arbitrary byte soup,
+/// truncations and mutations of valid documents.  The only acceptable
+/// outcomes are `Ok` or a positioned error — no panic, no hang.
+#[test]
+fn parser_never_panics_on_garbage() {
+    let mut rng = Pcg32::seed_from_u64(0xFAFF);
+    let seeds = [
+        r#"{"a": [1, -2.5e3, true, null], "b": {"s": "x\ny"}}"#,
+        r#"[[[[1]]], {"k": "\ud83d\ude00"}]"#,
+        "123.456e-7",
+    ];
+    for seed in seeds {
+        for cut in 0..seed.len() {
+            let _ = Json::parse(&seed[..cut.min(seed.len())]);
+        }
+    }
+    for _ in 0..2_000 {
+        let len = rng.next_below(40) as usize;
+        let garbage: String = (0..len)
+            .map(|_| {
+                let printable = b" {}[]\",:.0123456789eE+-truefalsnu\\/";
+                printable[rng.next_below(printable.len() as u64) as usize] as char
+            })
+            .collect();
+        let _ = Json::parse(&garbage); // must return, not panic
+    }
+    // Deep nesting hits the depth bound instead of the stack.
+    let deep = "[".repeat(100_000);
+    let err = Json::parse(&deep).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+}

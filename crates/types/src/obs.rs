@@ -135,6 +135,24 @@ pub enum ObsViolation {
 }
 
 impl ObsViolation {
+    /// The violation's stable machine-readable error code.
+    ///
+    /// Codes form a dot-separated hierarchy under `obs.` and are part of
+    /// the wire format of the serving layer: clients may match on them,
+    /// so existing codes never change meaning.  [`fmt::Display`] prefixes
+    /// every rendered violation with its code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ObsViolation::TooMany { .. } => "obs.count.too_many",
+            ObsViolation::TooFew { .. } => "obs.count.too_few",
+            ObsViolation::Carrier { .. } => "obs.carrier",
+            ObsViolation::ConsumerDriven { .. } => "obs.consumer_driven",
+            ObsViolation::UndefinedOperator { .. } => "obs.undefined_operator",
+            ObsViolation::UnresolvedVariable { .. } => "obs.unresolved_variable",
+            ObsViolation::UnproductiveRecursion { .. } => "obs.unproductive_recursion",
+        }
+    }
+
     /// The offending position (used to pick the most-progressed
     /// diagnostic among the branches of a nondeterministic protocol).
     pub fn position(&self) -> usize {
@@ -152,6 +170,7 @@ impl ObsViolation {
 
 impl fmt::Display for ObsViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match self {
             ObsViolation::TooMany { consumed, supplied } => write!(
                 f,

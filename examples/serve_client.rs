@@ -1,0 +1,71 @@
+//! A loopback serving round trip: boot `ppl-serve` in-process on an
+//! ephemeral port, list the models, run a query twice, and show the warm
+//! hit coming back byte-identical from the cache.
+//!
+//! ```text
+//! cargo run --release -p ppl-serve --example serve_client
+//! ```
+
+use ppl_serve::http::ClientConn;
+use ppl_serve::{App, Json, Registry, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = App::new(Registry::from_benchmarks(), 64);
+    let server = Server::bind("127.0.0.1:0", 2, app.handler())?;
+    let addr = server.local_addr();
+    println!("serving {} models on http://{addr}", app.registry.len());
+
+    // One keep-alive connection drives the whole session.
+    let mut conn = ClientConn::connect(addr)?;
+
+    let (status, _, body) = conn.send("GET", "/v1/models", None)?;
+    let models = Json::parse(std::str::from_utf8(&body)?)?;
+    let listed = models.get("models").and_then(Json::as_arr).unwrap();
+    println!("GET /v1/models -> {status}, {} models; e.g.:", listed.len());
+    for entry in listed.iter().take(3) {
+        println!(
+            "  {:<12} obs protocol: {}",
+            entry.get("name").and_then(Json::as_str).unwrap_or("?"),
+            entry
+                .get("observation_protocol")
+                .and_then(Json::as_str)
+                .unwrap_or("(none)"),
+        );
+    }
+
+    let query = r#"{"model":"ex-1","observations":[0.8],
+                    "method":{"algorithm":"importance","particles":5000},"seed":7}"#;
+    let (status, headers, cold) = conn.send("POST", "/v1/query", Some(query))?;
+    let cache_state = |headers: &[(String, String)]| {
+        headers
+            .iter()
+            .find(|(k, _)| k == "x-cache")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    println!(
+        "POST /v1/query -> {status} (X-Cache: {})",
+        cache_state(&headers)
+    );
+    let parsed = Json::parse(std::str::from_utf8(&cold)?)?;
+    let summary = parsed.get("summary").unwrap();
+    println!(
+        "  posterior mean {:.4}, std dev {:.4}, ess {:.1}",
+        summary.get("mean").and_then(Json::as_f64).unwrap(),
+        summary.get("std_dev").and_then(Json::as_f64).unwrap(),
+        parsed.get("ess").and_then(Json::as_f64).unwrap(),
+    );
+
+    // The same request again: a warm, byte-identical cache hit.
+    let (_, headers, warm) = conn.send("POST", "/v1/query", Some(query))?;
+    println!(
+        "POST /v1/query -> 200 (X-Cache: {}), byte-identical: {}",
+        cache_state(&headers),
+        cold == warm
+    );
+    assert_eq!(cold, warm, "deterministic seeding makes cache hits exact");
+
+    server.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}

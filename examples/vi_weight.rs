@@ -13,19 +13,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::from_benchmark("weight")?;
     println!("latent protocol: {}", session.latent_protocol());
 
-    let method = Method::Vi {
-        params: vec![
+    let method = Method::vi(
+        vec![
             ParamSpec::unconstrained("mu", 2.0),
             ParamSpec::positive("sigma", 1.0),
         ],
-        config: ViConfig {
+        ViConfig {
             iterations: 300,
             samples_per_iteration: 10,
             learning_rate: 0.08,
             fd_epsilon: 1e-4,
             ..ViConfig::default()
         },
-    };
+    );
     let posterior = session
         .query()
         .observe(vec![Sample::Real(9.0), Sample::Real(9.0)])

@@ -126,6 +126,7 @@ fn batched_mh_and_vi_are_bit_identical_too() {
             samples_per_iteration: 6,
             ..ViConfig::default()
         },
+        draw_particles: Some(200),
     };
     let expected: Vec<u64> = vi_queries
         .iter()

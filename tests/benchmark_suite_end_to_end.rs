@@ -49,16 +49,16 @@ fn variational_inference_runs_on_every_vi_benchmark() {
                 }
             })
             .collect();
-        let method = Method::Vi {
+        let method = Method::vi(
             params,
-            config: ViConfig {
+            ViConfig {
                 iterations: 60,
                 samples_per_iteration: 6,
                 learning_rate: 0.08,
                 fd_epsilon: 1e-4,
                 ..ViConfig::default()
             },
-        };
+        );
         let result = session
             .query()
             .observe(b.observations.clone())
