@@ -14,8 +14,8 @@
 //! trajectory is tracked per commit.
 
 use ppl_bench::throughput::{
-    bench_json, engine_timings, http_rows, mcmc_rows, serving_rows, throughput_rows,
-    ThroughputConfig,
+    admission_rows, bench_json, engine_timings, http_rows, mcmc_rows, serving_rows,
+    throughput_rows, ThroughputConfig,
 };
 use std::process::ExitCode;
 
@@ -146,6 +146,20 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\nmodel admission — full pipeline compiles plus HTTP submit→first-query");
+    println!(
+        "{:<10} {:>14} {:>24} {:>6}",
+        "compiles", "compiles/sec", "submit→first-query (s)", "ok"
+    );
+    let admission = admission_rows(&config);
+    for r in &admission {
+        all_identical &= r.ok;
+        println!(
+            "{:<10} {:>14.1} {:>24.4} {:>6}",
+            r.compiles, r.compiles_per_sec, r.submit_to_first_query_seconds, r.ok,
+        );
+    }
+
     println!("\nengine wall times");
     let engines = engine_timings(&config);
     for e in &engines {
@@ -156,7 +170,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http);
+        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http, &admission);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

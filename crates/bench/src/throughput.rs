@@ -15,6 +15,9 @@
 //! layer further out: a real loopback `ppl-serve` instance, measuring
 //! requests/sec cold (inference per request) versus warm (exact cache
 //! hits) with the byte-identity of every warm response re-verified.
+//! [`admission_rows`] measures the model-ingestion pipeline: full
+//! parse → type-check → compile admissions per second in-process, plus the
+//! `POST /v1/models` submit→first-query latency over loopback HTTP.
 //!
 //! [`bench_json`] serialises the rows (plus per-engine wall times) into the
 //! machine-readable `BENCH_inference.json` consumed by CI, so the perf
@@ -459,6 +462,112 @@ pub fn http_rows(config: &ThroughputConfig) -> Vec<HttpRow> {
     }]
 }
 
+/// One admission-control measurement: how fast the full
+/// parse → guide-type check → compatibility → compile pipeline admits a
+/// model, in-process and over HTTP (`POST /v1/models`).
+#[derive(Debug, Clone)]
+pub struct AdmissionRow {
+    /// In-process pipeline runs timed.
+    pub compiles: usize,
+    /// Wall time of the in-process compile loop, in seconds.
+    pub compile_seconds: f64,
+    /// Full-pipeline admissions per second, in-process.
+    pub compiles_per_sec: f64,
+    /// Wall time from `POST /v1/models` to the first `/v1/query` response
+    /// over loopback HTTP, in seconds.
+    pub submit_to_first_query_seconds: f64,
+    /// The submission was a 201, the query a 200, and the query body was
+    /// byte-identical to the in-process run of the same sources.
+    pub ok: bool,
+}
+
+/// The model–guide pair the admission benchmark submits.
+const ADMISSION_MODEL_SRC: &str = r#"
+    proc Model() : real consume latent provide obs {
+      let mu <- sample recv latent (Normal(0.0, 1.0));
+      let _ <- sample send obs (Normal(mu, 1.0));
+      return mu
+    }
+"#;
+const ADMISSION_GUIDE_SRC: &str = r#"
+    proc Guide() provide latent {
+      let mu <- sample send latent (Normal(0.0, 2.0));
+      return ()
+    }
+"#;
+
+/// Measures model admission: the in-process compile pipeline in a tight
+/// loop, then one HTTP submit→first-query round trip against a loopback
+/// `ppl-serve`, with the query body verified bit-identical to the
+/// in-process run.
+pub fn admission_rows(config: &ThroughputConfig) -> Vec<AdmissionRow> {
+    use ppl_serve::http::ClientConn;
+    use ppl_serve::{api, App, Json, Registry, Server};
+
+    let compiles = 32usize;
+    let start = Instant::now();
+    for _ in 0..compiles {
+        let session =
+            Session::from_sources(ADMISSION_MODEL_SRC, "Model", ADMISSION_GUIDE_SRC, "Guide")
+                .expect("admission benchmark sources compile");
+        std::hint::black_box(&session);
+    }
+    let compile_seconds = start.elapsed().as_secs_f64();
+
+    // The expected query body, serialised exactly as the route would.
+    let method = guide_ppl::Method::Importance { particles: 200 };
+    let session = Session::from_sources(ADMISSION_MODEL_SRC, "Model", ADMISSION_GUIDE_SRC, "Guide")
+        .expect("admission benchmark sources compile");
+    let posterior = session
+        .query()
+        .observe([ppl_dist::Sample::Real(1.0)])
+        .seed(config.seed)
+        .run(&method)
+        .expect("in-process run");
+
+    let app = App::new(Registry::from_benchmarks(), 16);
+    let server = Server::bind("127.0.0.1:0", 2, app.handler()).expect("bind loopback");
+    let mut conn = ClientConn::connect(server.local_addr()).expect("loopback connect");
+    let submit = Json::Obj(vec![
+        ("name".into(), Json::str("admission-bench")),
+        ("model_src".into(), Json::str(ADMISSION_MODEL_SRC)),
+        ("guide_src".into(), Json::str(ADMISSION_GUIDE_SRC)),
+    ])
+    .write()
+    .expect("finite");
+
+    let start = Instant::now();
+    let (submit_status, _, submit_body) = conn
+        .send("POST", "/v1/models", Some(&submit))
+        .expect("submit request");
+    let id = Json::parse(std::str::from_utf8(&submit_body).unwrap_or_default())
+        .ok()
+        .and_then(|doc| doc.get("id").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default();
+    let query = format!(
+        r#"{{"model":"{id}","observations":[1.0],"method":{{"algorithm":"importance","particles":200}},"seed":{}}}"#,
+        config.seed
+    );
+    let (query_status, _, query_body) = conn
+        .send("POST", "/v1/query", Some(&query))
+        .expect("first query");
+    let submit_to_first_query_seconds = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let expected = api::query_response_json(&id, &method, config.seed, &posterior, 0)
+        .write()
+        .expect("finite");
+    let ok = submit_status == 201 && query_status == 200 && query_body == expected.as_bytes();
+
+    vec![AdmissionRow {
+        compiles,
+        compile_seconds,
+        compiles_per_sec: compiles as f64 / compile_seconds,
+        submit_to_first_query_seconds,
+        ok,
+    }]
+}
+
 /// Times each inference engine once on a reference workload.
 pub fn engine_timings(config: &ThroughputConfig) -> Vec<EngineTiming> {
     let mut out = Vec::new();
@@ -550,10 +659,11 @@ pub fn bench_json(
     serving: &[ServingRow],
     mcmc: &[McmcRow],
     http: &[HttpRow],
+    admission: &[AdmissionRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v3\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v4\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
     let _ = writeln!(s, "  \"seed\": {},", config.seed);
@@ -645,6 +755,21 @@ pub fn bench_json(
             r.ok,
         );
         s.push_str(if i + 1 < http.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"admission\": [\n");
+    for (i, r) in admission.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"compiles\": {}, \"compile_seconds\": {}, \"compiles_per_sec\": {}, \
+             \"submit_to_first_query_seconds\": {}, \"ok\": {}}}",
+            r.compiles,
+            json_f64(r.compile_seconds),
+            json_f64(r.compiles_per_sec),
+            json_f64(r.submit_to_first_query_seconds),
+            r.ok,
+        );
+        s.push_str(if i + 1 < admission.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str("  \"engines\": [\n");
@@ -765,6 +890,22 @@ mod tests {
     }
 
     #[test]
+    fn admission_rows_measure_the_pipeline_and_verify_bit_identity() {
+        let config = ThroughputConfig {
+            particles: 200,
+            threads: 2,
+            seed: 17,
+        };
+        let rows = admission_rows(&config);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.ok, "submission or query failed, or the body diverged");
+        assert_eq!(r.compiles, 32);
+        assert!(r.compiles_per_sec > 0.0);
+        assert!(r.submit_to_first_query_seconds > 0.0);
+    }
+
+    #[test]
     fn bench_json_is_well_formed() {
         let config = ThroughputConfig {
             particles: 200,
@@ -777,7 +918,8 @@ mod tests {
         let serving = serving_rows(&config);
         let mcmc = mcmc_rows(&config);
         let http = http_rows(&config);
-        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http);
+        let admission = admission_rows(&config);
+        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http, &admission);
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
         assert_eq!(
@@ -787,7 +929,7 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"ppl-bench/inference/v3\"",
+            "\"schema\": \"ppl-bench/inference/v4\"",
             "\"host_cpus\"",
             "\"throughput\"",
             "\"serving\"",
@@ -797,6 +939,9 @@ mod tests {
             "\"warm_requests_per_sec\"",
             "\"cache_hit_rate\"",
             "\"ok\": true",
+            "\"admission\"",
+            "\"compiles_per_sec\"",
+            "\"submit_to_first_query_seconds\"",
             "\"engines\"",
             "\"par_particles_per_sec\"",
             "\"par_queries_per_sec\"",

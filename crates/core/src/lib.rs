@@ -110,6 +110,37 @@ pub enum SessionError {
     NotExpressible(String),
 }
 
+impl SessionError {
+    /// Stable machine-readable code identifying the error class.
+    ///
+    /// Parse and type errors forward the underlying
+    /// [`ParseError::code`](ppl_syntax::parser::ParseError::code) /
+    /// [`TypeError::code`](ppl_types::TypeError::code); the remaining
+    /// variants have fixed codes. These strings are part of the `ppl-serve`
+    /// wire format and never change meaning once shipped.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SessionError::Parse(e) => e.code(),
+            SessionError::Type(e) => e.code(),
+            SessionError::Incompatible { .. } => ppl_types::types_error_code::GUIDE_MISMATCH,
+            SessionError::Runtime(_) => "runtime.error",
+            SessionError::Query(e) => e.code(),
+            SessionError::UnknownBenchmark(_) => "benchmark.unknown",
+            SessionError::NotExpressible(_) => "benchmark.not_expressible",
+        }
+    }
+
+    /// 1-based (line, column) source position of the error, when the
+    /// offending program came from source text.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            SessionError::Parse(e) => Some(e.position()),
+            SessionError::Type(e) => e.position(),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -495,8 +526,11 @@ mod tests {
             message: "x".into(),
             line: 1,
             col: 1,
+            code: ppl_syntax::parser::code::UNEXPECTED_TOKEN,
         });
         assert!(e.to_string().contains("parse error"));
+        assert_eq!(e.code(), "parse.unexpected_token");
+        assert_eq!(e.position(), Some((1, 1)));
     }
 
     #[test]

@@ -115,7 +115,7 @@ pub struct ApiError {
 }
 
 impl ApiError {
-    fn new(status: u16, code: &str, message: impl Into<String>) -> ApiError {
+    pub(crate) fn new(status: u16, code: &str, message: impl Into<String>) -> ApiError {
         ApiError {
             status,
             code: code.to_string(),
@@ -124,7 +124,7 @@ impl ApiError {
         }
     }
 
-    fn with(mut self, key: &str, value: Json) -> ApiError {
+    pub(crate) fn with(mut self, key: &str, value: Json) -> ApiError {
         self.details.push((key.to_string(), value));
         self
     }
@@ -150,7 +150,7 @@ fn bad_json(err: JsonError) -> ApiError {
     ApiError::new(400, "request.json", err.to_string()).with("offset", Json::Num(err.offset as f64))
 }
 
-fn bad_schema(message: impl Into<String>) -> ApiError {
+pub(crate) fn bad_schema(message: impl Into<String>) -> ApiError {
     ApiError::new(400, "request.schema", message)
 }
 
@@ -163,15 +163,43 @@ fn from_session_error(err: SessionError) -> ApiError {
             }
             api
         }
-        other => ApiError::new(500, "runtime.error", other.to_string()),
+        // Pipeline rejections (parse, guide-type, model–guide
+        // compatibility) are the client's fault: a structured 400 with the
+        // stable code and, when known, the offending source position.
+        e
+        @ (SessionError::Parse(_) | SessionError::Type(_) | SessionError::Incompatible { .. }) => {
+            let mut api = ApiError::new(400, e.code(), e.to_string());
+            if let Some((line, col)) = e.position() {
+                api = api
+                    .with("line", Json::Num(line as f64))
+                    .with("col", Json::Num(col as f64));
+            }
+            api
+        }
+        other => ApiError::new(500, other.code(), other.to_string()),
     }
 }
 
 fn route(app: &Arc<App>, req: &Request) -> Response {
+    if let Some(id) = req.path.strip_prefix("/v1/models/") {
+        return match req.method.as_str() {
+            "GET" => crate::ingest::get_model(app, id).unwrap_or_else(|e| e.to_response()),
+            "DELETE" => crate::ingest::delete_model(app, id).unwrap_or_else(|e| e.to_response()),
+            _ => ApiError::new(
+                405,
+                "method.not_allowed",
+                "wrong HTTP method for this route",
+            )
+            .to_response(),
+        };
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(app),
         ("GET", "/metrics") => metrics(app),
         ("GET", "/v1/models") => models(app),
+        ("POST", "/v1/models") => {
+            crate::ingest::submit(app, req).unwrap_or_else(|e| e.to_response())
+        }
         ("POST", "/v1/query") => query(app, req).unwrap_or_else(|e| e.to_response()),
         ("POST", "/v1/batch") => batch(app, req).unwrap_or_else(|e| e.to_response()),
         (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/query" | "/v1/batch") => ApiError::new(
@@ -193,10 +221,92 @@ fn healthz(app: &App) -> Response {
 }
 
 fn metrics(app: &App) -> Response {
-    let body = app
+    let mut body = app
         .metrics
         .render(app.cache.hits(), app.cache.misses(), app.cache.len());
+    if let Json::Obj(fields) = &mut body {
+        let per_model = app
+            .registry
+            .entries()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("id".into(), Json::str(e.id.clone())),
+                    ("origin".into(), Json::str(e.origin.as_str())),
+                    ("submissions".into(), Json::Num(e.submission_count() as f64)),
+                    ("queries".into(), Json::Num(e.query_count() as f64)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "registry".into(),
+            Json::Obj(vec![
+                (
+                    "builtin".into(),
+                    Json::Num(app.registry.builtin_len() as f64),
+                ),
+                ("user".into(), Json::Num(app.registry.user_len() as f64)),
+                (
+                    "user_capacity".into(),
+                    Json::Num(app.registry.user_capacity() as f64),
+                ),
+                (
+                    "evictions".into(),
+                    Json::Num(app.registry.evictions() as f64),
+                ),
+                ("per_model".into(), Json::Arr(per_model)),
+            ]),
+        ));
+    }
     Response::json(200, body.write().expect("finite"))
+}
+
+/// The wire representation of one registry entry (used by the listing,
+/// `GET /v1/models/{id}`, and the `POST /v1/models` response).
+pub(crate) fn model_json(e: &ModelEntry) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::str(e.id.clone())),
+        ("name".into(), Json::str(e.name.clone())),
+        ("origin".into(), Json::str(e.origin.as_str())),
+        ("description".into(), Json::str(e.description.clone())),
+        ("default_method".into(), Json::str(e.default_method)),
+        (
+            "latent_protocol".into(),
+            Json::str(e.latent_protocol.clone()),
+        ),
+        (
+            "observation_protocol".into(),
+            match &e.observation_protocol {
+                Some(p) => Json::str(p.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "default_observation_count".into(),
+            Json::Num(e.default_observation_count as f64),
+        ),
+        (
+            "max_request_executions".into(),
+            Json::Num(e.max_request_executions as f64),
+        ),
+        ("submissions".into(), Json::Num(e.submission_count() as f64)),
+        ("queries".into(), Json::Num(e.query_count() as f64)),
+        (
+            "guide_params".into(),
+            Json::Arr(
+                e.guide_param_defaults
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(p.name.clone())),
+                            ("init".into(), Json::num_or_null(p.init)),
+                            ("positive".into(), Json::Bool(p.positive)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn models(app: &App) -> Response {
@@ -204,45 +314,24 @@ fn models(app: &App) -> Response {
         .registry
         .entries()
         .iter()
-        .map(|e| {
-            Json::Obj(vec![
-                ("name".into(), Json::str(e.name.clone())),
-                ("description".into(), Json::str(e.description.clone())),
-                ("default_method".into(), Json::str(e.default_method)),
-                (
-                    "latent_protocol".into(),
-                    Json::str(e.latent_protocol.clone()),
-                ),
-                (
-                    "observation_protocol".into(),
-                    match &e.observation_protocol {
-                        Some(p) => Json::str(p.clone()),
-                        None => Json::Null,
-                    },
-                ),
-                (
-                    "default_observation_count".into(),
-                    Json::Num(e.default_observation_count as f64),
-                ),
-                (
-                    "guide_params".into(),
-                    Json::Arr(
-                        e.guide_param_defaults
-                            .iter()
-                            .map(|p| {
-                                Json::Obj(vec![
-                                    ("name".into(), Json::str(p.name.clone())),
-                                    ("init".into(), Json::num_or_null(p.init)),
-                                    ("positive".into(), Json::Bool(p.positive)),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
-            ])
-        })
+        .map(|e| model_json(e))
         .collect();
-    let body = Json::Obj(vec![("models".into(), Json::Arr(entries))]);
+    let body = Json::Obj(vec![
+        ("models".into(), Json::Arr(entries)),
+        (
+            "builtin".into(),
+            Json::Num(app.registry.builtin_len() as f64),
+        ),
+        ("user".into(), Json::Num(app.registry.user_len() as f64)),
+        (
+            "user_capacity".into(),
+            Json::Num(app.registry.user_capacity() as f64),
+        ),
+        (
+            "evictions".into(),
+            Json::Num(app.registry.evictions() as f64),
+        ),
+    ]);
     Response::json(200, body.write().expect("finite"))
 }
 
@@ -270,8 +359,8 @@ struct QueryRequest {
 fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     let doc = parse_body(req)?;
     let entry = lookup_model(app, &doc)?;
-    let request = decode_request(&doc, entry)?;
-    let (body, hit) = serve_one(app, entry, &request)?;
+    let request = decode_request(&doc, &entry)?;
+    let (body, hit) = serve_one(app, &entry, &request)?;
     Ok(Response::json(200, body.to_string())
         .with_header("X-Cache", if hit { "hit" } else { "miss" }))
 }
@@ -322,7 +411,7 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     // The shared fields (method, threads, guide args, …) decode once; each
     // item then only decodes its own observation set, keeping batch
     // decoding linear in the number of sets.
-    let base = decode_request(&doc, entry)?;
+    let base = decode_request(&doc, &entry)?;
 
     // Decode and *validate* every item before running anything: a bad
     // item rejects the whole batch with its index, and no partial work is
@@ -346,7 +435,7 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
         };
         // Validation (observation protocol, arity, rendezvous) runs now,
         // before any inference.
-        build_query(entry, &request).map_err(at)?;
+        build_query(&entry, &request).map_err(at)?;
         requests.push(request);
     }
 
@@ -354,14 +443,14 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     let mut hits = 0usize;
     for (i, request) in requests.iter().enumerate() {
         let (body, hit) =
-            serve_one(app, entry, request).map_err(|e| e.with("index", Json::Num(i as f64)))?;
+            serve_one(app, &entry, request).map_err(|e| e.with("index", Json::Num(i as f64)))?;
         hits += hit as usize;
         // The cached body is itself a JSON document; splice it verbatim so
         // each result stays byte-identical to its `/v1/query` response.
         results.push(body);
     }
     let mut body = String::from("{\"model\":");
-    body.push_str(&Json::str(entry.name.clone()).write().expect("finite"));
+    body.push_str(&Json::str(entry.id.clone()).write().expect("finite"));
     body.push_str(",\"count\":");
     body.push_str(&results.len().to_string());
     body.push_str(",\"results\":[");
@@ -375,24 +464,28 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     Ok(Response::json(200, body).with_header("X-Cache-Hits", &hits.to_string()))
 }
 
-fn parse_body(req: &Request) -> Result<Json, ApiError> {
+pub(crate) fn parse_body(req: &Request) -> Result<Json, ApiError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| bad_schema("request body is not valid UTF-8"))?;
     Json::parse(text).map_err(bad_json)
 }
 
-fn lookup_model<'a>(app: &'a Arc<App>, doc: &Json) -> Result<&'a ModelEntry, ApiError> {
+fn lookup_model(app: &Arc<App>, doc: &Json) -> Result<Arc<ModelEntry>, ApiError> {
     let name = doc
         .get("model")
         .and_then(Json::as_str)
         .ok_or_else(|| bad_schema("'model' must be a string"))?;
-    app.registry.get(name).ok_or_else(|| {
+    let entry = app.registry.get(name).ok_or_else(|| {
         ApiError::new(
             404,
             "model.unknown",
             format!("no model '{name}' in the registry"),
         )
-    })
+    })?;
+    // Counts every request addressed to the model, whether or not it later
+    // validates — the metric is demand, not success.
+    entry.record_query();
+    Ok(entry)
 }
 
 /// Runs one request through the cache: a hit returns the stored body
@@ -405,14 +498,17 @@ fn serve_one(
     entry: &ModelEntry,
     request: &QueryRequest,
 ) -> Result<(Arc<str>, bool), ApiError> {
-    let fingerprint = fingerprint(&entry.name, request);
+    // Keyed by the entry *id*, not the display name: for user models the
+    // id is a content hash, so cached bytes stay valid across eviction and
+    // re-submission (same id ⇒ same sources ⇒ same deterministic result).
+    let fingerprint = fingerprint(&entry.id, request);
     if let Some(body) = app.cache.get(&fingerprint) {
         return Ok((body, true));
     }
     let query = build_query(entry, request)?;
     let posterior = query.run(&request.method).map_err(from_session_error)?;
     let body: Arc<str> = query_response_json(
-        &entry.name,
+        &entry.id,
         &request.method,
         request.seed,
         &posterior,
@@ -454,14 +550,18 @@ fn decode_request(doc: &Json, entry: &ModelEntry) -> Result<QueryRequest, ApiErr
     };
     let method = decode_method(doc.get("method"), entry)?;
     let cost = scheduled_executions(&method);
-    if cost > MAX_REQUEST_EXECUTIONS {
+    // Builtins carry the full MAX_REQUEST_EXECUTIONS budget; user models a
+    // reduced one — the same accounting either way.
+    if cost > entry.max_request_executions {
         return Err(ApiError::new(
             400,
             "request.limit",
             format!(
-                "the request schedules {cost} joint executions, above the per-request limit of {MAX_REQUEST_EXECUTIONS}"
+                "the request schedules {cost} joint executions, above this model's per-request limit of {}",
+                entry.max_request_executions
             ),
-        ));
+        )
+        .with("limit", Json::Num(entry.max_request_executions as f64)));
     }
     let seed = opt_u64(doc, "seed")?.unwrap_or(0);
     let threads = opt_u64(doc, "threads")?.unwrap_or(1).max(1) as usize;

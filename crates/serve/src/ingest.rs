@@ -1,0 +1,465 @@
+//! Model ingestion: `POST /v1/models` and the `/v1/models/{id}` lifecycle.
+//!
+//! This is where the paper's type system becomes an *admission-control
+//! policy*.  A submission carries untrusted model and guide source text;
+//! the server runs the full pipeline — parse, guide-type inference,
+//! model–guide compatibility (the absolute-continuity certificate of
+//! Theorem 5.2), compilation — and only a pair that passes every stage is
+//! registered and becomes queryable through `/v1/query` / `/v1/batch`.
+//! Every rejection is a structured `400` with a stable machine-readable
+//! code (`parse.unexpected_token`, `type.guide_mismatch`, …) and, where
+//! the offending program came from source text, a 1-based line:column
+//! position.  Submissions never produce a `500` and never crash a worker.
+//!
+//! # Content-hash ids
+//!
+//! An admitted model is registered under `m-<16 hex>`: the SHA-256 of the
+//! length-prefixed `(model_src, model_proc, guide_src, guide_proc)` tuple.
+//! Identical sources therefore map to the same id — re-submission is
+//! idempotent (`200` with `"created": false` instead of `201`) — and the
+//! id is safe to embed in response-cache fingerprints: an id names exactly
+//! one program pair forever, so cached bytes stay valid across eviction
+//! and re-submission.
+//!
+//! # Resource fences
+//!
+//! Submitters are untrusted, so every stage is bounded:
+//!
+//! * source size — each source is capped at [`MAX_SOURCE_BYTES`]
+//!   (`limit.source_bytes`), under the transport's 1 MiB body cap;
+//! * parse depth — the parser rejects nesting beyond
+//!   `ppl_syntax::MAX_PARSE_DEPTH` (`parse.depth`) instead of smashing the
+//!   stack;
+//! * compile fuel — programs larger than [`MAX_PROGRAM_NODES`] command
+//!   nodes are rejected (`limit.compile_fuel`) before type inference,
+//!   which bounds checker and compiler work (both linear in node count)
+//!   and caps recursion over flat command chains;
+//! * execution budget — admitted models carry
+//!   [`crate::registry::MAX_USER_MODEL_EXECUTIONS`], a tenth of the
+//!   builtin per-request budget, enforced by the same
+//!   `MAX_REQUEST_EXECUTIONS` accounting as every other request;
+//! * registry pressure — user models live in a bounded LRU table
+//!   (builtins are never evicted).
+
+use crate::api::{bad_schema, model_json, parse_body, ApiError, App};
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::registry::{ModelEntry, ModelOrigin, MAX_USER_MODEL_EXECUTIONS};
+use guide_ppl::{Session, SessionError};
+use ppl_syntax::{parse_program, ParseError, Program};
+use ppl_types::infer_program;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Maximum byte length of each submitted source (model and guide
+/// separately).
+pub const MAX_SOURCE_BYTES: usize = 64 * 1024;
+
+/// Maximum total command nodes across both programs (compile fuel).
+///
+/// Type checking, trace-type analysis, and compilation are linear in this
+/// count, and several of those passes recurse along `Bind` chains — the
+/// fuel keeps that recursion shallow enough for a 2 MiB worker stack with
+/// a wide margin.
+pub const MAX_PROGRAM_NODES: usize = 512;
+
+/// Maximum byte length of a submitted model name.
+pub const MAX_NAME_BYTES: usize = 64;
+
+/// Handles `POST /v1/models`: admits or rejects a submitted model–guide
+/// pair.
+pub fn submit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    if app.registry.user_capacity() == 0 {
+        return Err(ApiError::new(
+            403,
+            "model.submissions_disabled",
+            "this server runs with --user-models 0; submissions are disabled",
+        ));
+    }
+    let doc = parse_body(req)?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_schema("'name' must be a string"))?;
+    if name.is_empty() || name.len() > MAX_NAME_BYTES {
+        return Err(bad_schema(format!(
+            "'name' must be 1..={MAX_NAME_BYTES} bytes"
+        )));
+    }
+    let model_src = source_field(&doc, "model_src")?;
+    let guide_src = source_field(&doc, "guide_src")?;
+
+    // Parse both programs; the parser's own depth fence turns pathological
+    // nesting into `parse.depth` rather than a stack overflow.
+    let model_prog = parse_program(model_src).map_err(|e| parse_error("model", e))?;
+    let guide_prog = parse_program(guide_src).map_err(|e| parse_error("guide", e))?;
+
+    // Compile fuel: everything downstream is linear in command nodes.
+    let nodes = model_prog.size() + guide_prog.size();
+    if nodes > MAX_PROGRAM_NODES {
+        return Err(ApiError::new(
+            400,
+            "limit.compile_fuel",
+            format!(
+                "programs total {nodes} command nodes, above the admission limit of {MAX_PROGRAM_NODES}"
+            ),
+        )
+        .with("nodes", Json::Num(nodes as f64))
+        .with("limit", Json::Num(MAX_PROGRAM_NODES as f64)));
+    }
+
+    let model_proc = proc_field(&doc, "model_proc", "model", &model_prog)?;
+    let guide_proc = proc_field(&doc, "guide_proc", "guide", &guide_prog)?;
+
+    // The id is a pure function of the sources: identical submissions are
+    // idempotent, and the id can never alias a different program pair.
+    let id = model_id(model_src, &model_proc, guide_src, &guide_proc);
+    if let Some(existing) = app.registry.get(&id) {
+        existing
+            .submissions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        return Ok(submit_response(200, &existing, false));
+    }
+
+    // Guide-type inference per program first, so a type error names which
+    // source it came from; the session build below re-uses the same
+    // algorithms and cannot fail earlier than these did.
+    infer_program(&model_prog).map_err(|e| type_error(Some("model"), e.into()))?;
+    infer_program(&guide_prog).map_err(|e| type_error(Some("guide"), e.into()))?;
+
+    // The admission gate: model–guide compatibility (Theorem 5.2) plus
+    // compilation to shared program tables.
+    let session = Session::from_programs(model_prog, &model_proc, guide_prog, &guide_proc)
+        .map_err(|e| type_error(None, e))?;
+
+    let entry = ModelEntry {
+        id: id.clone(),
+        name: name.to_string(),
+        description: format!("user model (proc {model_proc} / guide {guide_proc})"),
+        latent_protocol: session.latent_protocol(),
+        observation_protocol: session.observation_protocol(),
+        default_observation_count: 0,
+        default_method: "IS",
+        guide_param_defaults: Vec::new(),
+        session: Arc::new(session),
+        origin: ModelOrigin::User,
+        max_request_executions: MAX_USER_MODEL_EXECUTIONS,
+        submissions: AtomicU64::new(1),
+        queries: AtomicU64::new(0),
+    };
+    match app.registry.insert_user(entry) {
+        Some((entry, created)) => Ok(submit_response(
+            if created { 201 } else { 200 },
+            &entry,
+            created,
+        )),
+        None => Err(ApiError::new(
+            403,
+            "model.submissions_disabled",
+            "this server runs with --user-models 0; submissions are disabled",
+        )),
+    }
+}
+
+/// Handles `GET /v1/models/{id}`.
+pub fn get_model(app: &Arc<App>, id: &str) -> Result<Response, ApiError> {
+    let entry = app.registry.get(id).ok_or_else(|| unknown_model(id))?;
+    let body = model_json(&entry);
+    Ok(Response::json(200, body.write().expect("finite")))
+}
+
+/// Handles `DELETE /v1/models/{id}`: removes a user model.  Builtins are
+/// part of the served catalogue and cannot be deleted.
+pub fn delete_model(app: &Arc<App>, id: &str) -> Result<Response, ApiError> {
+    match app.registry.get(id) {
+        None => Err(unknown_model(id)),
+        Some(entry) if entry.origin == ModelOrigin::Builtin => Err(ApiError::new(
+            403,
+            "model.builtin",
+            format!("model '{id}' is a builtin benchmark and cannot be deleted"),
+        )),
+        Some(_) => {
+            app.registry.remove_user(id);
+            let body = Json::Obj(vec![("deleted".into(), Json::str(id))]);
+            Ok(Response::json(200, body.write().expect("finite")))
+        }
+    }
+}
+
+fn unknown_model(id: &str) -> ApiError {
+    ApiError::new(
+        404,
+        "model.unknown",
+        format!("no model '{id}' in the registry"),
+    )
+}
+
+fn source_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    let src = doc
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_schema(format!("'{key}' must be a string of source text")))?;
+    if src.len() > MAX_SOURCE_BYTES {
+        return Err(ApiError::new(
+            400,
+            "limit.source_bytes",
+            format!(
+                "'{key}' is {} bytes, above the admission limit of {MAX_SOURCE_BYTES}",
+                src.len()
+            ),
+        )
+        .with("source", Json::str(key.trim_end_matches("_src")))
+        .with("bytes", Json::Num(src.len() as f64))
+        .with("limit", Json::Num(MAX_SOURCE_BYTES as f64)));
+    }
+    Ok(src)
+}
+
+fn proc_field(doc: &Json, key: &str, which: &str, program: &Program) -> Result<String, ApiError> {
+    let name = match doc.get(key) {
+        Some(json) => json
+            .as_str()
+            .ok_or_else(|| bad_schema(format!("'{key}' must be a string")))?
+            .to_string(),
+        // Default to the first declared procedure.
+        None => program
+            .procs
+            .first()
+            .map(|p| p.name.as_str().to_string())
+            .ok_or_else(|| bad_schema(format!("{which}_src declares no procedures")))?,
+    };
+    if program.proc_named(&name).is_none() {
+        return Err(bad_schema(format!(
+            "{which}_src declares no procedure named '{name}'"
+        )));
+    }
+    Ok(name)
+}
+
+/// Maps a [`ParseError`] to the structured 400 body, naming the offending
+/// source and position.
+fn parse_error(source: &str, e: ParseError) -> ApiError {
+    ApiError::new(400, e.code(), e.to_string())
+        .with("source", Json::str(source))
+        .with("line", Json::Num(e.line as f64))
+        .with("col", Json::Num(e.col as f64))
+}
+
+/// Maps a pipeline [`SessionError`] to the structured 400 body.  `source`
+/// names the program the error is attributed to, when known (model–guide
+/// compatibility errors span both).
+fn type_error(source: Option<&str>, e: SessionError) -> ApiError {
+    let mut api = ApiError::new(400, e.code(), e.to_string());
+    if let Some(source) = source {
+        api = api.with("source", Json::str(source));
+    }
+    if let Some((line, col)) = e.position() {
+        api = api
+            .with("line", Json::Num(line as f64))
+            .with("col", Json::Num(col as f64));
+    }
+    if let SessionError::Incompatible {
+        model_latent,
+        guide_latent,
+    } = &e
+    {
+        api = api
+            .with("model_latent", Json::str(model_latent.clone()))
+            .with("guide_latent", Json::str(guide_latent.clone()));
+    }
+    api
+}
+
+fn submit_response(status: u16, entry: &ModelEntry, created: bool) -> Response {
+    let mut fields = match model_json(entry) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("model_json returns an object"),
+    };
+    fields.push(("created".into(), Json::Bool(created)));
+    Response::json(status, Json::Obj(fields).write().expect("finite"))
+}
+
+/// The deterministic content-hash model id: `m-` plus the first 16 hex
+/// digits of the SHA-256 of the length-prefixed source tuple.  Length
+/// prefixes keep the encoding injective (no concatenation ambiguity
+/// between the four fields).
+pub fn model_id(model_src: &str, model_proc: &str, guide_src: &str, guide_proc: &str) -> String {
+    let mut hasher = Sha256::new();
+    for part in [model_src, model_proc, guide_src, guide_proc] {
+        hasher.update(&(part.len() as u64).to_le_bytes());
+        hasher.update(part.as_bytes());
+    }
+    let digest = hasher.finalize();
+    let mut id = String::with_capacity(18);
+    id.push_str("m-");
+    for byte in &digest[..8] {
+        use std::fmt::Write;
+        let _ = write!(id, "{byte:02x}");
+    }
+    id
+}
+
+// ---------------------------------------------------------------- SHA-256
+//
+// A minimal, dependency-free SHA-256 (FIPS 180-4).  Only used to derive
+// content-hash model ids — not a general-purpose crypto surface.
+
+struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bytes: u64,
+}
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Sha256 {
+    fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.length_bytes = self.length_bytes.wrapping_add(data.len() as u64);
+        while !data.is_empty() {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    fn finalize(mut self) -> [u8; 32] {
+        let bit_length = self.length_bytes.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // The padding bytes above must not count towards the message
+        // length, but `update` already added them; the length word was
+        // captured before padding, so just write it.
+        let block_tail = bit_length.to_be_bytes();
+        self.buffer[56..64].copy_from_slice(&block_tail);
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: [u8; 32]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        let empty = Sha256::new().finalize();
+        assert_eq!(
+            hex(empty),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        let mut h = Sha256::new();
+        h.update(b"abc");
+        assert_eq!(
+            hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (exercises padding across a boundary).
+        let mut h = Sha256::new();
+        h.update(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            hex(h.finalize()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Incremental updates agree with one-shot hashing.
+        let mut h = Sha256::new();
+        h.update(b"ab");
+        h.update(b"c");
+        assert_eq!(
+            hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn model_ids_are_deterministic_and_injective_on_field_boundaries() {
+        let a = model_id("proc A", "A", "proc G", "G");
+        assert_eq!(a, model_id("proc A", "A", "proc G", "G"));
+        assert!(a.starts_with("m-") && a.len() == 18, "{a}");
+        // Shifting bytes across the field boundary changes the id.
+        assert_ne!(a, model_id("proc AA", "", "proc G", "G"));
+        assert_ne!(a, model_id("proc A", "A", "proc GG", ""));
+    }
+}

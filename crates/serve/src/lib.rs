@@ -36,6 +36,7 @@
 pub mod api;
 pub mod cache;
 pub mod http;
+pub mod ingest;
 pub mod json;
 pub mod metrics;
 pub mod registry;

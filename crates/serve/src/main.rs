@@ -2,14 +2,16 @@
 //! killed.
 //!
 //! ```text
-//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N]
+//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:8080`; use port 0 to bind an ephemeral
 //! port (the bound address is printed, which is how the CI smoke step
 //! finds it).  `--workers` sets the connection-handling thread count
 //! (default 4) and `--cache` the response-cache capacity (default 256
-//! responses; 0 disables caching).
+//! responses; 0 disables caching).  `--user-models` caps the table of
+//! models admitted through `POST /v1/models` (default 32; 0 disables
+//! submissions — the server then serves builtins only).
 
 use ppl_serve::{App, Registry, Server};
 use std::io::Write;
@@ -19,6 +21,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut workers = 4usize;
     let mut cache = 256usize;
+    let mut user_models = ppl_serve::registry::DEFAULT_USER_MODEL_CAPACITY;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,11 +37,15 @@ fn main() -> ExitCode {
                 Some(n) => cache = n,
                 None => return usage("--cache expects a non-negative integer"),
             },
+            "--user-models" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => user_models = n,
+                None => return usage("--user-models expects a non-negative integer"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
 
-    let registry = Registry::from_benchmarks();
+    let registry = Registry::from_benchmarks().with_user_capacity(user_models);
     println!("ppl-serve: {} models compiled", registry.len());
     let app = App::new(registry, cache);
     let server = match Server::bind(addr.as_str(), workers, app.handler()) {
@@ -60,6 +67,6 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N]");
+    eprintln!("usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]");
     ExitCode::FAILURE
 }

@@ -20,10 +20,13 @@ pub const LATENCY_RANGE_MS: f64 = 2_000.0;
 pub const LATENCY_BINS: usize = 40;
 
 /// The routes the server distinguishes in its per-route counters.
-pub const ROUTES: [&str; 6] = [
+/// `/v1/models/{id}` lifecycle requests are normalised to the
+/// `"/v1/models/{id}"` bucket.
+pub const ROUTES: [&str; 7] = [
     "/healthz",
     "/metrics",
     "/v1/models",
+    "/v1/models/{id}",
     "/v1/query",
     "/v1/batch",
     "other",
@@ -83,6 +86,11 @@ impl Metrics {
     /// Records one handled request: its route (normalised to a [`ROUTES`]
     /// entry), response status, and wall-clock latency.
     pub fn record(&self, path: &str, status: u16, latency_ms: f64) {
+        let path = if path.starts_with("/v1/models/") {
+            "/v1/models/{id}"
+        } else {
+            path
+        };
         let idx = ROUTES
             .iter()
             .position(|r| *r == path)
@@ -231,13 +239,20 @@ mod tests {
         m.record("/v1/query", 200, 12.0);
         m.record("/v1/query", 400, 1.0);
         m.record("/nope", 404, 0.1);
+        m.record("/v1/models/m-0011223344556677", 200, 0.2);
         m.record("/v1/query", 500, LATENCY_RANGE_MS + 1.0);
-        assert_eq!(m.total_requests(), 5);
+        assert_eq!(m.total_requests(), 6);
         assert_eq!(m.latency_overflow(), 1);
         let json = m.render(3, 1, 2);
         assert_eq!(
             json.get("requests_by_route").unwrap().get("/v1/query"),
             Some(&Json::Num(3.0))
+        );
+        assert_eq!(
+            json.get("requests_by_route")
+                .unwrap()
+                .get("/v1/models/{id}"),
+            Some(&Json::Num(1.0))
         );
         assert_eq!(
             json.get("requests_by_route").unwrap().get("other"),

@@ -1,0 +1,370 @@
+//! Loopback tests for the model-ingestion subsystem (`POST /v1/models`).
+//!
+//! The acceptance-critical properties:
+//!
+//! * a model admitted over HTTP serves `/v1/query` responses
+//!   **bit-identical** to an in-process `Session::from_sources` run on the
+//!   same sources;
+//! * adversarial submissions (deep nesting, huge sources, unbound
+//!   channels, model–guide mismatches) are rejected with structured `400`
+//!   bodies carrying stable codes and source positions — never a `500`,
+//!   never a crashed worker;
+//! * registry pressure evicts only user models, LRU first; builtins are
+//!   immortal.
+
+use guide_ppl::{Method, Session};
+use ppl_serve::http::ClientConn;
+use ppl_serve::{api, App, Json, Registry, Server};
+use std::sync::Arc;
+
+const MODEL_SRC: &str = r#"
+    proc Model() : real consume latent provide obs {
+      let mu <- sample recv latent (Normal(0.0, 1.0));
+      let _ <- sample send obs (Normal(mu, 1.0));
+      return mu
+    }
+"#;
+
+const GUIDE_SRC: &str = r#"
+    proc Guide() provide latent {
+      let mu <- sample send latent (Normal(0.0, 2.0));
+      return ()
+    }
+"#;
+
+fn boot(user_capacity: usize) -> (Arc<App>, Server) {
+    let registry = Registry::from_benchmarks().with_user_capacity(user_capacity);
+    let app = App::new(registry, 64);
+    let server = Server::bind("127.0.0.1:0", 2, app.handler()).expect("bind port 0");
+    (app, server)
+}
+
+fn submit_body(name: &str, model_src: &str, guide_src: &str) -> String {
+    Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("model_src".into(), Json::str(model_src)),
+        ("guide_src".into(), Json::str(guide_src)),
+    ])
+    .write()
+    .expect("finite")
+}
+
+fn error_code(body: &[u8]) -> String {
+    let parsed = Json::parse(std::str::from_utf8(body).unwrap()).unwrap();
+    parsed
+        .get("error")
+        .unwrap()
+        .get("code")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn submitted_models_serve_bit_identical_queries_and_full_lifecycle() {
+    let (_app, server) = boot(8);
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+
+    // Admission: 201 with the content-hash id.
+    let body = submit_body("my-model", MODEL_SRC, GUIDE_SRC);
+    let (status, _, response) = conn.send("POST", "/v1/models", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{}", String::from_utf8_lossy(&response));
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    let id = parsed.get("id").unwrap().as_str().unwrap().to_string();
+    assert!(id.starts_with("m-") && id.len() == 18, "{id}");
+    assert_eq!(parsed.get("origin").unwrap().as_str(), Some("user"));
+    assert_eq!(parsed.get("created").unwrap().as_bool(), Some(true));
+    assert!(parsed.get("latent_protocol").unwrap().as_str().is_some());
+
+    // Idempotent re-submission: 200, same id, bumped counter.
+    let (status, _, response) = conn.send("POST", "/v1/models", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&response));
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    assert_eq!(parsed.get("id").unwrap().as_str(), Some(id.as_str()));
+    assert_eq!(parsed.get("created").unwrap().as_bool(), Some(false));
+    assert_eq!(parsed.get("submissions").unwrap().as_f64(), Some(2.0));
+
+    // The query over HTTP is bit-identical to the in-process run.
+    let method = Method::Importance { particles: 400 };
+    let session = Session::from_sources(MODEL_SRC, "Model", GUIDE_SRC, "Guide").unwrap();
+    let posterior = session
+        .query()
+        .observe([ppl_dist::Sample::Real(1.0)])
+        .seed(42)
+        .run(&method)
+        .unwrap();
+    let expected = api::query_response_json(&id, &method, 42, &posterior, 0)
+        .write()
+        .unwrap();
+    let query = format!(
+        r#"{{"model":"{id}","observations":[1.0],
+            "method":{{"algorithm":"importance","particles":400}},"seed":42}}"#
+    );
+    let (status, headers, response) = conn.send("POST", "/v1/query", Some(&query)).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&response));
+    assert_eq!(String::from_utf8(response).unwrap(), expected);
+    assert!(headers.iter().any(|(k, v)| k == "x-cache" && v == "miss"));
+
+    // Lifecycle: GET sees it, the listing counts it, builtins refuse
+    // deletion, user deletion works exactly once.
+    let (status, _, response) = conn.send("GET", &format!("/v1/models/{id}"), None).unwrap();
+    assert_eq!(status, 200);
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    assert_eq!(parsed.get("name").unwrap().as_str(), Some("my-model"));
+    assert!(parsed.get("queries").unwrap().as_f64().unwrap() >= 1.0);
+
+    let (status, _, response) = conn.send("GET", "/v1/models", None).unwrap();
+    assert_eq!(status, 200);
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    assert_eq!(parsed.get("user").unwrap().as_f64(), Some(1.0));
+    assert!(parsed
+        .get("models")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .any(|m| m.get("id").and_then(Json::as_str) == Some(id.as_str())));
+
+    let (status, _, response) = conn.send("DELETE", "/v1/models/ex-1", None).unwrap();
+    assert_eq!(status, 403);
+    assert_eq!(error_code(&response), "model.builtin");
+
+    let (status, _, _) = conn
+        .send("DELETE", &format!("/v1/models/{id}"), None)
+        .unwrap();
+    assert_eq!(status, 200);
+    let (status, _, response) = conn
+        .send("DELETE", &format!("/v1/models/{id}"), None)
+        .unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(error_code(&response), "model.unknown");
+    let (status, _, _) = conn.send("POST", "/v1/query", Some(&query)).unwrap();
+    assert_eq!(status, 404, "deleted model no longer queryable");
+
+    // Re-submitting the identical sources after deletion mints the same id
+    // again, and the response cache — keyed by the content hash — may
+    // serve the earlier query's bytes verbatim.
+    let (status, _, response) = conn.send("POST", "/v1/models", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{}", String::from_utf8_lossy(&response));
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    assert_eq!(parsed.get("id").unwrap().as_str(), Some(id.as_str()));
+    let (status, headers, response) = conn.send("POST", "/v1/query", Some(&query)).unwrap();
+    assert_eq!(status, 200);
+    assert!(headers.iter().any(|(k, v)| k == "x-cache" && v == "hit"));
+    assert_eq!(String::from_utf8(response).unwrap(), expected);
+
+    server.shutdown();
+}
+
+#[test]
+fn adversarial_submissions_are_structured_400s_never_500s() {
+    let (_app, server) = boot(8);
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+
+    // Deep expression nesting trips the parser's depth fence, not the
+    // worker's stack.
+    let deep = format!(
+        "proc M() : real {{ return {}0.0{} }}",
+        "(".repeat(400),
+        ")".repeat(400)
+    );
+    // A flat program larger than the compile fuel.
+    let long: String = std::iter::once("proc M() : real { ".to_string())
+        .chain((0..600).map(|i| format!("let x{i} <- return 0.0; ")))
+        .chain(std::iter::once("return 0.0 }".to_string()))
+        .collect();
+    // A syntactically huge source.
+    let huge = "x".repeat(ppl_serve::ingest::MAX_SOURCE_BYTES + 1);
+    // A model sampling on a channel it never declared.
+    let unbound = r#"
+        proc M() : real {
+          let v <- sample recv latent (Normal(0.0, 1.0));
+          return v
+        }
+    "#;
+    // A guide whose latent carrier disagrees with the model's.
+    let bool_guide = r#"
+        proc Guide() provide latent {
+          let b <- sample send latent (Ber(0.5));
+          return ()
+        }
+    "#;
+    // A guide referencing a variable that is never bound.
+    let unbound_var_guide = r#"
+        proc Guide() provide latent {
+          let mu <- sample send latent (Normal(nope, 2.0));
+          return ()
+        }
+    "#;
+
+    let cases: Vec<(String, u16, &str)> = vec![
+        (submit_body("m", &deep, GUIDE_SRC), 400, "parse.depth"),
+        (
+            submit_body("m", "proc M( : real { return 0.0 }", GUIDE_SRC),
+            400,
+            "parse.unexpected_token",
+        ),
+        (
+            submit_body("m", &long, GUIDE_SRC),
+            400,
+            "limit.compile_fuel",
+        ),
+        (
+            submit_body("m", &huge, GUIDE_SRC),
+            400,
+            "limit.source_bytes",
+        ),
+        (
+            submit_body("m", unbound, GUIDE_SRC),
+            400,
+            "type.channel.undeclared",
+        ),
+        (
+            submit_body("m", MODEL_SRC, bool_guide),
+            400,
+            "type.guide_mismatch",
+        ),
+        (
+            submit_body("m", MODEL_SRC, unbound_var_guide),
+            400,
+            "type.unbound_var",
+        ),
+        (submit_body("", MODEL_SRC, GUIDE_SRC), 400, "request.schema"),
+        (r#"{"name": }"#.to_string(), 400, "request.json"),
+    ];
+    for (body, expected_status, expected_code) in cases {
+        let (status, _, response) = conn.send("POST", "/v1/models", Some(&body)).unwrap();
+        assert_eq!(
+            status,
+            expected_status,
+            "expected {expected_code}: {}",
+            String::from_utf8_lossy(&response)
+        );
+        assert_eq!(error_code(&response), expected_code);
+    }
+
+    // Parse and type rejections carry a 1-based source position.
+    let (_, _, response) = conn
+        .send(
+            "POST",
+            "/v1/models",
+            Some(&submit_body("m", &deep, GUIDE_SRC)),
+        )
+        .unwrap();
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    let err = parsed.get("error").unwrap();
+    assert_eq!(err.get("source").unwrap().as_str(), Some("model"));
+    assert!(err.get("line").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(err.get("col").unwrap().as_f64().unwrap() >= 1.0);
+
+    // Every rejection above left the workers alive.
+    let (status, _, _) = conn.send("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn user_models_get_a_reduced_execution_budget() {
+    let (_app, server) = boot(8);
+    let mut conn = ClientConn::connect(server.local_addr()).unwrap();
+    let body = submit_body("budgeted", MODEL_SRC, GUIDE_SRC);
+    let (status, _, response) = conn.send("POST", "/v1/models", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+    let parsed = Json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    let id = parsed.get("id").unwrap().as_str().unwrap().to_string();
+    let cap = ppl_serve::registry::MAX_USER_MODEL_EXECUTIONS;
+    assert_eq!(
+        parsed.get("max_request_executions").unwrap().as_f64(),
+        Some(cap as f64)
+    );
+    // One particle over the user budget: rejected before any work runs,
+    // even though a builtin would have accepted the same request.
+    let over = cap + 1;
+    assert!(over <= api::MAX_REQUEST_EXECUTIONS);
+    let query = format!(
+        r#"{{"model":"{id}","observations":[1.0],
+            "method":{{"algorithm":"importance","particles":{over}}}}}"#
+    );
+    let (status, _, response) = conn.send("POST", "/v1/query", Some(&query)).unwrap();
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&response));
+    assert_eq!(error_code(&response), "request.limit");
+    server.shutdown();
+}
+
+#[test]
+fn eviction_prefers_lru_user_models_and_never_builtins() {
+    // No socket needed: drive the handler directly with a capacity of 2.
+    let registry = Registry::from_benchmarks().with_user_capacity(2);
+    let builtin_count = registry.builtin_len();
+    let app = App::new(registry, 64);
+    let handler = app.handler();
+    let send = |method: &str, path: &str, body: &str| {
+        handler(&ppl_serve::Request {
+            method: method.into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        })
+    };
+    let submit = |i: usize| {
+        let guide = GUIDE_SRC.replace("Normal(0.0, 2.0)", &format!("Normal({i}.0, 2.0)"));
+        let response = send(
+            "POST",
+            "/v1/models",
+            &submit_body(&format!("gen-{i}"), MODEL_SRC, &guide),
+        );
+        assert_eq!(
+            response.status,
+            201,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        parsed.get("id").unwrap().as_str().unwrap().to_string()
+    };
+
+    let a = submit(0);
+    let b = submit(1);
+    // Touch `a` so `b` becomes the LRU victim for the third insert.
+    assert_eq!(send("GET", &format!("/v1/models/{a}"), "").status, 200);
+    let c = submit(2);
+    assert_eq!(app.registry.user_len(), 2);
+    assert_eq!(app.registry.evictions(), 1);
+    assert_eq!(send("GET", &format!("/v1/models/{b}"), "").status, 404);
+    assert_eq!(send("GET", &format!("/v1/models/{a}"), "").status, 200);
+    assert_eq!(send("GET", &format!("/v1/models/{c}"), "").status, 200);
+    // Builtins survived the churn and still serve.
+    assert_eq!(app.registry.builtin_len(), builtin_count);
+    assert_eq!(send("GET", "/v1/models/ex-1", "").status, 200);
+    let response = send(
+        "POST",
+        "/v1/query",
+        r#"{"model":"ex-1","observations":[0.8],
+            "method":{"algorithm":"importance","particles":100}}"#,
+    );
+    assert_eq!(response.status, 200);
+
+    // /metrics publishes the registry pressure and per-model stats.
+    let response = send("GET", "/metrics", "");
+    let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    let registry_doc = parsed.get("registry").unwrap();
+    assert_eq!(registry_doc.get("user").unwrap().as_f64(), Some(2.0));
+    assert_eq!(
+        registry_doc.get("user_capacity").unwrap().as_f64(),
+        Some(2.0)
+    );
+    assert_eq!(registry_doc.get("evictions").unwrap().as_f64(), Some(1.0));
+    let per_model = registry_doc.get("per_model").unwrap().as_arr().unwrap();
+    assert_eq!(per_model.len(), builtin_count + 2);
+    assert!(per_model
+        .iter()
+        .any(|m| m.get("origin").and_then(Json::as_str) == Some("user")));
+    let ex1 = per_model
+        .iter()
+        .find(|m| m.get("id").and_then(Json::as_str) == Some("ex-1"))
+        .unwrap();
+    assert_eq!(ex1.get("origin").unwrap().as_str(), Some("builtin"));
+    assert!(ex1.get("queries").unwrap().as_f64().unwrap() >= 1.0);
+}

@@ -520,7 +520,7 @@ impl Cmd {
 
 /// A procedure declaration
 /// `fix{a; b}(f. x̄. m)` / `proc f(x̄) consume a provide b = m`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Proc {
     /// The procedure name.
     pub name: Ident,
@@ -534,12 +534,29 @@ pub struct Proc {
     pub provides: Option<ChannelName>,
     /// The procedure body.
     pub body: Cmd,
+    /// 1-based (line, column) of the `proc` keyword in the source text,
+    /// or `(0, 0)` for procedures constructed programmatically.
+    pub pos: (usize, usize),
 }
 
 impl Proc {
     /// All channels mentioned in the header.
     pub fn declared_channels(&self) -> Vec<&ChannelName> {
         self.consumes.iter().chain(self.provides.iter()).collect()
+    }
+}
+
+/// Source positions are diagnostics metadata, not syntax: two procedures
+/// are equal when their declarations coincide, wherever they were written.
+/// (Pretty-print → reparse roundtrips rely on this.)
+impl PartialEq for Proc {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.ret_ty == other.ret_ty
+            && self.consumes == other.consumes
+            && self.provides == other.provides
+            && self.body == other.body
     }
 }
 
@@ -565,6 +582,15 @@ impl Program {
     /// Looks up a procedure by name.
     pub fn proc(&self, name: &Ident) -> Option<&Proc> {
         self.procs.iter().find(|p| &p.name == name)
+    }
+
+    /// Total number of command nodes across all procedure bodies.
+    ///
+    /// Used as a compile-fuel measure when admitting untrusted programs:
+    /// type checking, trace-type analysis, and compilation are all linear
+    /// in this count.
+    pub fn size(&self) -> usize {
+        self.procs.iter().map(|p| p.body.size()).sum()
     }
 
     /// Looks up a procedure by string name.
@@ -698,6 +724,7 @@ mod tests {
             consumes: Some("latent".into()),
             provides: Some("obs".into()),
             body: Cmd::Ret(Expr::Triv),
+            pos: (0, 0),
         };
         let q = Proc {
             name: "Guide".into(),
@@ -706,6 +733,7 @@ mod tests {
             consumes: None,
             provides: Some("latent".into()),
             body: Cmd::Ret(Expr::Triv),
+            pos: (0, 0),
         };
         let prog = Program::new().with_proc(p.clone());
         let both = prog.merged_with(Program::new().with_proc(q.clone()));

@@ -32,4 +32,4 @@ pub mod pretty;
 pub use ast::{BaseType, BinOp, ChannelName, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program, UnOp};
 pub use intern::Sym;
 pub use lexer::{lex, LexError, Token};
-pub use parser::{parse_expr, parse_program, ParseError};
+pub use parser::{parse_expr, parse_program, ParseError, MAX_PARSE_DEPTH};

@@ -21,6 +21,29 @@ use crate::ast::{BaseType, BinOp, Cmd, Dir, DistExpr, Expr, Ident, Proc, Program
 use crate::lexer::{lex, LexError, Spanned, Token};
 use std::fmt;
 
+/// Maximum nesting depth accepted by the parser.
+///
+/// Recursive descent uses one stack frame per nesting level, so untrusted
+/// sources (e.g. models submitted over HTTP) could otherwise smash the
+/// stack with a few kilobytes of open parentheses. Deeper input is rejected
+/// with the stable code [`code::DEPTH`] instead of crashing the process.
+///
+/// The bound is sized so the parser stays well inside a 2 MiB thread stack
+/// even in debug builds (expression nesting costs two depth units and about
+/// eight stack frames per parenthesis level).
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// Stable machine-readable parse-error codes, part of the wire format of
+/// `ppl-serve`. Once shipped, a code's meaning never changes.
+pub mod code {
+    /// The lexer rejected the input (bad character, malformed literal).
+    pub const LEX: &str = "parse.lex";
+    /// The parser found a token that does not fit the grammar.
+    pub const UNEXPECTED_TOKEN: &str = "parse.unexpected_token";
+    /// Nesting exceeded [`super::MAX_PARSE_DEPTH`].
+    pub const DEPTH: &str = "parse.depth";
+}
+
 /// A parse error with source position information.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
@@ -30,6 +53,21 @@ pub struct ParseError {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Stable machine-readable code (see [`code`]).
+    pub code: &'static str,
+}
+
+impl ParseError {
+    /// Stable machine-readable code identifying the error class
+    /// (`parse.lex`, `parse.unexpected_token`, `parse.depth`).
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// 1-based (line, column) of the offending token.
+    pub fn position(&self) -> (usize, usize) {
+        (self.line, self.col)
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -50,6 +88,7 @@ impl From<LexError> for ParseError {
             message: e.message,
             line: e.line,
             col: e.col,
+            code: code::LEX,
         }
     }
 }
@@ -70,7 +109,11 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.program()
 }
 
@@ -82,7 +125,11 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 /// expression.
 pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -91,6 +138,7 @@ pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 const KEYWORDS: &[&str] = &[
@@ -120,7 +168,26 @@ impl Parser {
             message: message.into(),
             line,
             col,
+            code: code::UNEXPECTED_TOKEN,
         }
+    }
+
+    /// Enters one nesting level; rejects input deeper than
+    /// [`MAX_PARSE_DEPTH`] so untrusted sources cannot overflow the stack.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            let mut e = self.error(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels; simplify the program"
+            ));
+            e.code = code::DEPTH;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth -= 1;
     }
 
     fn advance(&mut self) -> Token {
@@ -186,6 +253,7 @@ impl Parser {
     }
 
     fn proc_decl(&mut self) -> Result<Proc, ParseError> {
+        let pos = self.here();
         self.eat_keyword("proc")?;
         let name = self.ident()?;
         self.eat(&Token::LParen)?;
@@ -228,12 +296,20 @@ impl Parser {
             consumes,
             provides,
             body,
+            pos,
         })
     }
 
     // ------------------------------------------------------------------ types
 
     fn base_type(&mut self) -> Result<BaseType, ParseError> {
+        self.enter()?;
+        let ty = self.base_type_inner();
+        self.exit();
+        ty
+    }
+
+    fn base_type_inner(&mut self) -> Result<BaseType, ParseError> {
         let head = match self.peek().clone() {
             Token::Ident(s) => s,
             Token::LParen => {
@@ -284,39 +360,46 @@ impl Parser {
     // --------------------------------------------------------------- commands
 
     fn block(&mut self) -> Result<Cmd, ParseError> {
+        self.enter()?;
         self.eat(&Token::LBrace)?;
         let cmd = self.cmd_seq()?;
         self.eat(&Token::RBrace)?;
+        self.exit();
         Ok(cmd)
     }
 
     fn cmd_seq(&mut self) -> Result<Cmd, ParseError> {
         // let x <- item ; seq   |   item ; seq   |   item
-        if self.at_keyword("let") && matches!(self.peek_at(2), Token::LeftArrow) {
-            self.advance(); // let
-            let var = self.ident()?;
-            self.eat(&Token::LeftArrow)?;
+        //
+        // Parsed iteratively so a long flat sequence costs no stack depth;
+        // the binds are rebuilt right-associatively afterwards.
+        let mut prefix: Vec<(Ident, Cmd)> = Vec::new();
+        let last = loop {
+            if self.at_keyword("let") && matches!(self.peek_at(2), Token::LeftArrow) {
+                self.advance(); // let
+                let var = self.ident()?;
+                self.eat(&Token::LeftArrow)?;
+                let first = self.cmd_item()?;
+                self.eat(&Token::Semi)?;
+                prefix.push((var, first));
+                continue;
+            }
             let first = self.cmd_item()?;
-            self.eat(&Token::Semi)?;
-            let rest = self.cmd_seq()?;
-            return Ok(Cmd::Bind {
+            if matches!(self.peek(), Token::Semi) {
+                self.advance();
+                prefix.push((Ident::new("_"), first));
+            } else {
+                break first;
+            }
+        };
+        Ok(prefix
+            .into_iter()
+            .rev()
+            .fold(last, |rest, (var, first)| Cmd::Bind {
                 var,
                 first: Box::new(first),
                 rest: Box::new(rest),
-            });
-        }
-        let first = self.cmd_item()?;
-        if matches!(self.peek(), Token::Semi) {
-            self.advance();
-            let rest = self.cmd_seq()?;
-            Ok(Cmd::Bind {
-                var: Ident::new("_"),
-                first: Box::new(first),
-                rest: Box::new(rest),
-            })
-        } else {
-            Ok(first)
-        }
+            }))
     }
 
     fn cmd_item(&mut self) -> Result<Cmd, ParseError> {
@@ -409,7 +492,10 @@ impl Parser {
     // ------------------------------------------------------------ expressions
 
     pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.enter()?;
+        let e = self.or_expr();
+        self.exit();
+        e
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
@@ -482,19 +568,20 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
-        match self.peek() {
+        self.enter()?;
+        let e = match self.peek() {
             Token::Minus => {
                 self.advance();
-                let e = self.unary_expr()?;
-                Ok(Expr::unop(UnOp::Neg, e))
+                self.unary_expr().map(|e| Expr::unop(UnOp::Neg, e))
             }
             Token::Bang => {
                 self.advance();
-                let e = self.unary_expr()?;
-                Ok(Expr::unop(UnOp::Not, e))
+                self.unary_expr().map(|e| Expr::unop(UnOp::Not, e))
             }
             _ => self.atom_expr(),
-        }
+        };
+        self.exit();
+        e
     }
 
     fn dist_two_args(&mut self) -> Result<(Expr, Expr), ParseError> {
@@ -839,6 +926,58 @@ mod tests {
     #[test]
     fn keywords_cannot_be_identifiers() {
         assert!(parse_program("proc sample() { return () }").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_stable_codes() {
+        let err = parse_program("proc P( { }").unwrap_err();
+        assert_eq!(err.code(), code::UNEXPECTED_TOKEN);
+        let err = parse_program("proc P() { return 1 @ 2 }").unwrap_err();
+        assert_eq!(err.code(), code::LEX);
+        assert!(err.position().0 >= 1);
+    }
+
+    #[test]
+    fn deep_expression_nesting_is_rejected_not_crashed() {
+        let depth = 4 * MAX_PARSE_DEPTH;
+        let src = format!("{}1.0{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse_expr(&src).unwrap_err();
+        assert_eq!(err.code(), code::DEPTH);
+        assert!(err.to_string().contains("nesting"));
+    }
+
+    #[test]
+    fn deep_unary_and_block_nesting_are_rejected() {
+        let minus = format!("{}1.0", "-".repeat(4 * MAX_PARSE_DEPTH));
+        assert_eq!(parse_expr(&minus).unwrap_err().code(), code::DEPTH);
+        let blocks = format!(
+            "proc P() {{ {} return () {} }}",
+            "{".repeat(4 * MAX_PARSE_DEPTH),
+            "}".repeat(4 * MAX_PARSE_DEPTH)
+        );
+        assert_eq!(parse_program(&blocks).unwrap_err().code(), code::DEPTH);
+    }
+
+    #[test]
+    fn shallow_nesting_still_parses() {
+        let depth = 32;
+        let src = format!("{}1.0{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse_expr(&src).is_ok());
+    }
+
+    #[test]
+    fn long_flat_sequences_do_not_hit_the_depth_fence() {
+        let body = "sample send obs (Normal(0.0, 1.0));".repeat(2000);
+        let src = format!("proc P() provide obs {{ {body} return () }}");
+        assert!(parse_program(&src).is_ok());
+    }
+
+    #[test]
+    fn procs_record_their_source_position() {
+        let prog = parse_program("proc P() { return () }").unwrap();
+        assert_eq!(prog.procs[0].pos, (1, 1));
+        let prog = parse_program("\n\n  proc Q() { return () }").unwrap();
+        assert_eq!(prog.procs[0].pos, (3, 3));
     }
 
     #[test]

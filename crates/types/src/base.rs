@@ -92,10 +92,10 @@ pub fn join(a: &BaseType, b: &BaseType) -> Option<BaseType> {
 /// domain type, …).
 pub fn infer_expr(ctx: &TypingCtx, e: &Expr) -> Result<BaseType, TypeError> {
     match e {
-        Expr::Var(x) => ctx
-            .lookup(x)
-            .cloned()
-            .ok_or_else(|| TypeError::new(format!("unbound variable '{x}'"))),
+        Expr::Var(x) => ctx.lookup(x).cloned().ok_or_else(|| {
+            TypeError::new(format!("unbound variable '{x}'"))
+                .with_code(crate::error::code::UNBOUND_VAR)
+        }),
         Expr::Triv => Ok(BaseType::Unit),
         Expr::Bool(_) => Ok(BaseType::Bool),
         Expr::Real(r) => Ok(literal_real_type(*r)),
@@ -296,30 +296,23 @@ fn infer_unop(ctx: &TypingCtx, op: UnOp, a: &Expr) -> Result<BaseType, TypeError
 fn infer_dist(ctx: &TypingCtx, d: &DistExpr) -> Result<BaseType, TypeError> {
     let carrier = match d {
         DistExpr::Bernoulli(p) => {
-            check_expr(ctx, p, &BaseType::UnitInterval)
-                .map_err(|e| TypeError::new(format!("Ber parameter: {}", e.message)))?;
+            check_expr(ctx, p, &BaseType::UnitInterval).map_err(|e| e.context("Ber parameter"))?;
             BaseType::Bool
         }
         DistExpr::Uniform => BaseType::UnitInterval,
         DistExpr::Beta(a, b) => {
-            check_expr(ctx, a, &BaseType::PosReal)
-                .map_err(|e| TypeError::new(format!("Beta parameter: {}", e.message)))?;
-            check_expr(ctx, b, &BaseType::PosReal)
-                .map_err(|e| TypeError::new(format!("Beta parameter: {}", e.message)))?;
+            check_expr(ctx, a, &BaseType::PosReal).map_err(|e| e.context("Beta parameter"))?;
+            check_expr(ctx, b, &BaseType::PosReal).map_err(|e| e.context("Beta parameter"))?;
             BaseType::UnitInterval
         }
         DistExpr::Gamma(a, b) => {
-            check_expr(ctx, a, &BaseType::PosReal)
-                .map_err(|e| TypeError::new(format!("Gamma parameter: {}", e.message)))?;
-            check_expr(ctx, b, &BaseType::PosReal)
-                .map_err(|e| TypeError::new(format!("Gamma parameter: {}", e.message)))?;
+            check_expr(ctx, a, &BaseType::PosReal).map_err(|e| e.context("Gamma parameter"))?;
+            check_expr(ctx, b, &BaseType::PosReal).map_err(|e| e.context("Gamma parameter"))?;
             BaseType::PosReal
         }
         DistExpr::Normal(mu, sigma) => {
-            check_expr(ctx, mu, &BaseType::Real)
-                .map_err(|e| TypeError::new(format!("Normal mean: {}", e.message)))?;
-            check_expr(ctx, sigma, &BaseType::PosReal)
-                .map_err(|e| TypeError::new(format!("Normal scale: {}", e.message)))?;
+            check_expr(ctx, mu, &BaseType::Real).map_err(|e| e.context("Normal mean"))?;
+            check_expr(ctx, sigma, &BaseType::PosReal).map_err(|e| e.context("Normal scale"))?;
             BaseType::Real
         }
         DistExpr::Categorical(ws) => {
@@ -327,19 +320,16 @@ fn infer_dist(ctx: &TypingCtx, d: &DistExpr) -> Result<BaseType, TypeError> {
                 return Err(TypeError::new("Cat requires at least one weight"));
             }
             for w in ws {
-                check_expr(ctx, w, &BaseType::PosReal)
-                    .map_err(|e| TypeError::new(format!("Cat weight: {}", e.message)))?;
+                check_expr(ctx, w, &BaseType::PosReal).map_err(|e| e.context("Cat weight"))?;
             }
             BaseType::FinNat(ws.len())
         }
         DistExpr::Geometric(p) => {
-            check_expr(ctx, p, &BaseType::UnitInterval)
-                .map_err(|e| TypeError::new(format!("Geo parameter: {}", e.message)))?;
+            check_expr(ctx, p, &BaseType::UnitInterval).map_err(|e| e.context("Geo parameter"))?;
             BaseType::Nat
         }
         DistExpr::Poisson(l) => {
-            check_expr(ctx, l, &BaseType::PosReal)
-                .map_err(|e| TypeError::new(format!("Pois parameter: {}", e.message)))?;
+            check_expr(ctx, l, &BaseType::PosReal).map_err(|e| e.context("Pois parameter"))?;
             BaseType::Nat
         }
     };

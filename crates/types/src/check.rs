@@ -95,7 +95,8 @@ impl CheckCtx<'_> {
                 "channel '{chan}' is not declared by this procedure (consumes {:?}, provides {:?})",
                 self.consumes.as_ref().map(|c| c.as_str()),
                 self.provides.as_ref().map(|c| c.as_str()),
-            )))
+            ))
+            .with_code(crate::error::code::CHANNEL_UNDECLARED))
         }
     }
 }
@@ -122,20 +123,21 @@ pub fn base_type_of_cmd(
             base_type_of_cmd(ctx, &inner, rest)
         }
         Cmd::Call { proc, args } => {
-            let sig = ctx
-                .sigma
-                .get(proc)
-                .ok_or_else(|| TypeError::new(format!("unknown procedure '{proc}'")))?;
+            let sig = ctx.sigma.get(proc).ok_or_else(|| {
+                TypeError::new(format!("unknown procedure '{proc}'"))
+                    .with_code(crate::error::code::UNKNOWN_PROC)
+            })?;
             if sig.params.len() != args.len() {
                 return Err(TypeError::new(format!(
                     "procedure '{proc}' expects {} argument(s), got {}",
                     sig.params.len(),
                     args.len()
-                )));
+                ))
+                .with_code(crate::error::code::ARITY));
             }
             for (arg, expected) in args.iter().zip(&sig.params) {
                 check_expr(gamma, arg, expected)
-                    .map_err(|e| TypeError::new(format!("argument of '{proc}': {}", e.message)))?;
+                    .map_err(|e| e.context(format!("argument of '{proc}'")))?;
             }
             Ok(sig.ret.clone())
         }
@@ -143,7 +145,8 @@ pub fn base_type_of_cmd(
             BaseType::Dist(carrier) => Ok(*carrier),
             other => Err(TypeError::new(format!(
                 "sample requires a distribution expression, found {other}"
-            ))),
+            ))
+            .with_code(crate::error::code::SAMPLE_NOT_DIST)),
         },
         Cmd::Branch {
             pred,
@@ -165,6 +168,7 @@ pub fn base_type_of_cmd(
                 TypeError::new(format!(
                     "branches return incompatible value types {t1} and {t2}"
                 ))
+                .with_code(crate::error::code::BRANCH_VALUE_JOIN)
             })
         }
     }
@@ -222,20 +226,21 @@ pub fn check_cmd(
             })
         }
         Cmd::Call { proc, args } => {
-            let sig = ctx
-                .sigma
-                .get(proc)
-                .ok_or_else(|| TypeError::new(format!("unknown procedure '{proc}'")))?;
+            let sig = ctx.sigma.get(proc).ok_or_else(|| {
+                TypeError::new(format!("unknown procedure '{proc}'"))
+                    .with_code(crate::error::code::UNKNOWN_PROC)
+            })?;
             if sig.params.len() != args.len() {
                 return Err(TypeError::new(format!(
                     "procedure '{proc}' expects {} argument(s), got {}",
                     sig.params.len(),
                     args.len()
-                )));
+                ))
+                .with_code(crate::error::code::ARITY));
             }
             for (arg, expected) in args.iter().zip(&sig.params) {
                 check_expr(gamma, arg, expected)
-                    .map_err(|e| TypeError::new(format!("argument of '{proc}': {}", e.message)))?;
+                    .map_err(|e| e.context(format!("argument of '{proc}'")))?;
             }
             // Channel discipline: a callee may only use the caller's channels
             // in the same roles.
@@ -245,7 +250,8 @@ pub fn check_cmd(
                 if ctx.consumes.as_ref() != Some(chan) {
                     return Err(TypeError::new(format!(
                         "callee '{proc}' consumes channel '{chan}' which the caller does not consume"
-                    )));
+                    ))
+                    .with_code(crate::error::code::CHANNEL_FOREIGN));
                 }
                 consumed = GuideType::app(op.clone(), consumed);
             }
@@ -253,7 +259,8 @@ pub fn check_cmd(
                 if ctx.provides.as_ref() != Some(chan) {
                     return Err(TypeError::new(format!(
                         "callee '{proc}' provides channel '{chan}' which the caller does not provide"
-                    )));
+                    ))
+                    .with_code(crate::error::code::CHANNEL_FOREIGN));
                 }
                 provided = GuideType::app(op.clone(), provided);
             }
@@ -268,7 +275,8 @@ pub fn check_cmd(
                 other => {
                     return Err(TypeError::new(format!(
                         "sample requires a distribution expression, found {other}"
-                    )))
+                    ))
+                    .with_code(crate::error::code::SAMPLE_NOT_DIST))
                 }
             };
             let side = ctx.side_of(chan)?;
@@ -320,6 +328,7 @@ pub fn check_cmd(
                     "branches return incompatible value types {} and {}",
                     then_typing.value_ty, else_typing.value_ty
                 ))
+                .with_code(crate::error::code::BRANCH_VALUE_JOIN)
             })?;
             let side = ctx.side_of(chan)?;
             let before = match side {
@@ -330,7 +339,8 @@ pub fn check_cmd(
                         return Err(TypeError::new(format!(
                             "the two branches of the conditional on channel '{chan}' disagree on the protocol of the provided channel: {} vs {}",
                             then_typing.before.provided, else_typing.before.provided
-                        )));
+                        ))
+                        .with_code(crate::error::code::BRANCH_PROTOCOL));
                     }
                     let consumed = match dir {
                         // (TM:Cond:Recv:L): A₁ ⊕ A₂.
@@ -354,7 +364,8 @@ pub fn check_cmd(
                         return Err(TypeError::new(format!(
                             "the two branches of the conditional on channel '{chan}' disagree on the protocol of the consumed channel: {} vs {}",
                             then_typing.before.consumed, else_typing.before.consumed
-                        )));
+                        ))
+                        .with_code(crate::error::code::BRANCH_PROTOCOL));
                     }
                     let provided = match dir {
                         // (TM:Cond:Send:R): B₁ ⊕ B₂.

@@ -3,6 +3,41 @@
 
 use std::fmt;
 
+/// Stable machine-readable type-error codes.
+///
+/// These are part of the wire format of `ppl-serve`'s model-admission
+/// endpoint: clients match on them, so once shipped a code's meaning never
+/// changes. New failure classes get new codes.
+pub mod code {
+    /// Fallback for checks without a more specific class.
+    pub const CHECK: &str = "type.check";
+    /// A variable is used but not bound.
+    pub const UNBOUND_VAR: &str = "type.unbound_var";
+    /// A `call` names a procedure that is not defined.
+    pub const UNKNOWN_PROC: &str = "type.unknown_proc";
+    /// A `call` passes the wrong number of arguments.
+    pub const ARITY: &str = "type.arity";
+    /// Two procedures share a name.
+    pub const DUP_PROC: &str = "type.dup_proc";
+    /// A procedure's body does not produce its declared result type.
+    pub const RESULT_MISMATCH: &str = "type.result_mismatch";
+    /// A channel is used but not declared by the enclosing procedure.
+    pub const CHANNEL_UNDECLARED: &str = "type.channel.undeclared";
+    /// A procedure consumes and provides the same channel.
+    pub const CHANNEL_SAME: &str = "type.channel.same";
+    /// A callee touches a channel foreign to its caller.
+    pub const CHANNEL_FOREIGN: &str = "type.channel.foreign";
+    /// The two arms of a branch disagree on the channel protocol.
+    pub const BRANCH_PROTOCOL: &str = "type.branch.protocol";
+    /// The two arms of a branch produce incompatible values.
+    pub const BRANCH_VALUE_JOIN: &str = "type.branch.value_join";
+    /// A `sample` expression is not a distribution.
+    pub const SAMPLE_NOT_DIST: &str = "type.sample.not_dist";
+    /// The model and guide do not agree on the latent protocol
+    /// (the absolute-continuity admission check of the paper's Thm. 5.2).
+    pub const GUIDE_MISMATCH: &str = "type.guide_mismatch";
+}
+
 /// A type error produced by the base-type checker or the guide-type
 /// inference algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,14 +46,22 @@ pub struct TypeError {
     pub message: String,
     /// The procedure in which the error occurred, when known.
     pub in_proc: Option<String>,
+    /// Stable machine-readable code (see [`code`]).
+    pub code: &'static str,
+    /// 1-based (line, column) of the enclosing procedure declaration,
+    /// when the program came from source text.
+    pub position: Option<(usize, usize)>,
 }
 
 impl TypeError {
-    /// Creates an error without procedure context.
+    /// Creates an error without procedure context, with the generic
+    /// [`code::CHECK`] code.
     pub fn new(message: impl Into<String>) -> Self {
         TypeError {
             message: message.into(),
             in_proc: None,
+            code: code::CHECK,
+            position: None,
         }
     }
 
@@ -27,13 +70,56 @@ impl TypeError {
         self.in_proc = Some(name.into());
         self
     }
+
+    /// Prefixes the message with context (e.g. which parameter was being
+    /// checked) while keeping the code, position, and procedure — unlike
+    /// rewrapping with [`TypeError::new`], which would erase them.
+    pub fn context(mut self, prefix: impl fmt::Display) -> Self {
+        self.message = format!("{prefix}: {}", self.message);
+        self
+    }
+
+    /// Tags the error with a stable machine-readable code from [`code`].
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = code;
+        self
+    }
+
+    /// Attaches the source position of the enclosing procedure declaration.
+    /// `(0, 0)` (a programmatically built [`ppl_syntax::Proc`]) is treated
+    /// as unknown.
+    pub fn at(mut self, pos: (usize, usize)) -> Self {
+        if pos != (0, 0) {
+            self.position = Some(pos);
+        }
+        self
+    }
+
+    /// Stable machine-readable code identifying the error class.
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// 1-based (line, column) of the enclosing procedure declaration,
+    /// when known.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        self.position
+    }
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.in_proc {
-            Some(p) => write!(f, "type error in procedure '{p}': {}", self.message),
-            None => write!(f, "type error: {}", self.message),
+        match (&self.in_proc, self.position) {
+            (Some(p), Some((line, col))) => write!(
+                f,
+                "type error in procedure '{p}' at {line}:{col}: {}",
+                self.message
+            ),
+            (Some(p), None) => write!(f, "type error in procedure '{p}': {}", self.message),
+            (None, Some((line, col))) => {
+                write!(f, "type error at {line}:{col}: {}", self.message)
+            }
+            (None, None) => write!(f, "type error: {}", self.message),
         }
     }
 }
@@ -50,5 +136,21 @@ mod tests {
         assert_eq!(e.to_string(), "type error: mismatch");
         let e = e.in_proc("Model");
         assert!(e.to_string().contains("'Model'"));
+    }
+
+    #[test]
+    fn codes_and_positions() {
+        let e = TypeError::new("mismatch");
+        assert_eq!(e.code(), code::CHECK);
+        assert_eq!(e.position(), None);
+        let e = e
+            .with_code(code::GUIDE_MISMATCH)
+            .at((4, 7))
+            .in_proc("Model");
+        assert_eq!(e.code(), "type.guide_mismatch");
+        assert_eq!(e.position(), Some((4, 7)));
+        assert!(e.to_string().contains("at 4:7"));
+        // A (0, 0) position means "unknown" and is not attached.
+        assert_eq!(TypeError::new("x").at((0, 0)).position(), None);
     }
 }

@@ -70,17 +70,20 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
     let mut sigma = Sigma::new();
     for p in &program.procs {
         if sigma.contains_key(&p.name) {
-            return Err(TypeError::new(format!(
-                "duplicate procedure name '{}'",
-                p.name
-            )));
+            return Err(
+                TypeError::new(format!("duplicate procedure name '{}'", p.name))
+                    .with_code(crate::error::code::DUP_PROC)
+                    .at(p.pos),
+            );
         }
         if p.consumes.is_some() && p.consumes == p.provides {
             return Err(TypeError::new(format!(
                 "procedure '{}' consumes and provides the same channel",
                 p.name
             ))
-            .in_proc(p.name.as_str()));
+            .with_code(crate::error::code::CHANNEL_SAME)
+            .in_proc(p.name.as_str())
+            .at(p.pos));
         }
         sigma.insert(p.name, ProcSignature::for_proc(p));
     }
@@ -107,14 +110,16 @@ pub fn infer_program(program: &Program) -> Result<TypeEnv, TypeError> {
                 .map(GuideType::Var)
                 .unwrap_or(GuideType::End),
         };
-        let typing =
-            check_cmd(&ctx, &gamma, &p.body, &after).map_err(|e| e.in_proc(p.name.as_str()))?;
+        let typing = check_cmd(&ctx, &gamma, &p.body, &after)
+            .map_err(|e| e.in_proc(p.name.as_str()).at(p.pos))?;
         if !is_subtype(&typing.value_ty, &p.ret_ty) {
             return Err(TypeError::new(format!(
                 "body has value type {}, but the declared result type is {}",
                 typing.value_ty, p.ret_ty
             ))
-            .in_proc(p.name.as_str()));
+            .with_code(crate::error::code::RESULT_MISMATCH)
+            .in_proc(p.name.as_str())
+            .at(p.pos));
         }
         value_types.insert(p.name, typing.value_ty);
 
@@ -179,11 +184,15 @@ pub fn check_model_guide(
         TypeError::new(format!(
             "model procedure '{model_proc}' does not consume a latent channel"
         ))
+        .with_code(crate::error::code::GUIDE_MISMATCH)
+        .in_proc(model_proc.as_str())
     })?;
     let guide_latent = guide_env.provided_protocol(guide_proc).ok_or_else(|| {
         TypeError::new(format!(
             "guide procedure '{guide_proc}' does not provide a latent channel"
         ))
+        .with_code(crate::error::code::GUIDE_MISMATCH)
+        .in_proc(guide_proc.as_str())
     })?;
     let model_obs = model_env.provided_protocol(model_proc);
 

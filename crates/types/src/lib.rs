@@ -57,7 +57,7 @@ pub use base::{check_expr, infer_expr, is_subtype, join, TypingCtx};
 pub use check::{
     base_type_of_cmd, check_cmd, ChannelTypes, CheckCtx, CmdTyping, ProcSignature, Sigma,
 };
-pub use error::TypeError;
+pub use error::{code as types_error_code, TypeError};
 pub use guide::{GuideType, TypeDef, TypeDefs};
 pub use infer::{check_model_guide, infer_program, Compatibility, TypeEnv};
 pub use obs::{carrier_admits, validate_observations, ObsValue, ObsViolation};
