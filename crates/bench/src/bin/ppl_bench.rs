@@ -5,7 +5,7 @@
 //! inference engine on a reference workload.
 //!
 //! ```text
-//! ppl-bench [--json [PATH]] [--particles N] [--threads N]
+//! ppl-bench [--json [PATH]] [--particles N] [--threads N] [--block N]
 //! ```
 //!
 //! Without flags the results are printed as a table.  With `--json`, a
@@ -14,7 +14,7 @@
 //! trajectory is tracked per commit.
 
 use ppl_bench::throughput::{
-    admission_rows, bench_json, engine_timings, http_rows, mcmc_rows, serving_rows,
+    admission_rows, bench_json, block_rows, engine_timings, http_rows, mcmc_rows, serving_rows,
     throughput_rows, ThroughputConfig,
 };
 use std::process::ExitCode;
@@ -51,6 +51,10 @@ fn main() -> ExitCode {
                 Some(n) => config.seed = n,
                 None => return usage("--seed expects an integer"),
             },
+            "--block" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => config.block = n,
+                _ => return usage("--block expects a positive integer"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -84,6 +88,20 @@ fn main() -> ExitCode {
             r.log_evidence,
             r.bit_identical,
             r.allocs_per_particle,
+        );
+    }
+
+    println!("\nblock vs scalar — single thread, block 1 is the scalar reference");
+    println!(
+        "{:<12} {:>6} {:>14} {:>9} {:>10}",
+        "benchmark", "block", "particles/s", "speedup", "identical"
+    );
+    let blocks = block_rows(&config);
+    for r in &blocks {
+        all_identical &= r.bit_identical;
+        println!(
+            "{:<12} {:>6} {:>14.0} {:>8.2}x {:>10}",
+            r.name, r.block, r.particles_per_sec, r.speedup_vs_scalar, r.bit_identical,
         );
     }
 
@@ -170,7 +188,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http, &admission);
+        let json = bench_json(
+            &config, &rows, &blocks, &engines, &serving, &mcmc, &http, &admission,
+        );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -187,6 +207,8 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: ppl-bench [--json [PATH]] [--particles N] [--threads N] [--seed S]");
+    eprintln!(
+        "usage: ppl-bench [--json [PATH]] [--particles N] [--threads N] [--seed S] [--block N]"
+    );
     ExitCode::FAILURE
 }

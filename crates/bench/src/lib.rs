@@ -197,6 +197,7 @@ fn table2_row(name: &'static str, kind: InferenceKind, config: &Table2Config) ->
                 learning_rate: 0.05,
                 fd_epsilon: 1e-4,
                 num_threads: 1,
+                block: ppl_inference::DEFAULT_BLOCK,
             };
             // Engine-level VI (like the IS rows use the engine-level
             // sampler): the timed work is exactly the fit, matching what

@@ -27,8 +27,10 @@ use crate::alloc_track;
 use guide_ppl::{Method, PosteriorResult, Query, Session};
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
-use ppl_inference::{ImportanceSampler, IndependenceMh, ParamSpec, VariationalInference, ViConfig};
-use ppl_runtime::{JointExecutor, JointScratch, JointSpec, LatentSource};
+use ppl_inference::{
+    ImportanceSampler, IndependenceMh, ParamSpec, VariationalInference, ViConfig, DEFAULT_BLOCK,
+};
+use ppl_runtime::{JointExecutor, JointScratch, JointSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -39,6 +41,10 @@ pub struct ThroughputConfig {
     pub particles: usize,
     /// Worker threads for the parallel configuration.
     pub threads: usize,
+    /// Vectorised-execution block size of the measured configurations
+    /// (a pure performance knob — results are bit-identical at every
+    /// block size, which [`block_rows`] re-verifies).
+    pub block: usize,
     /// Master seed (shared by both configurations of each row).
     pub seed: u64,
 }
@@ -48,6 +54,7 @@ impl Default for ThroughputConfig {
         ThroughputConfig {
             particles: 20_000,
             threads: 4,
+            block: DEFAULT_BLOCK,
             seed: 2_026,
         }
     }
@@ -62,6 +69,8 @@ pub struct ThroughputRow {
     pub particles: usize,
     /// Threads used by the parallel configuration.
     pub threads: usize,
+    /// Vectorised-execution block size both configurations ran with.
+    pub block: usize,
     /// Wall time of the single-threaded run, in seconds.
     pub seq_seconds: f64,
     /// Wall time of the parallel run, in seconds.
@@ -86,28 +95,43 @@ pub struct ThroughputRow {
     pub allocs_per_particle: f64,
 }
 
-/// Allocations per joint execution of a warmed, recycled steady-state loop
-/// (the number the allocation-free-hot-loop refactor drives to zero), or
+/// Allocations per joint execution of a warmed, recycled steady-state
+/// block-mode loop (the number the allocation-free-hot-loop refactor
+/// drives to zero — and the vectorised executor must keep there), or
 /// `NaN` when the counting allocator is not installed.
-fn steady_state_allocs_per_particle(executor: &JointExecutor, spec: &JointSpec, seed: u64) -> f64 {
+fn steady_state_allocs_per_particle(
+    executor: &JointExecutor,
+    spec: &JointSpec,
+    seed: u64,
+    block: usize,
+) -> f64 {
     if !alloc_track::installed() {
         return f64::NAN;
     }
-    let mut rng = Pcg32::seed_from_u64(seed);
+    let block = block.max(1);
+    let master = Pcg32::seed_from_u64(seed);
     let mut scratch = JointScratch::new();
-    let mut run_batch = |count: usize, rng: &mut Pcg32| -> u64 {
+    let mut results = Vec::new();
+    let mut stream = 0u64;
+    let mut run_batch = |blocks: usize, stream: &mut u64| -> u64 {
         let before = alloc_track::thread_allocations();
-        for _ in 0..count {
-            let joint = executor
-                .run_with_scratch(spec, LatentSource::FromGuide, rng, &mut scratch)
+        for _ in 0..blocks {
+            results.clear();
+            executor
+                .run_block_with_scratch(spec, &master, *stream, block, &mut scratch, &mut results)
                 .expect("joint execution");
-            scratch.recycle(joint.latent);
+            *stream += block as u64;
+            for joint in results.drain(..) {
+                scratch.recycle(joint.latent);
+            }
         }
         alloc_track::thread_allocations() - before
     };
-    run_batch(200, &mut rng); // warm-up: grow buffers to working size
-    let allocs = run_batch(1_000, &mut rng);
-    allocs as f64 / 1_000.0
+    // Warm-up grows every lane buffer (and compiles the block plan).
+    run_batch(4, &mut stream);
+    let measured_blocks = (1_000usize).div_ceil(block);
+    let allocs = run_batch(measured_blocks, &mut stream);
+    allocs as f64 / (measured_blocks * block) as f64
 }
 
 /// Wall time of one engine on its reference workload.
@@ -143,6 +167,7 @@ fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRo
     let mut rng = Pcg32::seed_from_u64(config.seed);
     let seq_start = Instant::now();
     let seq = ImportanceSampler::new(config.particles)
+        .with_block(config.block)
         .run(&executor, &spec, &mut rng)
         .expect("sequential IS");
     let seq_seconds = seq_start.elapsed().as_secs_f64();
@@ -151,6 +176,7 @@ fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRo
     let par_start = Instant::now();
     let par = ImportanceSampler::new(config.particles)
         .with_threads(config.threads)
+        .with_block(config.block)
         .run(&executor, &spec, &mut rng)
         .expect("parallel IS");
     let par_seconds = par_start.elapsed().as_secs_f64();
@@ -166,6 +192,7 @@ fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRo
         name,
         particles: config.particles,
         threads: config.threads,
+        block: config.block,
         seq_seconds,
         par_seconds,
         seq_particles_per_sec: config.particles as f64 / seq_seconds,
@@ -174,8 +201,94 @@ fn throughput_row(name: &'static str, config: &ThroughputConfig) -> ThroughputRo
         ess: seq.ess,
         log_evidence: seq.log_evidence,
         bit_identical,
-        allocs_per_particle: steady_state_allocs_per_particle(&executor, &spec, config.seed),
+        allocs_per_particle: steady_state_allocs_per_particle(
+            &executor,
+            &spec,
+            config.seed,
+            config.block,
+        ),
     }
+}
+
+/// One block-vs-scalar measurement: single-thread particles/sec of one
+/// benchmark at one block size, with the result re-verified bit-identical
+/// to the scalar (block = 1) run of the same seed.
+#[derive(Debug, Clone)]
+pub struct BlockRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Block size of this measurement (1 = the scalar coroutine path).
+    pub block: usize,
+    /// Particles drawn.
+    pub particles: usize,
+    /// Wall time of the single-threaded run, in seconds.
+    pub wall_seconds: f64,
+    /// Particles per second, single-threaded.
+    pub particles_per_sec: f64,
+    /// `particles_per_sec` relative to this benchmark's scalar row.
+    pub speedup_vs_scalar: f64,
+    /// Whether this block size reproduced the scalar run bit-for-bit
+    /// (always expected `true`; recorded so CI can assert it).
+    pub bit_identical: bool,
+}
+
+/// Block sizes [`block_rows`] scans (1 = scalar reference).
+pub const BLOCK_SCAN: [usize; 3] = [1, 64, 256];
+
+/// Measures single-thread particles/sec at each [`BLOCK_SCAN`] size on the
+/// Table 2 IS benchmarks, re-verifying that every block size reproduces
+/// the scalar run bit-for-bit.
+pub fn block_rows(config: &ThroughputConfig) -> Vec<BlockRow> {
+    let mut out = Vec::new();
+    for (name, _) in ppl_models::table2_benchmarks()
+        .into_iter()
+        .filter(|(_, kind)| *kind == ppl_models::InferenceKind::ImportanceSampling)
+    {
+        let session = Session::from_benchmark(name).expect("registered benchmark");
+        let b = ppl_models::benchmark(name).expect("registered benchmark");
+        let executor = session.executor(b.observations.clone());
+        let spec = session.spec();
+        let mut scalar: Option<ppl_inference::ImportanceResult> = None;
+        let mut scalar_seconds = f64::NAN;
+        for block in BLOCK_SCAN {
+            let mut rng = Pcg32::seed_from_u64(config.seed);
+            let start = Instant::now();
+            let result = ImportanceSampler::new(config.particles)
+                .with_block(block)
+                .run(&executor, &spec, &mut rng)
+                .expect("single-thread IS");
+            let wall_seconds = start.elapsed().as_secs_f64();
+            let bit_identical = match &scalar {
+                None => true,
+                Some(reference) => {
+                    reference.log_evidence.to_bits() == result.log_evidence.to_bits()
+                        && reference.ess.to_bits() == result.ess.to_bits()
+                        && reference
+                            .particles
+                            .iter()
+                            .zip(&result.particles)
+                            .all(|(a, b)| {
+                                a.log_weight.to_bits() == b.log_weight.to_bits()
+                                    && a.latent == b.latent
+                            })
+                }
+            };
+            if scalar.is_none() {
+                scalar_seconds = wall_seconds;
+                scalar = Some(result);
+            }
+            out.push(BlockRow {
+                name,
+                block,
+                particles: config.particles,
+                wall_seconds,
+                particles_per_sec: config.particles as f64 / wall_seconds,
+                speedup_vs_scalar: scalar_seconds / wall_seconds,
+                bit_identical,
+            });
+        }
+    }
+    out
 }
 
 /// One MCMC throughput measurement: proposals per second through the
@@ -652,9 +765,11 @@ pub fn engine_timings(config: &ThroughputConfig) -> Vec<EngineTiming> {
 }
 
 /// Serialises the measurements as the `BENCH_inference.json` document.
+#[allow(clippy::too_many_arguments)] // one slice per report section, by design
 pub fn bench_json(
     config: &ThroughputConfig,
     rows: &[ThroughputRow],
+    blocks: &[BlockRow],
     engines: &[EngineTiming],
     serving: &[ServingRow],
     mcmc: &[McmcRow],
@@ -663,9 +778,10 @@ pub fn bench_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v4\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v5\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
+    let _ = writeln!(s, "  \"block\": {},", config.block);
     let _ = writeln!(s, "  \"seed\": {},", config.seed);
     // Provenance: parallel speedups are only meaningful relative to the
     // cores the measuring host actually had.
@@ -679,12 +795,13 @@ pub fn bench_json(
         let _ = write!(
             s,
             "    {{\"name\": \"{}\", \"algorithm\": \"IS\", \"particles\": {}, \"threads\": {}, \
-             \"seq_seconds\": {}, \"par_seconds\": {}, \"seq_particles_per_sec\": {}, \
+             \"block\": {}, \"seq_seconds\": {}, \"par_seconds\": {}, \"seq_particles_per_sec\": {}, \
              \"par_particles_per_sec\": {}, \"speedup\": {}, \"ess\": {}, \"log_evidence\": {}, \
              \"bit_identical\": {}, \"allocs_per_particle\": {}}}",
             r.name,
             r.particles,
             r.threads,
+            r.block,
             json_f64(r.seq_seconds),
             json_f64(r.par_seconds),
             json_f64(r.seq_particles_per_sec),
@@ -696,6 +813,24 @@ pub fn bench_json(
             json_f64(r.allocs_per_particle),
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"blocks\": [\n");
+    for (i, r) in blocks.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"algorithm\": \"IS\", \"block\": {}, \"particles\": {}, \
+             \"wall_seconds\": {}, \"particles_per_sec\": {}, \"speedup_vs_scalar\": {}, \
+             \"bit_identical\": {}}}",
+            r.name,
+            r.block,
+            r.particles,
+            json_f64(r.wall_seconds),
+            json_f64(r.particles_per_sec),
+            json_f64(r.speedup_vs_scalar),
+            r.bit_identical,
+        );
+        s.push_str(if i + 1 < blocks.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str("  \"mcmc\": [\n");
@@ -809,6 +944,7 @@ mod tests {
         let config = ThroughputConfig {
             particles: 400,
             threads: 4,
+            block: DEFAULT_BLOCK,
             seed: 7,
         };
         let rows = throughput_rows(&config);
@@ -827,10 +963,33 @@ mod tests {
     }
 
     #[test]
+    fn block_rows_scan_sizes_and_verify_bit_identity() {
+        let config = ThroughputConfig {
+            particles: 400,
+            threads: 1,
+            block: DEFAULT_BLOCK,
+            seed: 21,
+        };
+        let rows = block_rows(&config);
+        assert_eq!(rows.len(), 3 * BLOCK_SCAN.len());
+        for r in &rows {
+            assert!(r.bit_identical, "{} block {} diverged", r.name, r.block);
+            assert!(r.particles_per_sec > 0.0);
+            assert!(r.speedup_vs_scalar.is_finite() && r.speedup_vs_scalar > 0.0);
+        }
+        // Every benchmark leads with its scalar reference row.
+        for chunk in rows.chunks(BLOCK_SCAN.len()) {
+            assert_eq!(chunk[0].block, 1);
+            assert!((chunk[0].speedup_vs_scalar - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn mcmc_rows_measure_proposal_throughput() {
         let config = ThroughputConfig {
             particles: 400,
             threads: 4,
+            block: DEFAULT_BLOCK,
             seed: 13,
         };
         let rows = mcmc_rows(&config);
@@ -853,6 +1012,7 @@ mod tests {
         let config = ThroughputConfig {
             particles: 1_600,
             threads: 4,
+            block: DEFAULT_BLOCK,
             seed: 99,
         };
         let rows = serving_rows(&config);
@@ -872,6 +1032,7 @@ mod tests {
         let config = ThroughputConfig {
             particles: 3_200,
             threads: 2,
+            block: DEFAULT_BLOCK,
             seed: 5,
         };
         let rows = http_rows(&config);
@@ -894,6 +1055,7 @@ mod tests {
         let config = ThroughputConfig {
             particles: 200,
             threads: 2,
+            block: DEFAULT_BLOCK,
             seed: 17,
         };
         let rows = admission_rows(&config);
@@ -910,16 +1072,20 @@ mod tests {
         let config = ThroughputConfig {
             particles: 200,
             threads: 2,
+            block: DEFAULT_BLOCK,
             seed: 3,
         };
         let rows = throughput_rows(&config);
+        let blocks = block_rows(&config);
         let engines = engine_timings(&config);
         assert_eq!(engines.len(), 3);
         let serving = serving_rows(&config);
         let mcmc = mcmc_rows(&config);
         let http = http_rows(&config);
         let admission = admission_rows(&config);
-        let json = bench_json(&config, &rows, &engines, &serving, &mcmc, &http, &admission);
+        let json = bench_json(
+            &config, &rows, &blocks, &engines, &serving, &mcmc, &http, &admission,
+        );
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
         assert_eq!(
@@ -929,8 +1095,11 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"ppl-bench/inference/v4\"",
+            "\"schema\": \"ppl-bench/inference/v5\"",
             "\"host_cpus\"",
+            "\"block\": 64",
+            "\"blocks\"",
+            "\"speedup_vs_scalar\"",
             "\"throughput\"",
             "\"serving\"",
             "\"mcmc\"",

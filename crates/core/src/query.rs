@@ -43,7 +43,7 @@ use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
 use ppl_inference::{
     Draw, Engine, ImportanceResult, ImportanceSampler, IndependenceMh, McmcResult, ParamSpec,
-    Posterior, VariationalInference, ViConfig, ViPosterior,
+    Posterior, VariationalInference, ViConfig, ViPosterior, DEFAULT_BLOCK,
 };
 use ppl_runtime::{JointExecutor, JointSpec};
 use ppl_semantics::value::Value;
@@ -299,6 +299,7 @@ pub struct QueryBuilder<'s> {
     observations: Vec<Sample>,
     seed: u64,
     threads: usize,
+    block: usize,
     model_args: Vec<Value>,
     guide_args: Vec<Value>,
 }
@@ -310,6 +311,7 @@ impl<'s> QueryBuilder<'s> {
             observations: Vec::new(),
             seed: 0,
             threads: 1,
+            block: DEFAULT_BLOCK,
             model_args: Vec::new(),
             guide_args: Vec::new(),
         }
@@ -333,6 +335,15 @@ impl<'s> QueryBuilder<'s> {
     /// RNG substreams make results bit-identical for every thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the vectorised-execution block size for the particle-sweep
+    /// engines (default [`DEFAULT_BLOCK`]).  Like the thread count, this is
+    /// purely a performance knob: per-lane RNG substreams make results
+    /// bit-identical at every block size.
+    pub fn block(mut self, block: usize) -> Self {
+        self.block = block.max(1);
         self
     }
 
@@ -428,6 +439,7 @@ impl<'s> QueryBuilder<'s> {
             spec,
             seed: self.seed,
             threads: self.threads,
+            block: self.block,
             guide_arity: guide_meta.params.len(),
         })
     }
@@ -455,6 +467,7 @@ pub struct Query {
     spec: JointSpec,
     seed: u64,
     threads: usize,
+    block: usize,
     guide_arity: usize,
 }
 
@@ -469,7 +482,14 @@ impl Query {
     pub fn run(&self, method: &Method) -> Result<PosteriorResult, SessionError> {
         self.check_method(method)?;
         let mut rng = Pcg32::seed_from_u64(self.seed);
-        run_with_rng(&self.executor, &self.spec, method, self.threads, &mut rng)
+        run_with_rng_block(
+            &self.executor,
+            &self.spec,
+            method,
+            self.threads,
+            self.block,
+            &mut rng,
+        )
     }
 
     /// The underlying joint executor (advanced use: custom proposals such
@@ -498,6 +518,11 @@ impl Query {
     /// The query's engine thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The query's vectorised-execution block size.
+    pub fn block(&self) -> usize {
+        self.block
     }
 
     fn check_method(&self, method: &Method) -> Result<(), QueryError> {
@@ -562,7 +587,7 @@ impl Query {
 
 /// Runs `method` on an executor/spec pair with a caller-positioned RNG —
 /// the single code path behind [`Query::run`] and the deprecated
-/// rng-threading `Session` shortcuts.
+/// rng-threading `Session` shortcuts (which keep the default block size).
 pub(crate) fn run_with_rng(
     executor: &JointExecutor,
     spec: &JointSpec,
@@ -570,10 +595,24 @@ pub(crate) fn run_with_rng(
     threads: usize,
     rng: &mut Pcg32,
 ) -> Result<PosteriorResult, SessionError> {
+    run_with_rng_block(executor, spec, method, threads, DEFAULT_BLOCK, rng)
+}
+
+/// [`run_with_rng`] with an explicit vectorised-execution block size for
+/// the particle-sweep stages (VI keeps its own [`ViConfig::block`]).
+pub(crate) fn run_with_rng_block(
+    executor: &JointExecutor,
+    spec: &JointSpec,
+    method: &Method,
+    threads: usize,
+    block: usize,
+    rng: &mut Pcg32,
+) -> Result<PosteriorResult, SessionError> {
     match method {
         Method::Importance { particles } => Ok(PosteriorResult::Importance(
             ImportanceSampler::new(*particles)
                 .with_threads(threads)
+                .with_block(block)
                 .run(executor, spec, rng)?,
         )),
         Method::Mh {
@@ -601,6 +640,7 @@ pub(crate) fn run_with_rng(
             };
             let draws = ImportanceSampler::new(draw_particles.unwrap_or(VI_POSTERIOR_PARTICLES))
                 .with_threads(threads)
+                .with_block(block)
                 .run(executor, &fitted_spec, rng)?;
             Ok(PosteriorResult::Vi(ViPosterior { fit, draws }))
         }
@@ -770,6 +810,37 @@ mod tests {
         assert_eq!(q.threads(), 1);
         assert_eq!(q.observations(), &[Sample::Real(1.0)]);
         assert_eq!(q.spec().latent_chan.as_str(), "latent");
+    }
+
+    #[test]
+    fn block_size_is_a_pure_performance_knob() {
+        let s = session();
+        let method = Method::Importance { particles: 700 };
+        let run = |block: usize| {
+            s.query()
+                .observe(vec![Sample::Real(1.0)])
+                .seed(9)
+                .block(block)
+                .run(&method)
+                .unwrap()
+                .as_importance()
+                .unwrap()
+                .log_evidence
+        };
+        let reference = run(1);
+        for block in [7usize, 64, 256] {
+            assert_eq!(reference.to_bits(), run(block).to_bits(), "block {block}");
+        }
+        // The builder clamps to at least one lane and reports the setting.
+        let q = s
+            .query()
+            .observe(vec![Sample::Real(1.0)])
+            .block(0)
+            .build()
+            .unwrap();
+        assert_eq!(q.block(), 1);
+        let default_q = s.query().observe(vec![Sample::Real(1.0)]).build().unwrap();
+        assert_eq!(default_q.block(), ppl_inference::DEFAULT_BLOCK);
     }
 
     #[test]

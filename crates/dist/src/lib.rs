@@ -522,6 +522,201 @@ impl Distribution {
     pub fn sample(&self, rng: &mut Pcg32) -> f64 {
         self.draw(rng).as_f64()
     }
+
+    /// Scores a slice of numeric values, filling
+    /// `out[i] = self.log_density_f64(xs[i])` — bit-for-bit identical to the
+    /// scalar call, element by element.
+    ///
+    /// The distribution variant is matched once and every loop-invariant
+    /// subexpression of the scalar formula (`ln σ`, `ln B(α, β)`, the
+    /// categorical weight total, …) is hoisted outside a straight-line loop
+    /// over `&[f64]`, so the block executor pays the parameter maths once per
+    /// site instead of once per particle and LLVM can autovectorise the rest.
+    /// Hoisting never changes results: the per-element operations keep the
+    /// scalar formula's exact order and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `out` have different lengths.
+    pub fn log_density_batch(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "log_density_batch length mismatch");
+        match self {
+            Distribution::Normal { mean, std_dev } => {
+                let ln_sd = std_dev.ln();
+                let half_ln_two_pi = 0.5 * (2.0 * PI).ln();
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x.is_finite() {
+                        let z = (x - mean) / std_dev;
+                        -0.5 * z * z - ln_sd - half_ln_two_pi
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Bernoulli { p } => {
+                let ln_p = p.ln();
+                let ln_q = (1.0 - p).ln();
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x == 1.0 {
+                        ln_p
+                    } else if x == 0.0 {
+                        ln_q
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Beta { alpha, beta } => {
+                let am1 = alpha - 1.0;
+                let bm1 = beta - 1.0;
+                let lb = log_beta(*alpha, *beta);
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x > 0.0 && x < 1.0 {
+                        am1 * x.ln() + bm1 * (1.0 - x).ln() - lb
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Gamma { shape, rate } => {
+                let norm = shape * rate.ln() - ln_gamma(*shape);
+                let sm1 = shape - 1.0;
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x > 0.0 && x.is_finite() {
+                        norm + sm1 * x.ln() - rate * x
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Geometric { p } => {
+                let ln_p = p.ln();
+                let ln_q = (1.0 - p).ln();
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+                        let k = x as u64;
+                        if k == 0 {
+                            ln_p
+                        } else {
+                            k as f64 * ln_q + ln_p
+                        }
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Categorical { weights } => {
+                let total: f64 = weights.iter().sum();
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+                        let k = x as u64;
+                        if (k as usize) < weights.len() {
+                            (weights[k as usize] / total).ln()
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Poisson { rate } => {
+                let ln_rate = rate.ln();
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+                        let k = x as u64;
+                        k as f64 * ln_rate - rate - ln_gamma(k as f64 + 1.0)
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            Distribution::Uniform => {
+                for (o, &x) in out.iter_mut().zip(xs) {
+                    *o = if x > 0.0 && x < 1.0 {
+                        0.0
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+        }
+    }
+
+    /// Draws one sample per generator, filling `out[i]` with exactly the
+    /// [`Sample`] that `self.draw(&mut rngs[i])` would produce (each lane's
+    /// generator advances identically to the scalar call).
+    ///
+    /// Like [`Distribution::log_density_batch`], the variant match and the
+    /// loop-invariant parameter work (`ln(1 − p)`, the categorical total, …)
+    /// happen once per call rather than once per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rngs` and `out` have different lengths.
+    pub fn sample_batch(&self, rngs: &mut [Pcg32], out: &mut [Sample]) {
+        assert_eq!(rngs.len(), out.len(), "sample_batch length mismatch");
+        match self {
+            Distribution::Normal { mean, std_dev } => {
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    *o = Sample::Real(mean + std_dev * standard_normal(rng));
+                }
+            }
+            Distribution::Bernoulli { p } => {
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    *o = Sample::Bool(rng.next_f64() < *p);
+                }
+            }
+            Distribution::Beta { alpha, beta } => {
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    let x = standard_gamma(*alpha, rng);
+                    let y = standard_gamma(*beta, rng);
+                    *o = Sample::Real((x / (x + y)).clamp(UNIT_MARGIN, 1.0 - UNIT_MARGIN));
+                }
+            }
+            Distribution::Gamma { shape, rate } => {
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    *o = Sample::Real((standard_gamma(*shape, rng) / rate).max(POSITIVE_FLOOR));
+                }
+            }
+            Distribution::Geometric { p } => {
+                if *p >= 1.0 {
+                    // The scalar draw returns 0 without consuming randomness.
+                    out.fill(Sample::Nat(0));
+                    return;
+                }
+                let ln_q = (1.0 - p).ln();
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    let k = (rng.next_open01().ln() / ln_q).floor();
+                    *o = Sample::Nat(k as u64);
+                }
+            }
+            Distribution::Categorical { weights } => {
+                let total: f64 = weights.iter().sum();
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    let mut target = rng.next_f64() * total;
+                    *o = Sample::Nat(weights.len() as u64 - 1);
+                    for (i, &w) in weights.iter().enumerate() {
+                        if target < w {
+                            *o = Sample::Nat(i as u64);
+                            break;
+                        }
+                        target -= w;
+                    }
+                }
+            }
+            Distribution::Poisson { rate } => {
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    *o = Sample::Nat(poisson_draw(*rate, rng));
+                }
+            }
+            Distribution::Uniform => {
+                for (o, rng) in out.iter_mut().zip(rngs) {
+                    *o = Sample::Real(rng.next_open01());
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for Distribution {
@@ -906,6 +1101,111 @@ mod tests {
         assert_eq!(Sample::Real(1.0).to_string(), "1");
         assert_eq!(Sample::Nat(4).to_string(), "4");
         assert_eq!(Sample::Bool(false).to_string(), "false");
+    }
+
+    // ------------------------------------------------------ batched kernels
+
+    fn batch_test_dists() -> Vec<Distribution> {
+        vec![
+            Distribution::normal(-2.0, 3.0).unwrap(),
+            Distribution::bernoulli(0.3).unwrap(),
+            Distribution::bernoulli(1.0).unwrap(),
+            Distribution::beta(0.5, 2.5).unwrap(),
+            Distribution::gamma(0.3, 2.0).unwrap(),
+            Distribution::gamma(7.5, 0.5).unwrap(),
+            Distribution::geometric(0.2).unwrap(),
+            Distribution::geometric(1.0).unwrap(),
+            Distribution::categorical(vec![0.2, 0.5, 0.3]).unwrap(),
+            Distribution::poisson(4.0).unwrap(),
+            Distribution::poisson(200.0).unwrap(),
+            Distribution::uniform(),
+        ]
+    }
+
+    #[test]
+    fn log_density_batch_is_bit_identical_to_scalar() {
+        // Values probing every carrier: in-support reals and naturals,
+        // boundary values, subnormals, non-integral naturals, and
+        // non-finite inputs.
+        let xs = [
+            -3.5,
+            0.0,
+            -0.0,
+            0.25,
+            0.5,
+            1.0,
+            2.0,
+            7.0,
+            250.0,
+            f64::MIN_POSITIVE,       // smallest normal
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            5e-324,                  // smallest subnormal
+            1.0 - 1e-16,
+            2.5,
+            -1.0,
+            1e18,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        for d in batch_test_dists() {
+            let mut out = vec![0.0; xs.len()];
+            d.log_density_batch(&xs, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                assert_eq!(
+                    o.to_bits(),
+                    d.log_density_f64(x).to_bits(),
+                    "{d} at {x}: batch {o} vs scalar {}",
+                    d.log_density_f64(x)
+                );
+            }
+            // The empty slice is a no-op.
+            d.log_density_batch(&[], &mut []);
+        }
+    }
+
+    #[test]
+    fn log_density_batch_scores_neg_inf_out_of_support() {
+        // Wrong-carrier and out-of-support values must score −∞ exactly, so
+        // that a block of weights containing them still reduces correctly
+        // through log_sum_exp.
+        let ber = Distribution::bernoulli(0.5).unwrap();
+        let mut out = [0.0; 3];
+        ber.log_density_batch(&[0.5, 2.0, f64::NAN], &mut out);
+        assert!(out.iter().all(|&o| o == f64::NEG_INFINITY));
+        assert_eq!(special::log_sum_exp(&out), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn log_density_batch_rejects_mismatched_lengths() {
+        let d = Distribution::uniform();
+        d.log_density_batch(&[0.5], &mut [0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_batch_matches_scalar_draws_and_rng_states() {
+        for d in batch_test_dists() {
+            let master = Pcg32::seed_from_u64(0xB10C);
+            let mut batch_rngs: Vec<Pcg32> = (0..33).map(|i| master.split(i)).collect();
+            let mut scalar_rngs = batch_rngs.clone();
+            let mut out = vec![Sample::Nat(0); batch_rngs.len()];
+            d.sample_batch(&mut batch_rngs, &mut out);
+            for ((rng, o), batch_rng) in scalar_rngs.iter_mut().zip(&out).zip(&batch_rngs) {
+                let s = d.draw(rng);
+                assert_eq!(s, *o, "{d}: batch draw diverged");
+                assert_eq!(rng, batch_rng, "{d}: generator state diverged");
+            }
+            // The empty batch is a no-op.
+            d.sample_batch(&mut [], &mut []);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sample_batch_rejects_mismatched_lengths() {
+        let d = Distribution::uniform();
+        d.sample_batch(&mut [], &mut [Sample::Nat(0)]);
     }
 
     #[test]

@@ -51,6 +51,23 @@ pub fn log_beta(a: f64, b: f64) -> f64 {
     ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
 }
 
+/// Slice-level [`ln_gamma`]: fills `out[i] = ln_gamma(xs[i])` for every
+/// element, bit-for-bit identical to the scalar call.
+///
+/// Written as a straight-line loop over `&[f64]` so the common all-positive
+/// case autovectorises; the element-wise contract makes it safe anywhere the
+/// scalar function is used.
+///
+/// # Panics
+///
+/// Panics when `xs` and `out` have different lengths.
+pub fn ln_gamma_slice(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "ln_gamma_slice length mismatch");
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = ln_gamma(x);
+    }
+}
+
 /// Numerically stable `ln Σᵢ exp(xᵢ)`.
 ///
 /// The maximum is factored out before exponentiating, so inputs in the
@@ -111,6 +128,54 @@ mod tests {
         // the result.
         let xs = [800.0, -800.0];
         assert!((log_sum_exp(&xs) - 800.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_slice_is_bit_identical_to_scalar() {
+        let xs = [
+            0.5,
+            1.0,
+            1.5,
+            7.25,
+            1e-8,
+            1e6,
+            -0.5,
+            -2.5,
+            0.0,
+            -3.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,       // smallest normal
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            5e-324,                  // smallest subnormal
+        ];
+        let mut out = vec![0.0; xs.len()];
+        ln_gamma_slice(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o.to_bits(), ln_gamma(x).to_bits(), "ln_gamma({x})");
+        }
+        // The empty slice is a no-op.
+        ln_gamma_slice(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ln_gamma_slice_rejects_mismatched_lengths() {
+        ln_gamma_slice(&[1.0, 2.0], &mut [0.0]);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_subnormals_and_infinities() {
+        // Subnormal log-weights behave like any other finite entry.
+        let sub: f64 = 5e-324;
+        let xs = [sub, 0.0];
+        let naive = (sub.exp() + 1.0).ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+        // −∞ entries contribute zero mass even next to subnormals.
+        let xs = [f64::NEG_INFINITY, sub, f64::NEG_INFINITY];
+        assert!((log_sum_exp(&xs) - sub.exp().ln()).abs() < 1e-12);
+        // +∞ dominates everything.
+        assert_eq!(log_sum_exp(&[f64::INFINITY, 0.0]), f64::INFINITY);
     }
 
     #[test]

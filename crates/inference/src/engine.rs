@@ -154,6 +154,107 @@ impl Engine {
         }
         Ok(out)
     }
+
+    /// Runs `count` independent jobs in contiguous *blocks* of up to
+    /// `block_size`, collecting results in job-index order.
+    ///
+    /// Where [`Engine::run_particles_with`] hands each job its own split
+    /// substream, this driver hands each **block** the master generator and
+    /// the index of its first job; the block callback must give lane `i` of
+    /// a block starting at `first` exactly `master.split(first + i)` — the
+    /// same substream discipline — and append one result per lane onto
+    /// `out` in lane order.  Results (and the reported error, which is the
+    /// one of the lowest-index failing block) are then **bit-identical** to
+    /// the per-job driver at every block size and thread count.
+    ///
+    /// Blocks are the unit of scheduling: each worker thread owns a
+    /// contiguous range of blocks plus one scratch state built by `init`,
+    /// so block-local buffers warm up exactly like per-job scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing block, if any.
+    pub fn run_particle_blocks_with<S, T, E, I, F>(
+        &self,
+        count: usize,
+        block_size: usize,
+        rng: &mut Pcg32,
+        init: I,
+        run_block: F,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &Pcg32, u64, usize, &mut Vec<T>) -> Result<(), E> + Sync,
+    {
+        let master = rng.clone();
+        rng.next_u64();
+        let block_size = block_size.max(1);
+        let num_blocks = count.div_ceil(block_size);
+        let len_of = |b: usize| block_size.min(count - b * block_size);
+        if self.num_threads == 1 || num_blocks < 2 {
+            let mut state = init();
+            let mut out = Vec::with_capacity(count);
+            for b in 0..num_blocks {
+                run_block(
+                    &mut state,
+                    &master,
+                    (b * block_size) as u64,
+                    len_of(b),
+                    &mut out,
+                )?;
+            }
+            return Ok(out);
+        }
+        let threads = self.num_threads.min(num_blocks);
+        let chunk_blocks = num_blocks.div_ceil(threads);
+        let mut slots: Vec<Option<Result<Vec<T>, E>>> = Vec::with_capacity(num_blocks);
+        slots.resize_with(num_blocks, || None);
+        // Same early-abort bookkeeping as `run_particles_with`, over block
+        // indices: only the lowest failing block's error can win.
+        let lowest_failed = AtomicUsize::new(usize::MAX);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk_blocks).enumerate() {
+                let init = &init;
+                let run_block = &run_block;
+                let lowest_failed = &lowest_failed;
+                let master = &master;
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                        let b = chunk_idx * chunk_blocks + j;
+                        if b > lowest_failed.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let mut buf = Vec::with_capacity(len_of(b));
+                        let result = run_block(
+                            &mut state,
+                            master,
+                            (b * block_size) as u64,
+                            len_of(b),
+                            &mut buf,
+                        );
+                        *slot = Some(match result {
+                            Ok(()) => Ok(buf),
+                            Err(e) => {
+                                lowest_failed.fetch_min(b, Ordering::Relaxed);
+                                Err(e)
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(count);
+        for slot in slots {
+            match slot.expect("block slots below the first error are always filled") {
+                Ok(mut buf) => out.append(&mut buf),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +345,69 @@ mod tests {
             )
             .unwrap();
         assert_eq!(*counter.lock().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn block_driver_matches_per_job_driver_bit_for_bit() {
+        let job = |_: &mut (), i: usize, rng: &mut Pcg32| -> Result<(usize, u64), ()> {
+            Ok((i, rng.next_u64()))
+        };
+        let mut rng = Pcg32::seed_from_u64(42);
+        let reference = Engine::new(1)
+            .run_particles_with(100, &mut rng, || (), job)
+            .unwrap();
+        let rng_after = rng.clone();
+        for block in [1, 3, 7, 64, 256] {
+            for threads in [1, 4] {
+                let mut rng = Pcg32::seed_from_u64(42);
+                let got = Engine::new(threads)
+                    .run_particle_blocks_with(
+                        100,
+                        block,
+                        &mut rng,
+                        || (),
+                        |_, master, first, len, out| -> Result<(), ()> {
+                            for i in 0..len {
+                                let idx = first as usize + i;
+                                let mut sub = master.split(first + i as u64);
+                                out.push((idx, sub.next_u64()));
+                            }
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(reference, got, "block {block}, threads {threads}");
+                assert_eq!(rng_after, rng, "master advance differs");
+            }
+        }
+    }
+
+    #[test]
+    fn block_driver_reports_lowest_block_error() {
+        for block in [1, 4, 16] {
+            for threads in [1, 4] {
+                let mut rng = Pcg32::seed_from_u64(0);
+                let err = Engine::new(threads)
+                    .run_particle_blocks_with(
+                        40,
+                        block,
+                        &mut rng,
+                        || (),
+                        |_, _, first, len, out: &mut Vec<u64>| -> Result<(), u64> {
+                            for i in 0..len {
+                                let idx = first + i as u64;
+                                if idx % 13 == 7 {
+                                    return Err(idx);
+                                }
+                                out.push(idx);
+                            }
+                            Ok(())
+                        },
+                    )
+                    .unwrap_err();
+                assert_eq!(err, 7, "block {block}, threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod posterior;
 pub mod vi;
 
 pub use engine::Engine;
-pub use importance::{ImportanceResult, ImportanceSampler, Particle};
+pub use importance::{ImportanceResult, ImportanceSampler, Particle, DEFAULT_BLOCK};
 pub use mcmc::{ChainState, GuidedMh, IndependenceMh, McmcResult};
 pub use posterior::{Draw, Posterior, PosteriorSummary, Quantiles, ViPosterior};
 pub use vi::{ParamSpec, VariationalInference, ViConfig, ViResult};

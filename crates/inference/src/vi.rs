@@ -20,9 +20,12 @@
 //! coroutine executions and the same absolute-continuity requirement.
 
 use crate::engine::Engine;
+use crate::importance::DEFAULT_BLOCK;
 use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
-use ppl_runtime::{JointExecutor, JointScratch, JointSpec, LatentSource, RuntimeError};
+use ppl_runtime::{
+    JointExecutor, JointResult, JointScratch, JointSpec, LatentSource, RuntimeError,
+};
 use ppl_semantics::value::Value;
 
 /// A variational parameter: a name, an initial value, and whether it is
@@ -71,6 +74,10 @@ pub struct ViConfig {
     /// Worker threads for the per-iteration mini-batch and gradient loops
     /// (1 = sequential; results are bit-identical for every thread count).
     pub num_threads: usize,
+    /// Particles stepped in lockstep per vectorised block in the mini-batch
+    /// and ELBO-estimation loops (the gradient replays stay scalar).  Results
+    /// are bit-identical at every block size; clamped to at least 1.
+    pub block: usize,
 }
 
 impl Default for ViConfig {
@@ -81,6 +88,7 @@ impl Default for ViConfig {
             learning_rate: 0.05,
             fd_epsilon: 1e-4,
             num_threads: 1,
+            block: DEFAULT_BLOCK,
         }
     }
 }
@@ -144,16 +152,25 @@ impl VariationalInference {
     ) -> Result<f64, RuntimeError> {
         let run_spec = spec_with_params(spec, params);
         let engine = Engine::new(self.config.num_threads);
-        let fs = engine.run_particles_with(
+        let fs = engine.run_particle_blocks_with(
             num_samples,
+            self.config.block.max(1),
             rng,
-            JointScratch::new,
-            |scratch, _, prng| -> Result<f64, RuntimeError> {
-                let joint =
-                    executor.run_with_scratch(&run_spec, LatentSource::FromGuide, prng, scratch)?;
-                let f = joint.log_model - joint.log_guide;
-                scratch.recycle(joint.latent);
-                Ok(if f.is_finite() { f } else { -1e6 })
+            || (JointScratch::new(), Vec::new()),
+            |(scratch, joints): &mut (JointScratch, Vec<JointResult>),
+             master,
+             first,
+             len,
+             out|
+             -> Result<(), RuntimeError> {
+                joints.clear();
+                executor.run_block_with_scratch(&run_spec, master, first, len, scratch, joints)?;
+                for joint in joints.drain(..) {
+                    let f = joint.log_model - joint.log_guide;
+                    scratch.recycle(joint.latent);
+                    out.push(if f.is_finite() { f } else { -1e6 });
+                }
+                Ok(())
             },
         )?;
         Ok(fs.iter().sum::<f64>() / num_samples as f64)
@@ -189,23 +206,29 @@ impl VariationalInference {
             let run_spec = spec_with_params(spec, &constrained);
 
             // Draw the mini-batch of joint executions at the current θ —
-            // independent particles, so the engine fans them out over its
-            // worker threads with one RNG substream each.  The traces are
-            // retained (the gradient stage replays them), so only the
-            // coroutine stacks recycle here.
-            let batch = engine.run_particles_with(
+            // independent particles stepped block-at-a-time by the vectorised
+            // executor, fanned out over the worker threads with one RNG
+            // substream per lane.  The traces are retained (the gradient
+            // stage replays them), so only the coroutine stacks recycle here.
+            let batch = engine.run_particle_blocks_with(
                 self.config.samples_per_iteration,
+                self.config.block.max(1),
                 rng,
-                JointScratch::new,
-                |scratch, _, prng| -> Result<(f64, ppl_semantics::trace::Trace), RuntimeError> {
-                    let joint = executor.run_with_scratch(
-                        &run_spec,
-                        LatentSource::FromGuide,
-                        prng,
-                        scratch,
-                    )?;
-                    let f = joint.log_model - joint.log_guide;
-                    Ok((if f.is_finite() { f } else { -1e6 }, joint.latent))
+                || (JointScratch::new(), Vec::new()),
+                |(scratch, joints): &mut (JointScratch, Vec<JointResult>),
+                 master,
+                 first,
+                 len,
+                 out|
+                 -> Result<(), RuntimeError> {
+                    joints.clear();
+                    executor
+                        .run_block_with_scratch(&run_spec, master, first, len, scratch, joints)?;
+                    for joint in joints.drain(..) {
+                        let f = joint.log_model - joint.log_guide;
+                        out.push((if f.is_finite() { f } else { -1e6 }, joint.latent));
+                    }
+                    Ok(())
                 },
             )?;
             let (fs, traces): (Vec<f64>, Vec<_>) = batch.into_iter().unzip();
@@ -395,7 +418,7 @@ mod tests {
             samples_per_iteration: 12,
             learning_rate: 0.08,
             fd_epsilon: 1e-4,
-            num_threads: 1,
+            ..ViConfig::default()
         };
         let mut rng = Pcg32::seed_from_u64(2024);
         let result = VariationalInference::new(config)
@@ -484,6 +507,41 @@ mod tests {
         }
         for (a, b) in seq.params.iter().zip(&par.params) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn vi_block_sizes_are_bit_identical() {
+        let (model, guide) = weight_model();
+        let exec = JointExecutor::new(&model, &guide, example_observations(&[9.0, 9.0]));
+        let spec = JointSpec::new("WeightModel", "WeightGuide");
+        let params = [
+            ParamSpec::unconstrained("mu", 2.0),
+            ParamSpec::positive("sigma", 1.0),
+        ];
+        let mut runs = Vec::new();
+        for block in [1usize, 7, 64] {
+            let config = ViConfig {
+                iterations: 10,
+                samples_per_iteration: 9,
+                block,
+                ..ViConfig::default()
+            };
+            let mut rng = Pcg32::seed_from_u64(88);
+            runs.push(
+                VariationalInference::new(config)
+                    .run(&exec, &spec, &params, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let reference = &runs[0];
+        for run in &runs[1..] {
+            for (a, b) in reference.elbo_trace.iter().zip(&run.elbo_trace) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in reference.params.iter().zip(&run.params) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

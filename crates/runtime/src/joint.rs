@@ -159,12 +159,28 @@ impl JointSpec {
 /// [`JointResult`]; callers that only needed it transiently (MCMC
 /// re-scoring, VI gradient replays, throughput loops) hand the buffer back
 /// with [`JointScratch::recycle`], making the whole cycle allocation-free.
+///
+/// The scratch also owns the working memory of the vectorised block
+/// executor ([`JointExecutor::run_block_with_scratch`]): its
+/// structure-of-arrays lane buffers, the per-worker compiled block plan,
+/// and a pool of trace buffers so a block of `N` particles can record `N`
+/// traces concurrently without allocating in the steady state.
 #[derive(Debug, Default)]
 pub struct JointScratch {
-    model: Option<Coroutine>,
-    guide: Option<Coroutine>,
+    pub(crate) model: Option<Coroutine>,
+    pub(crate) guide: Option<Coroutine>,
     trace: Trace,
+    /// Recycled trace buffers; block execution checks out up to one per
+    /// lane and refills the pool from the caller's [`JointScratch::recycle`]
+    /// calls.
+    pub(crate) trace_pool: Vec<Trace>,
+    /// Block-execution working memory (lane buffers, plan cache).
+    pub(crate) block: crate::block::BlockScratch,
 }
+
+/// Upper bound on pooled trace buffers (enough for the largest block size
+/// with headroom; beyond it, donors fold into the single scalar slot).
+const TRACE_POOL_CAP: usize = 1024;
 
 impl JointScratch {
     /// A fresh, empty scratch pool.
@@ -174,8 +190,21 @@ impl JointScratch {
 
     /// Hands a no-longer-needed trace's buffer back for the next run (see
     /// [`Trace::recycle`]).
-    pub fn recycle(&mut self, trace: Trace) {
-        self.trace.recycle(trace);
+    pub fn recycle(&mut self, mut trace: Trace) {
+        if self.trace_pool.len() < TRACE_POOL_CAP {
+            trace.clear();
+            self.trace_pool.push(trace);
+        } else {
+            self.trace.recycle(trace);
+        }
+    }
+
+    /// Checks a trace buffer out of the pool (falling back to the scalar
+    /// slot, then to a fresh buffer).
+    pub(crate) fn take_trace(&mut self) -> Trace {
+        self.trace_pool
+            .pop()
+            .unwrap_or_else(|| std::mem::take(&mut self.trace))
     }
 
     /// Takes a coroutine for `program` out of the pool (re-armed by the
@@ -199,9 +228,9 @@ impl JointScratch {
 /// zero per-particle AST or environment copying.
 #[derive(Debug, Clone)]
 pub struct JointExecutor {
-    model_program: Arc<CompiledProgram>,
-    guide_program: Arc<CompiledProgram>,
-    observations: Arc<[Sample]>,
+    pub(crate) model_program: Arc<CompiledProgram>,
+    pub(crate) guide_program: Arc<CompiledProgram>,
+    pub(crate) observations: Arc<[Sample]>,
 }
 
 impl JointExecutor {
@@ -312,7 +341,7 @@ impl JointExecutor {
                 spec.guide_args.clone(),
             )?,
         };
-        let mut latent = std::mem::take(&mut scratch.trace);
+        let mut latent = scratch.take_trace();
         latent.clear();
         let result = self.drive_joint(spec, source, rng, &mut model, &mut guide, &mut latent);
         // Park the coroutines (and, on failure, the trace buffer) for the

@@ -13,7 +13,12 @@
 //!   scope-chain environments in their continuation frames;
 //! * [`joint`] — the driver that runs a model coroutine and a guide
 //!   coroutine against each other, conditioning the model's observation
-//!   channel on data and recording the latent guidance trace.
+//!   channel on data and recording the latent guidance trace;
+//! * `block` (internal) — the vectorised executor behind
+//!   [`JointExecutor::run_block_with_scratch`], which steps a whole block
+//!   of particles in lockstep over the shared compiled program with
+//!   structure-of-arrays lane buffers, falling back to the scalar
+//!   coroutine path whenever a program shape it cannot vectorise appears.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@
 //! # Ok::<(), ppl_runtime::RuntimeError>(())
 //! ```
 
+pub(crate) mod block;
 pub mod coroutine;
 pub mod joint;
 pub mod program;

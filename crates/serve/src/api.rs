@@ -25,6 +25,7 @@
 //!   "method": {"algorithm": "importance", "particles": 2000},
 //!   "seed": 7,
 //!   "threads": 1,
+//!   "block": 64,
 //!   "guide_args": [7.4, 0.6],
 //!   "sample_index": 0
 //! }
@@ -44,9 +45,10 @@
 //!
 //! A response is a pure function of the request fingerprint (model,
 //! exact observation bits, method configuration, seed, statistic): all
-//! randomness comes from the request's seed, and thread counts are
-//! excluded from the fingerprint because the engine's results are
-//! bit-identical for every thread count.  The LRU cache therefore returns
+//! randomness comes from the request's seed, and thread counts and block
+//! sizes are excluded from the fingerprint because the engine's results
+//! are bit-identical for every thread count and every vectorised block
+//! size.  The LRU cache therefore returns
 //! **byte-identical** responses on warm hits while running zero particles
 //! (`X-Cache: hit`).
 
@@ -71,15 +73,27 @@ pub struct App {
     pub cache: ResponseCache,
     /// Request metrics.
     pub metrics: Metrics,
+    /// Block size used by the vectorised particle executor when a request
+    /// does not set its own `"block"` field (the `--block` flag).  Purely
+    /// a performance knob: results are bit-identical at every block size,
+    /// so it is excluded from cache fingerprints.
+    pub default_block: usize,
 }
 
 impl App {
-    /// Creates an app over a registry with the given cache capacity.
+    /// Creates an app over a registry with the given cache capacity and
+    /// the default vectorised-execution block size.
     pub fn new(registry: Registry, cache_capacity: usize) -> Arc<App> {
+        App::with_block(registry, cache_capacity, ppl_inference::DEFAULT_BLOCK)
+    }
+
+    /// [`App::new`] with an explicit default block size (clamped to ≥ 1).
+    pub fn with_block(registry: Registry, cache_capacity: usize, block: usize) -> Arc<App> {
         Arc::new(App {
             registry,
             cache: ResponseCache::new(cache_capacity),
             metrics: Metrics::new(),
+            default_block: block.max(1),
         })
     }
 
@@ -235,9 +249,20 @@ fn metrics(app: &App) -> Response {
                     ("origin".into(), Json::str(e.origin.as_str())),
                     ("submissions".into(), Json::Num(e.submission_count() as f64)),
                     ("queries".into(), Json::Num(e.query_count() as f64)),
+                    (
+                        "particles_per_sec".into(),
+                        match e.executions_per_sec() {
+                            Some(rate) => Json::num_or_null(rate),
+                            None => Json::Null,
+                        },
+                    ),
                 ])
             })
             .collect();
+        fields.push((
+            "execution".into(),
+            Json::Obj(vec![("block".into(), Json::Num(app.default_block as f64))]),
+        ));
         fields.push((
             "registry".into(),
             Json::Obj(vec![
@@ -351,6 +376,7 @@ struct QueryRequest {
     method: Method,
     seed: u64,
     threads: usize,
+    block: usize,
     model_args: Vec<Value>,
     guide_args: Vec<Value>,
     sample_index: usize,
@@ -359,7 +385,7 @@ struct QueryRequest {
 fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     let doc = parse_body(req)?;
     let entry = lookup_model(app, &doc)?;
-    let request = decode_request(&doc, &entry)?;
+    let request = decode_request(&doc, &entry, app.default_block)?;
     let (body, hit) = serve_one(app, &entry, &request)?;
     Ok(Response::json(200, body.to_string())
         .with_header("X-Cache", if hit { "hit" } else { "miss" }))
@@ -411,7 +437,7 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     // The shared fields (method, threads, guide args, …) decode once; each
     // item then only decodes its own observation set, keeping batch
     // decoding linear in the number of sets.
-    let base = decode_request(&doc, &entry)?;
+    let base = decode_request(&doc, &entry, app.default_block)?;
 
     // Decode and *validate* every item before running anything: a bad
     // item rejects the whole batch with its index, and no partial work is
@@ -506,7 +532,12 @@ fn serve_one(
         return Ok((body, true));
     }
     let query = build_query(entry, request)?;
+    let run_started = Instant::now();
     let posterior = query.run(&request.method).map_err(from_session_error)?;
+    entry.record_execution(
+        scheduled_executions(&request.method),
+        run_started.elapsed().as_nanos() as u64,
+    );
     let body: Arc<str> = query_response_json(
         &entry.id,
         &request.method,
@@ -528,13 +559,18 @@ fn build_query(entry: &ModelEntry, request: &QueryRequest) -> Result<Query, ApiE
         .observe(request.observations.iter().cloned())
         .seed(request.seed)
         .threads(request.threads)
+        .block(request.block)
         .model_args(request.model_args.clone())
         .guide_args(request.guide_args.clone())
         .build()
         .map_err(|e| from_session_error(SessionError::Query(e)))
 }
 
-fn decode_request(doc: &Json, entry: &ModelEntry) -> Result<QueryRequest, ApiError> {
+fn decode_request(
+    doc: &Json,
+    entry: &ModelEntry,
+    default_block: usize,
+) -> Result<QueryRequest, ApiError> {
     let observations = match doc.get("observations") {
         None => Vec::new(),
         Some(json) => {
@@ -565,6 +601,9 @@ fn decode_request(doc: &Json, entry: &ModelEntry) -> Result<QueryRequest, ApiErr
     }
     let seed = opt_u64(doc, "seed")?.unwrap_or(0);
     let threads = opt_u64(doc, "threads")?.unwrap_or(1).max(1) as usize;
+    let block = opt_u64(doc, "block")?
+        .map(|n| (n as usize).max(1))
+        .unwrap_or(default_block);
     let sample_index = opt_u64(doc, "sample_index")?.unwrap_or(0) as usize;
     let model_args = real_args(doc, "model_args")?;
     let mut guide_args = real_args(doc, "guide_args")?;
@@ -584,6 +623,7 @@ fn decode_request(doc: &Json, entry: &ModelEntry) -> Result<QueryRequest, ApiErr
         method,
         seed,
         threads,
+        block,
         model_args,
         guide_args,
         sample_index,
@@ -774,9 +814,10 @@ fn real_args(doc: &Json, key: &str) -> Result<Vec<Value>, ApiError> {
 
 /// The canonical request fingerprint: a pure function of everything that
 /// can influence the response bytes.  Floats are keyed by their exact IEEE
-/// bits, and the engine thread count is deliberately **excluded** — PR 2's
-/// determinism guarantee makes results bit-identical across thread counts,
-/// so requests differing only in `threads` share a cache line.
+/// bits, and the engine thread count and vectorised block size are
+/// deliberately **excluded** — the determinism guarantee makes results
+/// bit-identical across thread counts and block sizes, so requests
+/// differing only in `threads` or `block` share a cache line.
 fn fingerprint(model: &str, request: &QueryRequest) -> String {
     use std::fmt::Write;
     let mut s = String::with_capacity(128);
@@ -1036,6 +1077,45 @@ mod tests {
     }
 
     #[test]
+    fn block_sizes_share_a_cache_line_and_metrics_report_execution() {
+        let app = app();
+        let scalar = r#"{"model":"ex-1","observations":[0.8],
+                         "method":{"algorithm":"importance","particles":200},"seed":3,"block":1}"#;
+        let vector = r#"{"model":"ex-1","observations":[0.8],
+                         "method":{"algorithm":"importance","particles":200},"seed":3,"block":256}"#;
+        let cold = post(&app, "/v1/query", scalar);
+        assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+        let warm = post(&app, "/v1/query", vector);
+        assert!(warm
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Cache" && v == "hit"));
+        assert_eq!(cold.body, warm.body);
+        // /metrics reports the active default block size and the measured
+        // per-model execution rate (only the cache miss ran particles).
+        let metrics = get(&app, "/metrics");
+        assert_eq!(metrics.status, 200);
+        let parsed = Json::parse(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("execution").unwrap().get("block"),
+            Some(&Json::Num(ppl_inference::DEFAULT_BLOCK as f64))
+        );
+        let per_model = parsed
+            .get("registry")
+            .unwrap()
+            .get("per_model")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        let ex1 = per_model
+            .iter()
+            .find(|m| m.get("id").unwrap().as_str() == Some("ex-1"))
+            .unwrap();
+        let rate = ex1.get("particles_per_sec").unwrap().as_f64().unwrap();
+        assert!(rate > 0.0, "rate {rate}");
+    }
+
+    #[test]
     fn invalid_requests_are_structured_400s() {
         let app = app();
         // Wrong carrier.
@@ -1111,6 +1191,7 @@ mod tests {
             },
             seed: 1,
             threads: 1,
+            block: 1,
             model_args: vec![],
             guide_args: vec![],
             sample_index: 0,

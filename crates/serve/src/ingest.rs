@@ -146,6 +146,8 @@ pub fn submit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
         max_request_executions: MAX_USER_MODEL_EXECUTIONS,
         submissions: AtomicU64::new(1),
         queries: AtomicU64::new(0),
+        executions: AtomicU64::new(0),
+        execution_nanos: AtomicU64::new(0),
     };
     match app.registry.insert_user(entry) {
         Some((entry, created)) => Ok(submit_response(

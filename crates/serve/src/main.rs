@@ -2,7 +2,7 @@
 //! killed.
 //!
 //! ```text
-//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]
+//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] [--block N]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:8080`; use port 0 to bind an ephemeral
@@ -11,7 +11,10 @@
 //! (default 4) and `--cache` the response-cache capacity (default 256
 //! responses; 0 disables caching).  `--user-models` caps the table of
 //! models admitted through `POST /v1/models` (default 32; 0 disables
-//! submissions — the server then serves builtins only).
+//! submissions — the server then serves builtins only).  `--block` sets
+//! the default vectorised-execution block size (default 64); requests may
+//! override it per-query, and it never changes results — block size is a
+//! pure performance knob.
 
 use ppl_serve::{App, Registry, Server};
 use std::io::Write;
@@ -22,6 +25,7 @@ fn main() -> ExitCode {
     let mut workers = 4usize;
     let mut cache = 256usize;
     let mut user_models = ppl_serve::registry::DEFAULT_USER_MODEL_CAPACITY;
+    let mut block = ppl_inference::DEFAULT_BLOCK;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,13 +45,17 @@ fn main() -> ExitCode {
                 Some(n) => user_models = n,
                 None => return usage("--user-models expects a non-negative integer"),
             },
+            "--block" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => block = n,
+                _ => return usage("--block expects a positive integer"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
 
     let registry = Registry::from_benchmarks().with_user_capacity(user_models);
     println!("ppl-serve: {} models compiled", registry.len());
-    let app = App::new(registry, cache);
+    let app = App::with_block(registry, cache, block);
     let server = match Server::bind(addr.as_str(), workers, app.handler()) {
         Ok(server) => server,
         Err(e) => {
@@ -67,6 +75,8 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]");
+    eprintln!(
+        "usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] [--block N]"
+    );
     ExitCode::FAILURE
 }

@@ -106,6 +106,11 @@ pub struct ModelEntry {
     pub submissions: AtomicU64,
     /// Times this model served a `/v1/query` or `/v1/batch` request.
     pub queries: AtomicU64,
+    /// Joint executions run on cache misses (particles, MH iterations,
+    /// VI samples) — the numerator of the model's throughput gauge.
+    pub executions: AtomicU64,
+    /// Wall-clock nanoseconds spent running those executions.
+    pub execution_nanos: AtomicU64,
 }
 
 impl ModelEntry {
@@ -122,6 +127,25 @@ impl ModelEntry {
     /// Submissions seen so far (1 for builtins).
     pub fn submission_count(&self) -> u64 {
         self.submissions.load(Ordering::Relaxed)
+    }
+
+    /// Records one inference run: `executions` joint executions taking
+    /// `nanos` wall-clock nanoseconds (cache hits run nothing and record
+    /// nothing).
+    pub fn record_execution(&self, executions: u64, nanos: u64) {
+        self.executions.fetch_add(executions, Ordering::Relaxed);
+        self.execution_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Joint executions per second across the model's recorded runs, or
+    /// `None` before any run.  Approximate (two relaxed counters), which
+    /// is fine for a throughput gauge.
+    pub fn executions_per_sec(&self) -> Option<f64> {
+        let nanos = self.execution_nanos.load(Ordering::Relaxed);
+        if nanos == 0 {
+            return None;
+        }
+        Some(self.executions.load(Ordering::Relaxed) as f64 / (nanos as f64 / 1e9))
     }
 }
 
@@ -192,6 +216,8 @@ impl Registry {
                 max_request_executions: crate::api::MAX_REQUEST_EXECUTIONS,
                 submissions: AtomicU64::new(1),
                 queries: AtomicU64::new(0),
+                executions: AtomicU64::new(0),
+                execution_nanos: AtomicU64::new(0),
             });
         }
         registry
@@ -335,6 +361,8 @@ mod tests {
             max_request_executions: MAX_USER_MODEL_EXECUTIONS,
             submissions: AtomicU64::new(1),
             queries: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            execution_nanos: AtomicU64::new(0),
         }
     }
 

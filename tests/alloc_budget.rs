@@ -73,6 +73,76 @@ fn assert_zero_steady_state_allocations(name: &str) {
     );
 }
 
+/// Runs `blocks` lockstep blocks of `block` lanes through one scratch,
+/// recycling every trace and reusing the result buffer, and returns the
+/// number of allocations the batch performed on this thread.
+#[allow(clippy::too_many_arguments)] // explicit loop state keeps the measured window allocation-free
+fn run_block_batch(
+    executor: &JointExecutor,
+    spec: &JointSpec,
+    master: &Pcg32,
+    stream: &mut u64,
+    scratch: &mut JointScratch,
+    results: &mut Vec<guide_ppl::runtime::JointResult>,
+    block: usize,
+    blocks: usize,
+) -> u64 {
+    let before = thread_allocations();
+    let mut acc = 0.0f64;
+    for _ in 0..blocks {
+        results.clear();
+        executor
+            .run_block_with_scratch(spec, master, *stream, block, scratch, results)
+            .expect("block execution");
+        *stream += block as u64;
+        for joint in results.drain(..) {
+            acc += joint.log_importance_weight();
+            scratch.recycle(joint.latent);
+        }
+    }
+    assert!(!acc.is_nan(), "weights must stay well-defined");
+    thread_allocations() - before
+}
+
+fn assert_zero_steady_state_block_allocations(name: &str, block: usize) {
+    let (executor, spec) = harness(name);
+    let master = Pcg32::seed_from_u64(0xB10C);
+    let mut stream = 0u64;
+    let mut scratch = JointScratch::new();
+    let mut results = Vec::new();
+    // Warm-up: grow the lane buffers, plan cache, and trace pools to the
+    // program's working size across enough blocks to see the deepest
+    // randomised control-flow paths.
+    run_block_batch(
+        &executor,
+        &spec,
+        &master,
+        &mut stream,
+        &mut scratch,
+        &mut results,
+        block,
+        8,
+    );
+    // Steady state: ≥1 000 particles' worth of blocks, zero allocations.
+    let blocks = 1_000usize.div_ceil(block);
+    let allocs = run_block_batch(
+        &executor,
+        &spec,
+        &master,
+        &mut stream,
+        &mut scratch,
+        &mut results,
+        block,
+        blocks,
+    );
+    assert_eq!(
+        allocs,
+        0,
+        "{name}: steady-state block-{block} execution allocated ({allocs} allocations / {} particles)",
+        blocks * block
+    );
+}
+
 #[test]
 fn ex1_steady_state_is_allocation_free() {
     assert_zero_steady_state_allocations("ex-1");
@@ -81,6 +151,16 @@ fn ex1_steady_state_is_allocation_free() {
 #[test]
 fn gmm_steady_state_is_allocation_free() {
     assert_zero_steady_state_allocations("gmm");
+}
+
+#[test]
+fn ex1_block_steady_state_is_allocation_free() {
+    assert_zero_steady_state_block_allocations("ex-1", 64);
+}
+
+#[test]
+fn gmm_block_steady_state_is_allocation_free() {
+    assert_zero_steady_state_block_allocations("gmm", 64);
 }
 
 #[test]

@@ -135,11 +135,16 @@ fn compute_joint_fp(b: &Benchmark) -> u64 {
 }
 
 fn compute_is_fp(b: &Benchmark, num_threads: usize) -> u64 {
+    compute_is_fp_block(b, num_threads, guide_ppl::inference::DEFAULT_BLOCK)
+}
+
+fn compute_is_fp_block(b: &Benchmark, num_threads: usize, block: usize) -> u64 {
     let executor = executor_of(b);
     let spec = spec_of(b);
     let mut rng = Pcg32::seed_from_u64(SEED);
     let result = ImportanceSampler::new(PARTICLES)
         .with_threads(num_threads)
+        .with_block(block)
         .run(&executor, &spec, &mut rng)
         .unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let mut fp = Fingerprint::new();
@@ -190,6 +195,27 @@ fn thread_count_never_changes_results() {
                 b.name
             );
             assert_eq!(a.latent, c.latent, "{}: particle {i} trace drifted", b.name);
+        }
+    }
+}
+
+#[test]
+fn block_size_never_changes_results() {
+    // The vectorised block executor is a pure performance knob: at every
+    // block size × thread count the IS fingerprint (all particle traces,
+    // all log-weights, log_evidence, ess) equals the scalar single-thread
+    // reference, for every expressible benchmark.
+    for b in expressible() {
+        let scalar = compute_is_fp_block(&b, 1, 1);
+        for block in [7usize, 64, 256] {
+            for threads in [1usize, 4] {
+                assert_eq!(
+                    compute_is_fp_block(&b, threads, block),
+                    scalar,
+                    "{}: IS fingerprint drifted at block {block}, {threads} threads",
+                    b.name
+                );
+            }
         }
     }
 }
