@@ -14,8 +14,8 @@
 //! trajectory is tracked per commit.
 
 use ppl_bench::throughput::{
-    admission_rows, bench_json, block_rows, engine_timings, http_rows, mcmc_rows, serving_rows,
-    throughput_rows, ThroughputConfig,
+    admission_rows, amortization_rows, bench_json, block_rows, engine_timings, http_rows,
+    mcmc_rows, serving_rows, throughput_rows, ThroughputConfig,
 };
 use std::process::ExitCode;
 
@@ -178,6 +178,26 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\namortized inference — cold VI fit+draw vs artifact-warm draw (cache disabled)");
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>12} {:>14} {:>6}",
+        "benchmark", "fit iters", "draws", "cold q/s", "warm q/s", "amortization", "ok"
+    );
+    let amortization = amortization_rows(&config);
+    for r in &amortization {
+        all_identical &= r.ok;
+        println!(
+            "{:<10} {:>10} {:>8} {:>12.2} {:>12.1} {:>13.1}x {:>6}",
+            r.name,
+            r.fit_iterations,
+            r.draw_particles,
+            r.cold_queries_per_sec,
+            r.warm_queries_per_sec,
+            r.amortization,
+            r.ok,
+        );
+    }
+
     println!("\nengine wall times");
     let engines = engine_timings(&config);
     for e in &engines {
@@ -189,7 +209,15 @@ fn main() -> ExitCode {
 
     if let Some(path) = json_path {
         let json = bench_json(
-            &config, &rows, &blocks, &engines, &serving, &mcmc, &http, &admission,
+            &config,
+            &rows,
+            &blocks,
+            &engines,
+            &serving,
+            &mcmc,
+            &http,
+            &admission,
+            &amortization,
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");

@@ -18,6 +18,11 @@
 //! [`admission_rows`] measures the model-ingestion pipeline: full
 //! parse → type-check → compile admissions per second in-process, plus the
 //! `POST /v1/models` submit→first-query latency over loopback HTTP.
+//! [`amortization_rows`] measures the PR 8 artifact store: one cold VI
+//! query (fit + draw) versus artifact-warm queries that reuse a persisted
+//! fit — byte-identity and the zero-fit-executions invariant re-verified
+//! per request, with the response cache disabled so the speedup is pure
+//! fit amortization.
 //!
 //! [`bench_json`] serialises the rows (plus per-engine wall times) into the
 //! machine-readable `BENCH_inference.json` consumed by CI, so the perf
@@ -681,6 +686,141 @@ pub fn admission_rows(config: &ThroughputConfig) -> Vec<AdmissionRow> {
     }]
 }
 
+/// One amortized-inference measurement: the wall cost of a cold VI query
+/// (fit + draw in one request) versus artifact-warm queries that reuse a
+/// persisted fit through `"artifact": "a-…"` — the serving payoff of the
+/// PR 8 artifact store.  The response cache is disabled so every warm
+/// request genuinely re-runs the draw pass; the speedup is pure fit
+/// amortization, not response memoisation.
+#[derive(Debug, Clone)]
+pub struct AmortizationRow {
+    /// Benchmark name served.
+    pub name: &'static str,
+    /// VI fit iterations of the measured configuration.
+    pub fit_iterations: usize,
+    /// ELBO samples per iteration.
+    pub samples_per_iteration: usize,
+    /// Posterior draw particles per query.
+    pub draw_particles: usize,
+    /// Warm requests measured.
+    pub requests: usize,
+    /// Wall time of one cold query (fit + draw), in seconds.
+    pub cold_seconds: f64,
+    /// Wall time of the warm pass, in seconds.
+    pub warm_seconds: f64,
+    /// Cold queries per second (1 / cold_seconds).
+    pub cold_queries_per_sec: f64,
+    /// Warm queries per second.
+    pub warm_queries_per_sec: f64,
+    /// `warm_queries_per_sec / cold_queries_per_sec` — the amortization
+    /// factor (the acceptance bar is ≥ 10×).
+    pub amortization: f64,
+    /// Artifacts resident in the store after the pass.
+    pub artifacts: u64,
+    /// Bytes of canonical artifact JSON resident in the store.
+    pub store_bytes: u64,
+    /// Warm starts the store served during the pass.
+    pub warm_starts: u64,
+    /// Every response was a 200, every warm body was byte-identical to the
+    /// cold one, and the warm pass ran **zero** VI fit executions
+    /// (verified against `ppl_inference::counters`).
+    pub ok: bool,
+}
+
+/// Measures amortized inference over loopback HTTP: one cold VI query
+/// (fit + draw), one `POST /v1/fit`, then a pass of artifact-warm queries
+/// with the byte-identity and the zero-fit-executions invariant
+/// re-verified per request.
+pub fn amortization_rows(config: &ThroughputConfig) -> Vec<AmortizationRow> {
+    use ppl_serve::http::ClientConn;
+    use ppl_serve::{App, Registry, Server};
+    use ppl_store::Store;
+
+    let name = "weight";
+    let fit_iterations = 100usize;
+    let samples_per_iteration = 8usize;
+    let draw_particles = 200usize;
+    let requests = 8usize;
+
+    // Cache capacity 0: warm requests must re-run the draw pass, so the
+    // measured ratio is fit amortization alone.
+    let store = std::sync::Arc::new(Store::in_memory(16));
+    let app = App::with_store(Registry::from_benchmarks(), 0, config.block, store);
+    let server = Server::bind("127.0.0.1:0", 2, app.handler()).expect("bind loopback");
+    let mut conn = ClientConn::connect(server.local_addr()).expect("loopback connect");
+
+    let cold_body = format!(
+        r#"{{"model":"{name}","observations":[9.0,9.0],"seed":{},
+            "method":{{"algorithm":"vi","iterations":{fit_iterations},
+                       "samples_per_iteration":{samples_per_iteration},
+                       "draw_particles":{draw_particles}}}}}"#,
+        config.seed
+    );
+    let start = Instant::now();
+    let (cold_status, _, cold_response) = conn
+        .send("POST", "/v1/query", Some(&cold_body))
+        .expect("cold query");
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let mut ok = cold_status == 200;
+
+    let fit_body = format!(
+        r#"{{"model":"{name}","observations":[9.0,9.0],"seed":{},
+            "fit":{{"iterations":{fit_iterations},
+                    "samples_per_iteration":{samples_per_iteration}}}}}"#,
+        config.seed
+    );
+    let (fit_status, _, fit_response) = conn
+        .send("POST", "/v1/fit", Some(&fit_body))
+        .expect("fit request");
+    ok &= fit_status == 201;
+    let id = ppl_serve::Json::parse(std::str::from_utf8(&fit_response).unwrap_or_default())
+        .ok()
+        .and_then(|doc| {
+            doc.get("id")
+                .and_then(ppl_serve::Json::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_default();
+
+    let warm_body =
+        format!(r#"{{"model":"{name}","artifact":"{id}","draw_particles":{draw_particles}}}"#);
+    let fit_executions_before = ppl_inference::counters::vi_fit_executions();
+    let start = Instant::now();
+    for _ in 0..requests {
+        let (status, _, response) = conn
+            .send("POST", "/v1/query", Some(&warm_body))
+            .expect("warm query");
+        ok &= status == 200 && response == cold_response;
+    }
+    let warm_seconds = start.elapsed().as_secs_f64();
+    // The loopback server runs in-process, so the counter covers it: the
+    // warm pass must not have scheduled a single VI fit execution.
+    ok &= ppl_inference::counters::vi_fit_executions() == fit_executions_before;
+    let artifacts = app.store.len() as u64;
+    let store_bytes = app.store.bytes();
+    let warm_starts = app.store.warm_starts();
+    server.shutdown();
+
+    let cold_queries_per_sec = 1.0 / cold_seconds;
+    let warm_queries_per_sec = requests as f64 / warm_seconds;
+    vec![AmortizationRow {
+        name,
+        fit_iterations,
+        samples_per_iteration,
+        draw_particles,
+        requests,
+        cold_seconds,
+        warm_seconds,
+        cold_queries_per_sec,
+        warm_queries_per_sec,
+        amortization: warm_queries_per_sec / cold_queries_per_sec,
+        artifacts,
+        store_bytes,
+        warm_starts,
+        ok,
+    }]
+}
+
 /// Times each inference engine once on a reference workload.
 pub fn engine_timings(config: &ThroughputConfig) -> Vec<EngineTiming> {
     let mut out = Vec::new();
@@ -775,10 +915,11 @@ pub fn bench_json(
     mcmc: &[McmcRow],
     http: &[HttpRow],
     admission: &[AdmissionRow],
+    amortization: &[AmortizationRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v5\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v6\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
     let _ = writeln!(s, "  \"block\": {},", config.block);
@@ -907,6 +1048,43 @@ pub fn bench_json(
         s.push_str(if i + 1 < admission.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"amortization\": [\n");
+    for (i, r) in amortization.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"fit_iterations\": {}, \"samples_per_iteration\": {}, \
+             \"draw_particles\": {}, \"requests\": {}, \"cold_seconds\": {}, \
+             \"warm_seconds\": {}, \"cold_queries_per_sec\": {}, \"warm_queries_per_sec\": {}, \
+             \"amortization\": {}, \"ok\": {}}}",
+            r.name,
+            r.fit_iterations,
+            r.samples_per_iteration,
+            r.draw_particles,
+            r.requests,
+            json_f64(r.cold_seconds),
+            json_f64(r.warm_seconds),
+            json_f64(r.cold_queries_per_sec),
+            json_f64(r.warm_queries_per_sec),
+            json_f64(r.amortization),
+            r.ok,
+        );
+        s.push_str(if i + 1 < amortization.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    // Store gauges from the amortization run (the only scenario that
+    // exercises the artifact store).
+    let (artifacts, store_bytes, warm_starts) = amortization
+        .first()
+        .map_or((0, 0, 0), |r| (r.artifacts, r.store_bytes, r.warm_starts));
+    let _ = writeln!(
+        s,
+        "  \"store\": {{\"artifacts\": {artifacts}, \"bytes\": {store_bytes}, \
+         \"warm_starts\": {warm_starts}}},"
+    );
     s.push_str("  \"engines\": [\n");
     for (i, e) in engines.iter().enumerate() {
         let _ = write!(
@@ -1068,6 +1246,29 @@ mod tests {
     }
 
     #[test]
+    fn amortization_rows_reuse_the_fit_with_byte_identity() {
+        let config = ThroughputConfig {
+            particles: 200,
+            threads: 2,
+            block: DEFAULT_BLOCK,
+            seed: 23,
+        };
+        let rows = amortization_rows(&config);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(
+            r.ok,
+            "a warm body diverged from the cold one, or the warm pass ran fit executions"
+        );
+        assert_eq!(r.artifacts, 1);
+        assert!(r.store_bytes > 0);
+        assert_eq!(r.warm_starts, r.requests as u64);
+        // The wall-clock ratio is load-dependent, so the test only demands
+        // amortization > 1; the recorded BENCH row carries the real factor.
+        assert!(r.amortization > 1.0, "amortization {}", r.amortization);
+    }
+
+    #[test]
     fn bench_json_is_well_formed() {
         let config = ThroughputConfig {
             particles: 200,
@@ -1083,8 +1284,17 @@ mod tests {
         let mcmc = mcmc_rows(&config);
         let http = http_rows(&config);
         let admission = admission_rows(&config);
+        let amortization = amortization_rows(&config);
         let json = bench_json(
-            &config, &rows, &blocks, &engines, &serving, &mcmc, &http, &admission,
+            &config,
+            &rows,
+            &blocks,
+            &engines,
+            &serving,
+            &mcmc,
+            &http,
+            &admission,
+            &amortization,
         );
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
@@ -1095,7 +1305,11 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"ppl-bench/inference/v5\"",
+            "\"schema\": \"ppl-bench/inference/v6\"",
+            "\"amortization\"",
+            "\"warm_queries_per_sec\"",
+            "\"store\"",
+            "\"warm_starts\"",
             "\"host_cpus\"",
             "\"block\": 64",
             "\"blocks\"",

@@ -81,7 +81,9 @@ pub use ppl_semantics as semantics;
 pub use ppl_syntax as syntax;
 pub use ppl_tracetypes as tracetypes;
 pub use ppl_types as types;
-pub use query::{Method, PosteriorResult, Query, QueryBuilder, QueryError};
+pub use query::{
+    sample_to_artifact_obs, Method, PosteriorResult, Query, QueryBuilder, QueryError, ViFit,
+};
 
 /// Errors produced by the end-to-end pipeline.
 #[derive(Debug, Clone, PartialEq)]

@@ -43,10 +43,11 @@ use ppl_dist::rng::Pcg32;
 use ppl_dist::Sample;
 use ppl_inference::{
     Draw, Engine, ImportanceResult, ImportanceSampler, IndependenceMh, McmcResult, ParamSpec,
-    Posterior, VariationalInference, ViConfig, ViPosterior, DEFAULT_BLOCK,
+    Posterior, VariationalInference, ViConfig, ViPosterior, ViResult, DEFAULT_BLOCK,
 };
 use ppl_runtime::{JointExecutor, JointSpec};
 use ppl_semantics::value::Value;
+use ppl_store::{Artifact, ObsLit};
 use ppl_types::obs::{validate_observations, ObsValue, ObsViolation};
 use std::fmt;
 
@@ -453,6 +454,76 @@ impl<'s> QueryBuilder<'s> {
     pub fn run(self, method: &Method) -> Result<PosteriorResult, SessionError> {
         self.build()?.run(method)
     }
+
+    /// Builds a query configured from a fitted-guide [`Artifact`]: the
+    /// artifact's seed, observations, and model arguments replace whatever
+    /// the builder held, so [`Query::run_vi_warm`] replays the recorded fit
+    /// bit-exactly.  Thread count and block size stay caller-chosen — they
+    /// are perf knobs and never change results.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`QueryBuilder::build`] rejects, plus
+    /// [`QueryError::GuideArity`] when the artifact's parameter schema does
+    /// not match the guide's arity (an artifact from a different guide).
+    pub fn vi_from_artifact(mut self, artifact: &Artifact) -> Result<Query, QueryError> {
+        self.seed = artifact.seed;
+        self.observations = artifact
+            .observations
+            .iter()
+            .map(artifact_obs_to_sample)
+            .collect();
+        self.model_args = artifact
+            .model_args
+            .iter()
+            .map(|&x| Value::Real(x))
+            .collect();
+        let query = self.build()?;
+        if artifact.schema.len() != query.guide_arity {
+            return Err(QueryError::GuideArity {
+                expected: query.guide_arity,
+                supplied: artifact.schema.len(),
+            });
+        }
+        Ok(query)
+    }
+}
+
+/// Converts a runtime observation [`Sample`] to the artifact store's
+/// dependency-free literal form.
+pub fn sample_to_artifact_obs(sample: &Sample) -> ObsLit {
+    match sample {
+        Sample::Bool(b) => ObsLit::Bool(*b),
+        Sample::Real(x) => ObsLit::Real(*x),
+        Sample::Nat(n) => ObsLit::Nat(*n),
+    }
+}
+
+fn artifact_obs_to_sample(obs: &ObsLit) -> Sample {
+    match obs {
+        ObsLit::Bool(b) => Sample::Bool(*b),
+        ObsLit::Real(x) => Sample::Real(*x),
+        ObsLit::Nat(n) => Sample::Nat(*n),
+    }
+}
+
+/// The outcome of an engine-level VI fit run through [`Query::fit_vi`]:
+/// the optimisation result plus the raw RNG words captured *immediately
+/// after* the fit.
+///
+/// The fresh VI path threads one generator through the fit and then the
+/// fitted-guide draw pass, so resuming a generator from these words (see
+/// [`Pcg32::from_state_parts`]) and drawing reproduces the fresh path's
+/// draw bytes exactly — the invariant the artifact store's warm queries
+/// are built on.
+#[derive(Debug, Clone)]
+pub struct ViFit {
+    /// The optimisation result (fitted parameters, ELBO trajectory).
+    pub result: ViResult,
+    /// Raw PCG state word after the fit.
+    pub rng_state: u64,
+    /// Raw PCG increment word after the fit.
+    pub rng_inc: u64,
 }
 
 /// A validated, reusable inference request.
@@ -523,6 +594,96 @@ impl Query {
     /// The query's vectorised-execution block size.
     pub fn block(&self) -> usize {
         self.block
+    }
+
+    /// Runs **only** the VI fit — the expensive half of [`Method::Vi`] —
+    /// and captures the post-fit RNG position, so the fit can be
+    /// checkpointed as an [`Artifact`] and its draw pass replayed later by
+    /// [`Query::run_vi_warm`] without refitting.
+    ///
+    /// The fit is identical to the one [`Method::Vi`] runs: same
+    /// validation, same seeding, same `num_threads` promotion — so
+    /// `fit_vi` followed by `run_vi_warm` at the same seed is bit-identical
+    /// to one fresh `Method::Vi` run.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures (guide arity, degenerate configurations)
+    /// surface as [`SessionError::Query`]; engine failures as
+    /// [`SessionError::Runtime`].
+    pub fn fit_vi(&self, params: &[ParamSpec], config: &ViConfig) -> Result<ViFit, SessionError> {
+        self.check_method(&Method::Vi {
+            params: params.to_vec(),
+            config: config.clone(),
+            draw_particles: None,
+        })?;
+        let mut config = config.clone();
+        config.num_threads = config.num_threads.max(self.threads);
+        let mut rng = Pcg32::seed_from_u64(self.seed);
+        let result =
+            VariationalInference::new(config).run(&self.executor, &self.spec, params, &mut rng)?;
+        let (rng_state, rng_inc) = rng.state_parts();
+        Ok(ViFit {
+            result,
+            rng_state,
+            rng_inc,
+        })
+    }
+
+    /// Draws a VI posterior from an already-fitted guide — the warm half
+    /// of the amortization story: **zero fit iterations run**.
+    ///
+    /// The query should come from [`QueryBuilder::vi_from_artifact`] so
+    /// its seed and observations match the artifact's.  The RNG resumes
+    /// from the artifact's post-fit words and the guide runs at the
+    /// recorded parameters, so the returned posterior is bit-identical to
+    /// the fresh `Method::Vi` run that minted the artifact (given the same
+    /// `draw_particles`).  The fit half of the result is reconstructed
+    /// from the artifact's provenance: real fitted parameters, and an
+    /// ELBO trace whose trailing window is the recorded tail (earlier
+    /// entries, which no diagnostic reads, are NaN placeholders).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Query`] when the artifact's schema does not match
+    /// the guide or `draw_particles` is zero; engine failures as
+    /// [`SessionError::Runtime`].
+    pub fn run_vi_warm(
+        &self,
+        artifact: &Artifact,
+        draw_particles: Option<usize>,
+    ) -> Result<PosteriorResult, SessionError> {
+        if artifact.schema.len() != self.guide_arity {
+            return Err(QueryError::GuideArity {
+                expected: self.guide_arity,
+                supplied: artifact.schema.len(),
+            }
+            .into());
+        }
+        if draw_particles == Some(0) {
+            return Err(QueryError::InvalidMethod {
+                reason: "the VI fitted-guide draw pass needs at least one particle".into(),
+            }
+            .into());
+        }
+        let mut rng = Pcg32::from_state_parts(artifact.rng_state, artifact.rng_inc);
+        let fitted_spec = JointSpec {
+            guide_args: artifact.params.iter().map(|&p| Value::Real(p)).collect(),
+            ..self.spec.clone()
+        };
+        let draws = ImportanceSampler::new(draw_particles.unwrap_or(VI_POSTERIOR_PARTICLES))
+            .with_threads(self.threads)
+            .with_block(self.block)
+            .run(&self.executor, &fitted_spec, &mut rng)?;
+        let total = artifact.fit_iterations as usize;
+        let mut elbo_trace = vec![f64::NAN; total.saturating_sub(artifact.elbo_tail.len())];
+        elbo_trace.extend(artifact.elbo_tail.iter().copied());
+        let fit = ViResult {
+            params: artifact.params.clone(),
+            names: artifact.schema.iter().map(|p| p.name.clone()).collect(),
+            elbo_trace,
+        };
+        Ok(PosteriorResult::Vi(ViPosterior { fit, draws }))
     }
 
     fn check_method(&self, method: &Method) -> Result<(), QueryError> {

@@ -18,6 +18,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static JOINT_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
 
+static VI_FIT_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
 /// Records that an engine scheduled `n` joint model–guide executions
 /// (particles, MH proposals, or VI mini-batch samples).
 pub fn record_joint_executions(n: usize) {
@@ -31,6 +33,20 @@ pub fn joint_executions() -> u64 {
     JOINT_EXECUTIONS.load(Ordering::Relaxed)
 }
 
+/// Records that a VI optimiser scheduled `n` joint executions as part of a
+/// *fit* (mini-batch sampling; the post-fit draw pass is not counted).
+///
+/// The artifact store promises that a warm-start query skips the fit
+/// entirely; deltaing [`vi_fit_executions`] around a warm query proves it.
+pub fn record_vi_fit_executions(n: usize) {
+    VI_FIT_EXECUTIONS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Total VI fit executions scheduled since process start.
+pub fn vi_fit_executions() -> u64 {
+    VI_FIT_EXECUTIONS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +57,14 @@ mod tests {
         record_joint_executions(3);
         record_joint_executions(0);
         assert_eq!(joint_executions() - before, 3);
+    }
+
+    #[test]
+    fn fit_counter_is_independent_of_the_joint_counter() {
+        let joint_before = joint_executions();
+        let fit_before = vi_fit_executions();
+        record_vi_fit_executions(5);
+        assert_eq!(vi_fit_executions() - fit_before, 5);
+        assert_eq!(joint_executions() - joint_before, 0);
     }
 }

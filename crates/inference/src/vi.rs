@@ -197,6 +197,9 @@ impl VariationalInference {
         crate::counters::record_joint_executions(
             self.config.iterations * self.config.samples_per_iteration,
         );
+        crate::counters::record_vi_fit_executions(
+            self.config.iterations * self.config.samples_per_iteration,
+        );
         let mut adam = Adam::new(dim, self.config.learning_rate);
         let mut elbo_trace = Vec::with_capacity(self.config.iterations);
         let engine = Engine::new(self.config.num_threads);

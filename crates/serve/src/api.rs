@@ -9,12 +9,16 @@
 //! Routes:
 //!
 //! * `GET /healthz` — liveness plus the number of servable models;
-//! * `GET /metrics` — request counts per route, a latency histogram, and
-//!   the cache hit rate;
+//! * `GET /metrics` — request counts per route, a latency histogram, the
+//!   cache hit rate, and the artifact store's figures;
 //! * `GET /v1/models` — the registry listing with each model's rendered
 //!   latent and observation protocols;
-//! * `POST /v1/query` — run one inference request (see below);
-//! * `POST /v1/batch` — run one method over many observation sets.
+//! * `POST /v1/query` — run one inference request (see below); with an
+//!   `"artifact"` field, draw from a fitted guide without refitting;
+//! * `POST /v1/batch` — run one method over many observation sets;
+//! * `POST /v1/fit` — run a VI fit and persist it as an artifact
+//!   ([`crate::fit`]);
+//! * `GET/DELETE /v1/artifacts[/{id}]` — the artifact lifecycle.
 //!
 //! # The query wire format
 //!
@@ -61,10 +65,11 @@ use guide_ppl::{Method, Posterior, PosteriorResult, Query, QueryError, SessionEr
 use ppl_dist::Sample;
 use ppl_inference::{ParamSpec, PosteriorSummary, ViConfig};
 use ppl_semantics::value::Value;
+use ppl_store::Store;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The served application: registry, cache, and metrics.
+/// The served application: registry, cache, metrics, and artifact store.
 #[derive(Debug)]
 pub struct App {
     /// The compiled-session registry.
@@ -73,6 +78,9 @@ pub struct App {
     pub cache: ResponseCache,
     /// Request metrics.
     pub metrics: Metrics,
+    /// The fitted-guide artifact store (`--store-dir`; in-memory when the
+    /// flag is absent).
+    pub store: Arc<Store>,
     /// Block size used by the vectorised particle executor when a request
     /// does not set its own `"block"` field (the `--block` flag).  Purely
     /// a performance knob: results are bit-identical at every block size,
@@ -89,10 +97,28 @@ impl App {
 
     /// [`App::new`] with an explicit default block size (clamped to ≥ 1).
     pub fn with_block(registry: Registry, cache_capacity: usize, block: usize) -> Arc<App> {
+        App::with_store(
+            registry,
+            cache_capacity,
+            block,
+            Arc::new(Store::in_memory(ppl_store::DEFAULT_STORE_CAPACITY)),
+        )
+    }
+
+    /// [`App::with_block`] over an explicit artifact store — the full
+    /// constructor `ppl-serve` uses when `--store-dir` is set, so a
+    /// restart warm-starts the artifact index from disk.
+    pub fn with_store(
+        registry: Registry,
+        cache_capacity: usize,
+        block: usize,
+        store: Arc<Store>,
+    ) -> Arc<App> {
         Arc::new(App {
             registry,
             cache: ResponseCache::new(cache_capacity),
             metrics: Metrics::new(),
+            store,
             default_block: block.max(1),
         })
     }
@@ -168,7 +194,7 @@ pub(crate) fn bad_schema(message: impl Into<String>) -> ApiError {
     ApiError::new(400, "request.schema", message)
 }
 
-fn from_session_error(err: SessionError) -> ApiError {
+pub(crate) fn from_session_error(err: SessionError) -> ApiError {
     match err {
         SessionError::Query(q) => {
             let mut api = ApiError::new(400, q.code(), q.to_string());
@@ -207,6 +233,18 @@ fn route(app: &Arc<App>, req: &Request) -> Response {
             .to_response(),
         };
     }
+    if let Some(id) = req.path.strip_prefix("/v1/artifacts/") {
+        return match req.method.as_str() {
+            "GET" => crate::fit::get_artifact(app, id).unwrap_or_else(|e| e.to_response()),
+            "DELETE" => crate::fit::delete_artifact(app, id).unwrap_or_else(|e| e.to_response()),
+            _ => ApiError::new(
+                405,
+                "method.not_allowed",
+                "wrong HTTP method for this route",
+            )
+            .to_response(),
+        };
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(app),
         ("GET", "/metrics") => metrics(app),
@@ -216,7 +254,13 @@ fn route(app: &Arc<App>, req: &Request) -> Response {
         }
         ("POST", "/v1/query") => query(app, req).unwrap_or_else(|e| e.to_response()),
         ("POST", "/v1/batch") => batch(app, req).unwrap_or_else(|e| e.to_response()),
-        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/query" | "/v1/batch") => ApiError::new(
+        ("POST", "/v1/fit") => crate::fit::fit(app, req).unwrap_or_else(|e| e.to_response()),
+        ("GET", "/v1/artifacts") => crate::fit::list_artifacts(app),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/models" | "/v1/query" | "/v1/batch" | "/v1/fit"
+            | "/v1/artifacts",
+        ) => ApiError::new(
             405,
             "method.not_allowed",
             "wrong HTTP method for this route",
@@ -249,6 +293,7 @@ fn metrics(app: &App) -> Response {
                     ("origin".into(), Json::str(e.origin.as_str())),
                     ("submissions".into(), Json::Num(e.submission_count() as f64)),
                     ("queries".into(), Json::Num(e.query_count() as f64)),
+                    ("fits".into(), Json::Num(e.fit_count() as f64)),
                     (
                         "particles_per_sec".into(),
                         match e.executions_per_sec() {
@@ -282,13 +327,30 @@ fn metrics(app: &App) -> Response {
                 ("per_model".into(), Json::Arr(per_model)),
             ]),
         ));
+        fields.push((
+            "store".into(),
+            Json::Obj(vec![
+                ("artifacts".into(), Json::Num(app.store.len() as f64)),
+                ("bytes".into(), Json::Num(app.store.bytes() as f64)),
+                (
+                    "warm_starts".into(),
+                    Json::Num(app.store.warm_starts() as f64),
+                ),
+                ("evictions".into(), Json::Num(app.store.evictions() as f64)),
+                (
+                    "skipped_at_boot".into(),
+                    Json::Num(app.store.skipped_at_boot() as f64),
+                ),
+            ]),
+        ));
     }
     Response::json(200, body.write().expect("finite"))
 }
 
 /// The wire representation of one registry entry (used by the listing,
 /// `GET /v1/models/{id}`, and the `POST /v1/models` response).
-pub(crate) fn model_json(e: &ModelEntry) -> Json {
+/// `artifacts` is the model's current artifact count in the store.
+pub(crate) fn model_json(e: &ModelEntry, artifacts: u64) -> Json {
     Json::Obj(vec![
         ("id".into(), Json::str(e.id.clone())),
         ("name".into(), Json::str(e.name.clone())),
@@ -316,6 +378,8 @@ pub(crate) fn model_json(e: &ModelEntry) -> Json {
         ),
         ("submissions".into(), Json::Num(e.submission_count() as f64)),
         ("queries".into(), Json::Num(e.query_count() as f64)),
+        ("fits".into(), Json::Num(e.fit_count() as f64)),
+        ("artifacts".into(), Json::Num(artifacts as f64)),
         (
             "guide_params".into(),
             Json::Arr(
@@ -339,7 +403,7 @@ fn models(app: &App) -> Response {
         .registry
         .entries()
         .iter()
-        .map(|e| model_json(e))
+        .map(|e| model_json(e, app.store.count_for_model(&e.id)))
         .collect();
     let body = Json::Obj(vec![
         ("models".into(), Json::Arr(entries)),
@@ -385,6 +449,9 @@ struct QueryRequest {
 fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     let doc = parse_body(req)?;
     let entry = lookup_model(app, &doc)?;
+    if doc.get("artifact").is_some() {
+        return crate::fit::artifact_query(app, &doc, &entry);
+    }
     let request = decode_request(&doc, &entry, app.default_block)?;
     let (body, hit) = serve_one(app, &entry, &request)?;
     Ok(Response::json(200, body.to_string())
@@ -394,6 +461,14 @@ fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
 fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     let doc = parse_body(req)?;
     let entry = lookup_model(app, &doc)?;
+    if doc.get("artifact").is_some() {
+        // Artifact-warm draws are single-shot by construction (the
+        // artifact pins seed and observations); batching them would only
+        // repeat one deterministic result.
+        return Err(bad_schema(
+            "'artifact' is not supported in /v1/batch; use /v1/query",
+        ));
+    }
     let sets = doc
         .get("observation_sets")
         .and_then(Json::as_arr)
@@ -496,18 +571,24 @@ pub(crate) fn parse_body(req: &Request) -> Result<Json, ApiError> {
     Json::parse(text).map_err(bad_json)
 }
 
-fn lookup_model(app: &Arc<App>, doc: &Json) -> Result<Arc<ModelEntry>, ApiError> {
+/// Resolves the request's `"model"` field against the registry without
+/// touching demand counters (the fit route counts fits, not queries).
+pub(crate) fn find_model(app: &Arc<App>, doc: &Json) -> Result<Arc<ModelEntry>, ApiError> {
     let name = doc
         .get("model")
         .and_then(Json::as_str)
         .ok_or_else(|| bad_schema("'model' must be a string"))?;
-    let entry = app.registry.get(name).ok_or_else(|| {
+    app.registry.get(name).ok_or_else(|| {
         ApiError::new(
             404,
             "model.unknown",
             format!("no model '{name}' in the registry"),
         )
-    })?;
+    })
+}
+
+fn lookup_model(app: &Arc<App>, doc: &Json) -> Result<Arc<ModelEntry>, ApiError> {
+    let entry = find_model(app, doc)?;
     // Counts every request addressed to the model, whether or not it later
     // validates — the metric is demand, not success.
     entry.record_query();
@@ -648,7 +729,7 @@ fn scheduled_executions(method: &Method) -> u64 {
     }
 }
 
-fn decode_observation(index: usize, json: &Json) -> Result<Sample, ApiError> {
+pub(crate) fn decode_observation(index: usize, json: &Json) -> Result<Sample, ApiError> {
     match json {
         Json::Bool(b) => Ok(Sample::Bool(*b)),
         Json::Num(x) => Ok(Sample::Real(*x)),
@@ -753,7 +834,7 @@ fn decode_method(json: Option<&Json>, entry: &ModelEntry) -> Result<Method, ApiE
     }
 }
 
-fn decode_param(json: &Json) -> Result<ParamSpec, ApiError> {
+pub(crate) fn decode_param(json: &Json) -> Result<ParamSpec, ApiError> {
     let name = json
         .get("name")
         .and_then(Json::as_str)
@@ -773,7 +854,7 @@ fn decode_param(json: &Json) -> Result<ParamSpec, ApiError> {
     })
 }
 
-fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, ApiError> {
+pub(crate) fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, ApiError> {
     match doc.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(json) => json
@@ -783,7 +864,7 @@ fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, ApiError> {
     }
 }
 
-fn opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, ApiError> {
+pub(crate) fn opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, ApiError> {
     match doc.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(json) => json
@@ -793,7 +874,7 @@ fn opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, ApiError> {
     }
 }
 
-fn real_args(doc: &Json, key: &str) -> Result<Vec<Value>, ApiError> {
+pub(crate) fn real_args(doc: &Json, key: &str) -> Result<Vec<Value>, ApiError> {
     match doc.get(key) {
         None => Ok(Vec::new()),
         Some(json) => {

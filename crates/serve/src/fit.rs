@@ -1,0 +1,469 @@
+//! Amortized inference over HTTP: `POST /v1/fit`, the
+//! `/v1/artifacts[/{id}]` lifecycle, and artifact-warm `/v1/query`.
+//!
+//! This is the serving half of the train → checkpoint → serve shape.
+//! `POST /v1/fit` runs the engine-level VI fit (through
+//! [`guide_ppl::Query::fit_vi`], which uses the same block-vectorised
+//! particle executor as every other engine), persists the result as a
+//! content-addressed [`Artifact`], and returns its id.  A later
+//! `POST /v1/query` carrying `"artifact": "a-…"` skips the fit entirely:
+//! the stored parameter vector and post-fit RNG state replay the draw
+//! pass bit-identically to the fresh fit — and because guide types
+//! already certified the guide against its model at admission time, the
+//! reuse is *sound by construction* (the paper's compatibility theorem),
+//! not an approximation heuristic.
+//!
+//! # Idempotence
+//!
+//! The artifact id is a content hash over every fit input, computable
+//! before the fit runs; re-fitting an identical request short-circuits to
+//! `200` with `"created": false` and runs **zero** executions — the same
+//! discipline `POST /v1/models` applies to re-submissions.
+//!
+//! # Error codes
+//!
+//! New stable codes follow the existing families: `fit.nonfinite` (the
+//! optimiser diverged; a 400, the config's fault), `fit.persist` (disk
+//! I/O failed; the only 500), `artifact.not_found`,
+//! `artifact.model_mismatch`, and `artifact.version` on the warm query
+//! path.  Client mistakes are never a 500.
+
+use crate::api::{
+    bad_schema, decode_observation, decode_param, find_model, from_session_error, opt_f64, opt_u64,
+    parse_body, query_response_json, real_args, ApiError, App,
+};
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::registry::ModelEntry;
+use guide_ppl::query::VI_POSTERIOR_PARTICLES;
+use guide_ppl::{sample_to_artifact_obs, Method, SessionError};
+use ppl_dist::Sample;
+use ppl_inference::{ParamSpec, ViConfig};
+use ppl_semantics::value::Value;
+use ppl_store::{compute_id, Artifact, FitConfig, FitParam, StoreError, ARTIFACT_FORMAT_VERSION};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handles `POST /v1/fit`: runs (or reuses) a VI fit and persists it as
+/// an artifact.
+///
+/// Wire format:
+///
+/// ```json
+/// {
+///   "model": "weight",
+///   "observations": [9.0, 9.0],
+///   "seed": 11,
+///   "fit": {"iterations": 100, "samples_per_iteration": 8,
+///           "learning_rate": 0.08, "fd_epsilon": 0.0001,
+///           "params": [{"name": "mu", "init": 0.0}]},
+///   "threads": 1,
+///   "block": 64,
+///   "model_args": []
+/// }
+/// ```
+///
+/// Every `fit` field defaults like the `/v1/query` VI method does
+/// (`params` to the registry's initial variational parameters); `threads`
+/// and `block` are perf knobs excluded from the artifact id.
+pub fn fit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    let doc = parse_body(req)?;
+    let entry = find_model(app, &doc)?;
+    entry.record_fit();
+
+    let observations: Vec<Sample> = match doc.get("observations") {
+        None => Vec::new(),
+        Some(json) => {
+            let items = json
+                .as_arr()
+                .ok_or_else(|| bad_schema("'observations' must be an array"))?;
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| decode_observation(i, item))
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let seed = opt_u64(&doc, "seed")?.unwrap_or(0);
+    let threads = opt_u64(&doc, "threads")?.unwrap_or(1).max(1) as usize;
+    let block = opt_u64(&doc, "block")?
+        .map(|n| (n as usize).max(1))
+        .unwrap_or(app.default_block);
+    let model_args = real_args(&doc, "model_args")?;
+
+    let fit_doc = match doc.get("fit") {
+        None => &Json::Obj(Vec::new()),
+        Some(json @ Json::Obj(_)) => json,
+        Some(_) => return Err(bad_schema("'fit' must be an object")),
+    };
+    let mut config = ViConfig::default();
+    if let Some(n) = opt_u64(fit_doc, "iterations")? {
+        config.iterations = n as usize;
+    }
+    if let Some(n) = opt_u64(fit_doc, "samples_per_iteration")? {
+        config.samples_per_iteration = n as usize;
+    }
+    if let Some(x) = opt_f64(fit_doc, "learning_rate")? {
+        config.learning_rate = x;
+    }
+    if let Some(x) = opt_f64(fit_doc, "fd_epsilon")? {
+        config.fd_epsilon = x;
+    }
+    let params: Vec<ParamSpec> = match fit_doc.get("params") {
+        Some(json) => {
+            let items = json
+                .as_arr()
+                .ok_or_else(|| bad_schema("'fit.params' must be an array"))?;
+            items
+                .iter()
+                .map(decode_param)
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        None => entry
+            .guide_param_defaults
+            .iter()
+            .map(|p| {
+                if p.positive {
+                    ParamSpec::positive(&p.name, p.init)
+                } else {
+                    ParamSpec::unconstrained(&p.name, p.init)
+                }
+            })
+            .collect(),
+    };
+
+    // The fit schedules iterations × samples joint executions; the same
+    // per-model budget as every other request applies.
+    let cost = (config.iterations as u64).saturating_mul(config.samples_per_iteration as u64);
+    if cost > entry.max_request_executions {
+        return Err(ApiError::new(
+            400,
+            "request.limit",
+            format!(
+                "the fit schedules {cost} joint executions, above this model's per-request limit of {}",
+                entry.max_request_executions
+            ),
+        )
+        .with("limit", Json::Num(entry.max_request_executions as f64)));
+    }
+
+    let schema: Vec<FitParam> = params
+        .iter()
+        .map(|p| FitParam {
+            name: p.name.clone(),
+            init: p.init,
+            positive: p.positive,
+        })
+        .collect();
+    let fit_config = FitConfig {
+        iterations: config.iterations,
+        samples_per_iteration: config.samples_per_iteration,
+        learning_rate: config.learning_rate,
+        fd_epsilon: config.fd_epsilon,
+    };
+    let obs_lits: Vec<_> = observations.iter().map(sample_to_artifact_obs).collect();
+    let arg_reals: Vec<f64> = model_args
+        .iter()
+        .map(|v| match v {
+            Value::Real(x) => *x,
+            // real_args only produces Real values.
+            _ => f64::NAN,
+        })
+        .collect();
+
+    // Fits are bit-deterministic, so the artifact id is computable before
+    // the fit runs — an identical request reuses the stored artifact with
+    // zero executions.
+    let id = compute_id(&entry.id, &obs_lits, &arg_reals, &schema, &fit_config, seed);
+    if let Some(existing) = app.store.get(&id) {
+        return Ok(fit_response(200, &existing, false));
+    }
+
+    let query = entry
+        .session
+        .query()
+        .observe(observations)
+        .seed(seed)
+        .threads(threads)
+        .block(block)
+        .model_args(model_args)
+        .build()
+        .map_err(|e| from_session_error(SessionError::Query(e)))?;
+    let started = Instant::now();
+    let vi_fit = query.fit_vi(&params, &config).map_err(from_session_error)?;
+    entry.record_execution(cost, started.elapsed().as_nanos() as u64);
+
+    if vi_fit.result.params.iter().any(|p| !p.is_finite()) {
+        return Err(ApiError::new(
+            400,
+            "fit.nonfinite",
+            "the fit diverged to non-finite parameters; lower the learning rate or \
+             increase samples_per_iteration",
+        ));
+    }
+
+    let trace_len = vi_fit.result.elbo_trace.len();
+    let tail_len = (trace_len / 10).max(1);
+    let artifact = Artifact {
+        version: ARTIFACT_FORMAT_VERSION,
+        id,
+        model_id: entry.id.clone(),
+        seed,
+        observations: obs_lits,
+        model_args: arg_reals,
+        schema,
+        config: fit_config,
+        params: vi_fit.result.params.clone(),
+        fit_iterations: trace_len as u64,
+        elbo_tail: vi_fit.result.elbo_trace[trace_len - tail_len..].to_vec(),
+        rng_state: vi_fit.rng_state,
+        rng_inc: vi_fit.rng_inc,
+    };
+    let (id, created) = app.store.put(artifact).map_err(store_error)?;
+    let stored = app.store.get(&id).expect("just inserted");
+    Ok(fit_response(
+        if created { 201 } else { 200 },
+        &stored,
+        created,
+    ))
+}
+
+/// Handles `GET /v1/artifacts`: the deterministic (id-sorted) listing.
+pub fn list_artifacts(app: &Arc<App>) -> Response {
+    let artifacts = app.store.list();
+    let body = Json::Obj(vec![
+        (
+            "artifacts".into(),
+            Json::Arr(artifacts.iter().map(|a| artifact_json(a)).collect()),
+        ),
+        ("count".into(), Json::Num(artifacts.len() as f64)),
+        ("bytes".into(), Json::Num(app.store.bytes() as f64)),
+        (
+            "warm_starts".into(),
+            Json::Num(app.store.warm_starts() as f64),
+        ),
+    ]);
+    Response::json(200, body.write().expect("finite"))
+}
+
+/// Handles `GET /v1/artifacts/{id}`.
+pub fn get_artifact(app: &Arc<App>, id: &str) -> Result<Response, ApiError> {
+    let artifact = app.store.get(id).ok_or_else(|| unknown_artifact(404, id))?;
+    Ok(Response::json(
+        200,
+        artifact_json(&artifact).write().expect("finite"),
+    ))
+}
+
+/// Handles `DELETE /v1/artifacts/{id}`.
+pub fn delete_artifact(app: &Arc<App>, id: &str) -> Result<Response, ApiError> {
+    if !app.store.delete(id) {
+        return Err(unknown_artifact(404, id));
+    }
+    let body = Json::Obj(vec![("deleted".into(), Json::str(id))]);
+    Ok(Response::json(200, body.write().expect("finite")))
+}
+
+/// Handles `POST /v1/query` with an `"artifact"` field: draws from the
+/// fitted guide with **zero fit executions**, bit-identical to the fresh
+/// fit-then-draw at the artifact's seed.
+pub(crate) fn artifact_query(
+    app: &Arc<App>,
+    doc: &Json,
+    entry: &Arc<ModelEntry>,
+) -> Result<Response, ApiError> {
+    // The artifact pins the fit's seed, observations, and parameters; a
+    // request that also supplies them is ambiguous and rejected outright.
+    for key in ["method", "seed", "observations", "model_args", "guide_args"] {
+        if doc.get(key).is_some() {
+            return Err(bad_schema(format!(
+                "'{key}' conflicts with 'artifact': the artifact pins the fit's seed, \
+                 observations, and parameters"
+            )));
+        }
+    }
+    let id = doc
+        .get("artifact")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_schema("'artifact' must be a string artifact id"))?;
+    let draw_particles = opt_u64(doc, "draw_particles")?.map(|n| n as usize);
+    let threads = opt_u64(doc, "threads")?.unwrap_or(1).max(1) as usize;
+    let block = opt_u64(doc, "block")?
+        .map(|n| (n as usize).max(1))
+        .unwrap_or(app.default_block);
+    let sample_index = opt_u64(doc, "sample_index")?.unwrap_or(0) as usize;
+
+    let artifact = app.store.get(id).ok_or_else(|| unknown_artifact(400, id))?;
+    if artifact.model_id != entry.id {
+        return Err(ApiError::new(
+            400,
+            "artifact.model_mismatch",
+            format!(
+                "artifact '{id}' was fitted for model '{}', not '{}'",
+                artifact.model_id, entry.id
+            ),
+        )
+        .with("artifact_model", Json::str(artifact.model_id.clone()))
+        .with("model", Json::str(entry.id.clone())));
+    }
+    if artifact.version != ARTIFACT_FORMAT_VERSION {
+        return Err(ApiError::new(
+            400,
+            "artifact.version",
+            format!(
+                "artifact '{id}' has format version {}, not the supported version \
+                 {ARTIFACT_FORMAT_VERSION}",
+                artifact.version
+            ),
+        ));
+    }
+    let draws = draw_particles.unwrap_or(VI_POSTERIOR_PARTICLES) as u64;
+    if draws > entry.max_request_executions {
+        return Err(ApiError::new(
+            400,
+            "request.limit",
+            format!(
+                "the draw pass schedules {draws} joint executions, above this model's \
+                 per-request limit of {}",
+                entry.max_request_executions
+            ),
+        )
+        .with("limit", Json::Num(entry.max_request_executions as f64)));
+    }
+
+    // The artifact id is a content hash and fits are deterministic, so
+    // (model, artifact, draw count, statistic) is an injective key.
+    let fingerprint = format!(
+        "model={};artifact={id};d={draws};idx={sample_index}",
+        entry.id
+    );
+    if let Some(body) = app.cache.get(&fingerprint) {
+        return Ok(Response::json(200, body.to_string()).with_header("X-Cache", "hit"));
+    }
+
+    let query = entry
+        .session
+        .query()
+        .threads(threads)
+        .block(block)
+        .vi_from_artifact(&artifact)
+        .map_err(|e| from_session_error(SessionError::Query(e)))?;
+    let started = Instant::now();
+    let posterior = query
+        .run_vi_warm(&artifact, draw_particles)
+        .map_err(from_session_error)?;
+    app.store.record_warm_start();
+    entry.record_execution(draws, started.elapsed().as_nanos() as u64);
+
+    // Render through the same response function as a fresh VI query, with
+    // the artifact's provenance standing in for the request fields — this
+    // is what makes the warm body byte-identical to the cold one.
+    let method = Method::Vi {
+        params: artifact
+            .schema
+            .iter()
+            .map(|p| {
+                if p.positive {
+                    ParamSpec::positive(&p.name, p.init)
+                } else {
+                    ParamSpec::unconstrained(&p.name, p.init)
+                }
+            })
+            .collect(),
+        config: ViConfig {
+            iterations: artifact.config.iterations,
+            samples_per_iteration: artifact.config.samples_per_iteration,
+            learning_rate: artifact.config.learning_rate,
+            fd_epsilon: artifact.config.fd_epsilon,
+            ..ViConfig::default()
+        },
+        draw_particles,
+    };
+    let body: Arc<str> =
+        query_response_json(&entry.id, &method, artifact.seed, &posterior, sample_index)
+            .write()
+            .expect("response bodies map non-finite statistics to null")
+            .into();
+    app.cache.insert(fingerprint, Arc::clone(&body));
+    Ok(Response::json(200, body.to_string()).with_header("X-Cache", "miss"))
+}
+
+fn unknown_artifact(status: u16, id: &str) -> ApiError {
+    ApiError::new(
+        status,
+        "artifact.not_found",
+        format!("no artifact '{id}' in the store"),
+    )
+}
+
+fn store_error(err: StoreError) -> ApiError {
+    match &err {
+        // Disk trouble is a server fault: the fit succeeded but could not
+        // be persisted.
+        StoreError::Io { .. } => ApiError::new(500, "fit.persist", err.to_string()),
+        StoreError::Encode => ApiError::new(400, "fit.nonfinite", err.to_string()),
+        StoreError::Artifact(e) => ApiError::new(400, e.code(), err.to_string()),
+    }
+}
+
+/// The wire representation of one artifact (listing, `GET`, and the
+/// `/v1/fit` response).
+fn artifact_json(a: &Artifact) -> Json {
+    let final_elbo = if a.elbo_tail.is_empty() {
+        Json::Null
+    } else {
+        Json::num_or_null(a.elbo_tail.iter().sum::<f64>() / a.elbo_tail.len() as f64)
+    };
+    Json::Obj(vec![
+        ("id".into(), Json::str(a.id.clone())),
+        ("model".into(), Json::str(a.model_id.clone())),
+        ("version".into(), Json::Num(a.version as f64)),
+        ("seed".into(), Json::Num(a.seed as f64)),
+        (
+            "observations".into(),
+            Json::Num(a.observations.len() as f64),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("iterations".into(), Json::Num(a.config.iterations as f64)),
+                (
+                    "samples_per_iteration".into(),
+                    Json::Num(a.config.samples_per_iteration as f64),
+                ),
+                (
+                    "learning_rate".into(),
+                    Json::num_or_null(a.config.learning_rate),
+                ),
+                ("fd_epsilon".into(), Json::num_or_null(a.config.fd_epsilon)),
+            ]),
+        ),
+        (
+            "params".into(),
+            Json::Arr(
+                a.schema
+                    .iter()
+                    .zip(&a.params)
+                    .map(|(p, &value)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(p.name.clone())),
+                            ("value".into(), Json::num_or_null(value)),
+                            ("positive".into(), Json::Bool(p.positive)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("fit_iterations".into(), Json::Num(a.fit_iterations as f64)),
+        ("final_elbo".into(), final_elbo),
+    ])
+}
+
+fn fit_response(status: u16, artifact: &Artifact, created: bool) -> Response {
+    let mut fields = match artifact_json(artifact) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("artifact_json returns an object"),
+    };
+    fields.push(("created".into(), Json::Bool(created)));
+    Response::json(status, Json::Obj(fields).write().expect("finite"))
+}

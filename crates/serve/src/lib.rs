@@ -35,11 +35,16 @@
 
 pub mod api;
 pub mod cache;
+pub mod fit;
 pub mod http;
 pub mod ingest;
-pub mod json;
 pub mod metrics;
 pub mod registry;
+
+/// The strict JSON codec.  It moved to `ppl-store` (PR 8) so the artifact
+/// store can share it; re-exported here so `ppl_serve::json::Json` keeps
+/// working.
+pub use ppl_store::json;
 
 pub use api::App;
 pub use cache::ResponseCache;

@@ -2,7 +2,8 @@
 //! killed.
 //!
 //! ```text
-//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] [--block N]
+//! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]
+//!           [--block N] [--store-dir PATH] [--store-capacity N]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:8080`; use port 0 to bind an ephemeral
@@ -14,9 +15,17 @@
 //! submissions — the server then serves builtins only).  `--block` sets
 //! the default vectorised-execution block size (default 64); requests may
 //! override it per-query, and it never changes results — block size is a
-//! pure performance knob.
+//! pure performance knob.  `--store-dir` makes the fitted-guide artifact
+//! store persistent: artifacts created by `POST /v1/fit` are written there
+//! (atomic write-then-rename), and the index is warm-started from the
+//! directory at boot so a restarted server answers artifact queries with
+//! zero refits.  Without it the store is in-memory only.
+//! `--store-capacity` bounds the number of resident artifacts (default
+//! 256); the least-recently-used artifact — and its file — is evicted
+//! beyond that.
 
 use ppl_serve::{App, Registry, Server};
+use ppl_store::{Store, DEFAULT_STORE_CAPACITY};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -26,6 +35,8 @@ fn main() -> ExitCode {
     let mut cache = 256usize;
     let mut user_models = ppl_serve::registry::DEFAULT_USER_MODEL_CAPACITY;
     let mut block = ppl_inference::DEFAULT_BLOCK;
+    let mut store_dir: Option<String> = None;
+    let mut store_capacity = DEFAULT_STORE_CAPACITY;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,13 +60,38 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => block = n,
                 _ => return usage("--block expects a positive integer"),
             },
+            "--store-dir" => match args.next() {
+                Some(dir) => store_dir = Some(dir),
+                None => return usage("--store-dir expects a directory path"),
+            },
+            "--store-capacity" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => store_capacity = n,
+                _ => return usage("--store-capacity expects a positive integer"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
 
     let registry = Registry::from_benchmarks().with_user_capacity(user_models);
     println!("ppl-serve: {} models compiled", registry.len());
-    let app = App::with_block(registry, cache, block);
+    let store = match &store_dir {
+        Some(dir) => match Store::open(std::path::Path::new(dir), store_capacity) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("error: cannot open artifact store at '{dir}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Store::in_memory(store_capacity),
+    };
+    if store_dir.is_some() {
+        println!(
+            "ppl-serve: {} artifacts loaded ({} skipped)",
+            store.len(),
+            store.skipped_at_boot()
+        );
+    }
+    let app = App::with_store(registry, cache, block, std::sync::Arc::new(store));
     let server = match Server::bind(addr.as_str(), workers, app.handler()) {
         Ok(server) => server,
         Err(e) => {
@@ -76,7 +112,8 @@ fn main() -> ExitCode {
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] [--block N]"
+        "usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] \
+                [--block N] [--store-dir PATH] [--store-capacity N]"
     );
     ExitCode::FAILURE
 }

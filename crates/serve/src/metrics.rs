@@ -20,15 +20,18 @@ pub const LATENCY_RANGE_MS: f64 = 2_000.0;
 pub const LATENCY_BINS: usize = 40;
 
 /// The routes the server distinguishes in its per-route counters.
-/// `/v1/models/{id}` lifecycle requests are normalised to the
-/// `"/v1/models/{id}"` bucket.
-pub const ROUTES: [&str; 7] = [
+/// `/v1/models/{id}` and `/v1/artifacts/{id}` lifecycle requests are
+/// normalised to their `{id}` buckets.
+pub const ROUTES: [&str; 10] = [
     "/healthz",
     "/metrics",
     "/v1/models",
     "/v1/models/{id}",
     "/v1/query",
     "/v1/batch",
+    "/v1/fit",
+    "/v1/artifacts",
+    "/v1/artifacts/{id}",
     "other",
 ];
 
@@ -88,6 +91,8 @@ impl Metrics {
     pub fn record(&self, path: &str, status: u16, latency_ms: f64) {
         let path = if path.starts_with("/v1/models/") {
             "/v1/models/{id}"
+        } else if path.starts_with("/v1/artifacts/") {
+            "/v1/artifacts/{id}"
         } else {
             path
         };
@@ -240,8 +245,9 @@ mod tests {
         m.record("/v1/query", 400, 1.0);
         m.record("/nope", 404, 0.1);
         m.record("/v1/models/m-0011223344556677", 200, 0.2);
+        m.record("/v1/artifacts/a-0011223344556677", 200, 0.2);
         m.record("/v1/query", 500, LATENCY_RANGE_MS + 1.0);
-        assert_eq!(m.total_requests(), 6);
+        assert_eq!(m.total_requests(), 7);
         assert_eq!(m.latency_overflow(), 1);
         let json = m.render(3, 1, 2);
         assert_eq!(
@@ -252,6 +258,12 @@ mod tests {
             json.get("requests_by_route")
                 .unwrap()
                 .get("/v1/models/{id}"),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            json.get("requests_by_route")
+                .unwrap()
+                .get("/v1/artifacts/{id}"),
             Some(&Json::Num(1.0))
         );
         assert_eq!(

@@ -106,6 +106,9 @@ pub struct ModelEntry {
     pub submissions: AtomicU64,
     /// Times this model served a `/v1/query` or `/v1/batch` request.
     pub queries: AtomicU64,
+    /// Times this model served a `POST /v1/fit` request (including
+    /// idempotent reuses of an existing artifact).
+    pub fits: AtomicU64,
     /// Joint executions run on cache misses (particles, MH iterations,
     /// VI samples) — the numerator of the model's throughput gauge.
     pub executions: AtomicU64,
@@ -122,6 +125,16 @@ impl ModelEntry {
     /// Queries served so far.
     pub fn query_count(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Records one fit request against this model.
+    pub fn record_fit(&self) {
+        self.fits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fit requests served so far.
+    pub fn fit_count(&self) -> u64 {
+        self.fits.load(Ordering::Relaxed)
     }
 
     /// Submissions seen so far (1 for builtins).
@@ -216,6 +229,7 @@ impl Registry {
                 max_request_executions: crate::api::MAX_REQUEST_EXECUTIONS,
                 submissions: AtomicU64::new(1),
                 queries: AtomicU64::new(0),
+                fits: AtomicU64::new(0),
                 executions: AtomicU64::new(0),
                 execution_nanos: AtomicU64::new(0),
             });
@@ -361,6 +375,7 @@ mod tests {
             max_request_executions: MAX_USER_MODEL_EXECUTIONS,
             submissions: AtomicU64::new(1),
             queries: AtomicU64::new(0),
+            fits: AtomicU64::new(0),
             executions: AtomicU64::new(0),
             execution_nanos: AtomicU64::new(0),
         }

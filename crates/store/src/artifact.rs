@@ -1,0 +1,604 @@
+//! The fitted-guide artifact record: a content-addressed, versioned
+//! checkpoint of one VI fit.
+//!
+//! # Id semantics
+//!
+//! An artifact id is `a-` plus the first 16 hex digits of the SHA-256 of
+//! every input that determines the fitted parameters: the model's
+//! content-hash id, the observations, the model arguments, the guide
+//! parameter schema (names, initial values, positivity constraints), the
+//! fit configuration, and the seed.  Fits are bit-deterministic, so the id
+//! is computable *before* running the fit — `POST /v1/fit` uses that to
+//! make repeat fits idempotent — and an id names exactly one parameter
+//! vector forever, which is what makes it safe to embed in response-cache
+//! fingerprints.
+//!
+//! The recipe deliberately extends the headline "model id + schema +
+//! config + seed" with the observations and model arguments: the fitted
+//! parameters depend on both, so omitting them would let two different
+//! fits collide under one id.
+//!
+//! Perf knobs (`num_threads`, `block`) are **excluded**: block execution
+//! is bit-identical at every thread count and block size, so they change
+//! wall-clock only, never the parameters.
+//!
+//! # Encoding
+//!
+//! [`Artifact::to_bytes`] emits one compact JSON object with a fixed key
+//! order, so the same fit always produces the same file bytes (the store's
+//! byte-determinism guarantee).  Floats use the codec's shortest
+//! round-trippable form; the two raw RNG words are 64-bit and JSON numbers
+//! only cover integers up to 2^53, so they are encoded as 16-hex-digit
+//! strings.
+
+use crate::json::{Json, JsonError};
+use crate::sha::Sha256;
+use std::fmt;
+
+/// Version stamp written into every artifact file.  Decoding a different
+/// version fails with [`ArtifactError::Version`] rather than guessing.
+pub const ARTIFACT_FORMAT_VERSION: u64 = 1;
+
+/// One guide parameter's schema entry: its name, the initial value the
+/// fit started from, and whether it is constrained positive (optimised in
+/// log space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitParam {
+    /// Parameter name (matches the guide's formal parameter).
+    pub name: String,
+    /// Initial value the optimiser started from.
+    pub init: f64,
+    /// Whether the parameter is constrained positive.
+    pub positive: bool,
+}
+
+/// The semantic fit configuration — the `ViConfig` fields that determine
+/// the fitted parameters.  Thread count and block size are perf knobs
+/// (bit-identical results by construction) and are deliberately absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitConfig {
+    /// Number of optimisation iterations.
+    pub iterations: usize,
+    /// Mini-batch size per iteration.
+    pub samples_per_iteration: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Central finite-difference step for score gradients.
+    pub fd_epsilon: f64,
+}
+
+/// One observation literal, mirroring the runtime's sample values without
+/// depending on the runtime crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsLit {
+    /// A boolean observation.
+    Bool(bool),
+    /// A real-valued observation.
+    Real(f64),
+    /// A natural-number observation.
+    Nat(u64),
+}
+
+/// A fitted-guide artifact: the parameter vector plus the provenance
+/// needed to validate and replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Format version ([`ARTIFACT_FORMAT_VERSION`]).
+    pub version: u64,
+    /// Content-hash id, `a-<16 hex>` (see module docs for the recipe).
+    pub id: String,
+    /// Content-hash id of the model–guide pair this fit belongs to.
+    pub model_id: String,
+    /// RNG seed the fit ran under.
+    pub seed: u64,
+    /// Observations the fit conditioned on.
+    pub observations: Vec<ObsLit>,
+    /// Model arguments the fit ran with.
+    pub model_args: Vec<f64>,
+    /// Guide parameter schema (names, inits, positivity).
+    pub schema: Vec<FitParam>,
+    /// Semantic fit configuration.
+    pub config: FitConfig,
+    /// The fitted parameter vector (constrained space), same order as
+    /// `schema`.
+    pub params: Vec<f64>,
+    /// Total optimisation iterations the fit ran (`elbo_tail` holds only
+    /// the trailing window).
+    pub fit_iterations: u64,
+    /// Trailing window of the ELBO trajectory: exactly the last
+    /// `max(1, fit_iterations / 10)` entries, the window `final_elbo`
+    /// averages over.
+    pub elbo_tail: Vec<f64>,
+    /// Raw PCG state word captured immediately after the fit, so a warm
+    /// draw pass resumes the exact RNG position of a fresh fit-then-draw.
+    pub rng_state: u64,
+    /// Raw PCG increment word (stream selector) captured with
+    /// [`Artifact::rng_state`].
+    pub rng_inc: u64,
+}
+
+/// Why an artifact could not be decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The bytes are not valid JSON.
+    Json(JsonError),
+    /// The JSON parsed but is not a valid artifact record; the message
+    /// names the offending field.
+    Malformed(String),
+    /// The record's format version is not [`ARTIFACT_FORMAT_VERSION`].
+    Version {
+        /// Version found in the record.
+        found: u64,
+    },
+}
+
+impl ArtifactError {
+    /// Stable machine-readable code for this error, used verbatim in HTTP
+    /// bodies and log lines.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ArtifactError::Json(_) | ArtifactError::Malformed(_) => "artifact.malformed",
+            ArtifactError::Version { .. } => "artifact.version",
+        }
+    }
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Json(e) => write!(f, "{}: not valid JSON: {e}", self.code()),
+            ArtifactError::Malformed(what) => write!(f, "{}: {what}", self.code()),
+            ArtifactError::Version { found } => write!(
+                f,
+                "{}: artifact format version {found} is not the supported version \
+                 {ARTIFACT_FORMAT_VERSION}",
+                self.code()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Computes the content-hash artifact id for the given fit inputs (see
+/// the module docs for the exact recipe).  Callable before the fit runs:
+/// fits are bit-deterministic, so the inputs alone name the output.
+pub fn compute_id(
+    model_id: &str,
+    observations: &[ObsLit],
+    model_args: &[f64],
+    schema: &[FitParam],
+    config: &FitConfig,
+    seed: u64,
+) -> String {
+    let mut h = Sha256::new();
+    let mut field = |bytes: &[u8]| {
+        h.update(&(bytes.len() as u64).to_le_bytes());
+        h.update(bytes);
+    };
+    field(model_id.as_bytes());
+    field(&(observations.len() as u64).to_le_bytes());
+    for obs in observations {
+        // Tag + payload keeps Bool/Real/Nat encodings disjoint.
+        match obs {
+            ObsLit::Bool(b) => field(&[0, u8::from(*b)]),
+            ObsLit::Real(x) => {
+                let mut buf = [0u8; 9];
+                buf[0] = 1;
+                buf[1..].copy_from_slice(&x.to_bits().to_le_bytes());
+                field(&buf);
+            }
+            ObsLit::Nat(n) => {
+                let mut buf = [0u8; 9];
+                buf[0] = 2;
+                buf[1..].copy_from_slice(&n.to_le_bytes());
+                field(&buf);
+            }
+        }
+    }
+    field(&(model_args.len() as u64).to_le_bytes());
+    for arg in model_args {
+        field(&arg.to_bits().to_le_bytes());
+    }
+    field(&(schema.len() as u64).to_le_bytes());
+    for p in schema {
+        field(p.name.as_bytes());
+        field(&p.init.to_bits().to_le_bytes());
+        field(&[u8::from(p.positive)]);
+    }
+    field(&(config.iterations as u64).to_le_bytes());
+    field(&(config.samples_per_iteration as u64).to_le_bytes());
+    field(&config.learning_rate.to_bits().to_le_bytes());
+    field(&config.fd_epsilon.to_bits().to_le_bytes());
+    field(&seed.to_le_bytes());
+    let digest = h.finalize();
+    let mut id = String::with_capacity(18);
+    id.push_str("a-");
+    for byte in &digest[..8] {
+        use fmt::Write;
+        let _ = write!(id, "{byte:02x}");
+    }
+    id
+}
+
+fn hex_u64(x: u64) -> Json {
+    Json::Str(format!("{x:016x}"))
+}
+
+fn obs_json(obs: &ObsLit) -> Json {
+    match obs {
+        ObsLit::Bool(b) => Json::Obj(vec![("bool".into(), Json::Bool(*b))]),
+        ObsLit::Real(x) => Json::Obj(vec![("real".into(), Json::Num(*x))]),
+        ObsLit::Nat(n) => Json::Obj(vec![("nat".into(), Json::Num(*n as f64))]),
+    }
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, ArtifactError> {
+    doc.get(key)
+        .ok_or_else(|| ArtifactError::Malformed(format!("missing field '{key}'")))
+}
+
+fn require_u64(doc: &Json, key: &str) -> Result<u64, ArtifactError> {
+    require(doc, key)?
+        .as_u64()
+        .ok_or_else(|| ArtifactError::Malformed(format!("'{key}' must be a non-negative integer")))
+}
+
+fn require_f64(doc: &Json, key: &str) -> Result<f64, ArtifactError> {
+    require(doc, key)?
+        .as_f64()
+        .ok_or_else(|| ArtifactError::Malformed(format!("'{key}' must be a number")))
+}
+
+fn require_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, ArtifactError> {
+    require(doc, key)?
+        .as_str()
+        .ok_or_else(|| ArtifactError::Malformed(format!("'{key}' must be a string")))
+}
+
+fn require_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], ArtifactError> {
+    require(doc, key)?
+        .as_arr()
+        .ok_or_else(|| ArtifactError::Malformed(format!("'{key}' must be an array")))
+}
+
+fn require_hex_u64(doc: &Json, key: &str) -> Result<u64, ArtifactError> {
+    let s = require_str(doc, key)?;
+    u64::from_str_radix(s, 16)
+        .map_err(|_| ArtifactError::Malformed(format!("'{key}' must be a 64-bit hex string")))
+}
+
+fn f64_list(doc: &Json, key: &str) -> Result<Vec<f64>, ArtifactError> {
+    require_arr(doc, key)?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| ArtifactError::Malformed(format!("'{key}' must contain numbers")))
+        })
+        .collect()
+}
+
+impl Artifact {
+    /// Renders the artifact as a JSON document with the fixed key order
+    /// the byte-determinism guarantee relies on.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Num(self.version as f64)),
+            ("id".into(), Json::str(&self.id)),
+            ("model".into(), Json::str(&self.model_id)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            (
+                "observations".into(),
+                Json::Arr(self.observations.iter().map(obs_json).collect()),
+            ),
+            (
+                "model_args".into(),
+                Json::Arr(self.model_args.iter().map(|&x| Json::Num(x)).collect()),
+            ),
+            (
+                "schema".into(),
+                Json::Arr(
+                    self.schema
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&p.name)),
+                                ("init".into(), Json::Num(p.init)),
+                                ("positive".into(), Json::Bool(p.positive)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    (
+                        "iterations".into(),
+                        Json::Num(self.config.iterations as f64),
+                    ),
+                    (
+                        "samples_per_iteration".into(),
+                        Json::Num(self.config.samples_per_iteration as f64),
+                    ),
+                    ("learning_rate".into(), Json::Num(self.config.learning_rate)),
+                    ("fd_epsilon".into(), Json::Num(self.config.fd_epsilon)),
+                ]),
+            ),
+            (
+                "params".into(),
+                Json::Arr(self.params.iter().map(|&x| Json::Num(x)).collect()),
+            ),
+            (
+                "fit_iterations".into(),
+                Json::Num(self.fit_iterations as f64),
+            ),
+            (
+                "elbo_tail".into(),
+                Json::Arr(self.elbo_tail.iter().map(|&x| Json::Num(x)).collect()),
+            ),
+            ("rng_state".into(), hex_u64(self.rng_state)),
+            ("rng_inc".into(), hex_u64(self.rng_inc)),
+        ])
+    }
+
+    /// Serialises the artifact to the exact bytes persisted on disk.
+    /// Returns `None` only if a float is non-finite (the fit layer rejects
+    /// non-finite parameters before an artifact is ever built).
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        self.to_json().write().ok().map(String::into_bytes)
+    }
+
+    /// Decodes an artifact from file bytes, validating the format version
+    /// and every field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ArtifactError::Malformed("file is not UTF-8".into()))?;
+        let doc = Json::parse(text).map_err(ArtifactError::Json)?;
+        let version = require_u64(&doc, "version")?;
+        if version != ARTIFACT_FORMAT_VERSION {
+            return Err(ArtifactError::Version { found: version });
+        }
+        let observations = require_arr(&doc, "observations")?
+            .iter()
+            .map(|v| {
+                if let Some(b) = v.get("bool").and_then(Json::as_bool) {
+                    Ok(ObsLit::Bool(b))
+                } else if let Some(x) = v.get("real").and_then(Json::as_f64) {
+                    Ok(ObsLit::Real(x))
+                } else if let Some(n) = v.get("nat").and_then(Json::as_u64) {
+                    Ok(ObsLit::Nat(n))
+                } else {
+                    Err(ArtifactError::Malformed(
+                        "'observations' entries must be {\"bool\"|\"real\"|\"nat\": …}".into(),
+                    ))
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let schema = require_arr(&doc, "schema")?
+            .iter()
+            .map(|p| {
+                Ok(FitParam {
+                    name: require_str(p, "name")?.to_string(),
+                    init: require_f64(p, "init")?,
+                    positive: require(p, "positive")?.as_bool().ok_or_else(|| {
+                        ArtifactError::Malformed("'positive' must be a boolean".into())
+                    })?,
+                })
+            })
+            .collect::<Result<Vec<_>, ArtifactError>>()?;
+        let config_doc = require(&doc, "config")?;
+        let config = FitConfig {
+            iterations: require_u64(config_doc, "iterations")? as usize,
+            samples_per_iteration: require_u64(config_doc, "samples_per_iteration")? as usize,
+            learning_rate: require_f64(config_doc, "learning_rate")?,
+            fd_epsilon: require_f64(config_doc, "fd_epsilon")?,
+        };
+        let artifact = Artifact {
+            version,
+            id: require_str(&doc, "id")?.to_string(),
+            model_id: require_str(&doc, "model")?.to_string(),
+            seed: require_u64(&doc, "seed")?,
+            observations,
+            model_args: f64_list(&doc, "model_args")?,
+            schema,
+            config,
+            params: f64_list(&doc, "params")?,
+            fit_iterations: require_u64(&doc, "fit_iterations")?,
+            elbo_tail: f64_list(&doc, "elbo_tail")?,
+            rng_state: require_hex_u64(&doc, "rng_state")?,
+            rng_inc: require_hex_u64(&doc, "rng_inc")?,
+        };
+        if artifact.params.len() != artifact.schema.len() {
+            return Err(ArtifactError::Malformed(
+                "'params' length must match 'schema' length".into(),
+            ));
+        }
+        // The id must match the record's own content, or the file was
+        // renamed/corrupted; trusting it would poison cache fingerprints.
+        let expected = compute_id(
+            &artifact.model_id,
+            &artifact.observations,
+            &artifact.model_args,
+            &artifact.schema,
+            &artifact.config,
+            artifact.seed,
+        );
+        if artifact.id != expected {
+            return Err(ArtifactError::Malformed(format!(
+                "id '{}' does not match the record's content hash '{expected}'",
+                artifact.id
+            )));
+        }
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> Artifact {
+        let schema = vec![
+            FitParam {
+                name: "mu".into(),
+                init: 0.0,
+                positive: false,
+            },
+            FitParam {
+                name: "sigma".into(),
+                init: 1.0,
+                positive: true,
+            },
+        ];
+        let config = FitConfig {
+            iterations: 40,
+            samples_per_iteration: 5,
+            learning_rate: 0.08,
+            fd_epsilon: 1e-4,
+        };
+        let observations = vec![ObsLit::Real(9.0), ObsLit::Real(9.0)];
+        let id = compute_id(
+            "m-0011223344556677",
+            &observations,
+            &[],
+            &schema,
+            &config,
+            11,
+        );
+        Artifact {
+            version: ARTIFACT_FORMAT_VERSION,
+            id,
+            model_id: "m-0011223344556677".into(),
+            seed: 11,
+            observations,
+            model_args: vec![],
+            schema,
+            config,
+            params: vec![8.7321, 0.4412],
+            fit_iterations: 40,
+            elbo_tail: vec![-4.25, -4.125, -4.0, -3.875],
+            rng_state: 0xdead_beef_0123_4567,
+            rng_inc: 0xda3e_39cb_94b9_5bdb,
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_exactly() {
+        let artifact = sample_artifact();
+        let bytes = artifact.to_bytes().expect("finite");
+        let decoded = Artifact::from_bytes(&bytes).expect("valid");
+        assert_eq!(decoded, artifact);
+        // Re-encoding the decoded record reproduces identical bytes: the
+        // file format is canonical.
+        assert_eq!(decoded.to_bytes().expect("finite"), bytes);
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_sensitive_to_every_input() {
+        let a = sample_artifact();
+        let base = compute_id(
+            &a.model_id,
+            &a.observations,
+            &a.model_args,
+            &a.schema,
+            &a.config,
+            a.seed,
+        );
+        assert_eq!(base, a.id);
+        assert!(base.starts_with("a-") && base.len() == 18, "{base}");
+        // Every semantic input perturbs the id.
+        assert_ne!(
+            base,
+            compute_id(
+                "m-0000000000000000",
+                &a.observations,
+                &[],
+                &a.schema,
+                &a.config,
+                11
+            )
+        );
+        assert_ne!(
+            base,
+            compute_id(
+                &a.model_id,
+                &[ObsLit::Real(9.0)],
+                &[],
+                &a.schema,
+                &a.config,
+                11
+            )
+        );
+        assert_ne!(
+            base,
+            compute_id(
+                &a.model_id,
+                &a.observations,
+                &[1.0],
+                &a.schema,
+                &a.config,
+                11
+            )
+        );
+        let mut schema = a.schema.clone();
+        schema[0].init = 0.5;
+        assert_ne!(
+            base,
+            compute_id(&a.model_id, &a.observations, &[], &schema, &a.config, 11)
+        );
+        let mut config = a.config.clone();
+        config.iterations = 41;
+        assert_ne!(
+            base,
+            compute_id(&a.model_id, &a.observations, &[], &a.schema, &config, 11)
+        );
+        assert_ne!(
+            base,
+            compute_id(&a.model_id, &a.observations, &[], &a.schema, &a.config, 12)
+        );
+        // Observation kinds are tagged: Bool(false) ≠ Nat(0).
+        assert_ne!(
+            compute_id(
+                &a.model_id,
+                &[ObsLit::Bool(false)],
+                &[],
+                &a.schema,
+                &a.config,
+                11
+            ),
+            compute_id(
+                &a.model_id,
+                &[ObsLit::Nat(0)],
+                &[],
+                &a.schema,
+                &a.config,
+                11
+            )
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_versions_and_corruption() {
+        let artifact = sample_artifact();
+        let bytes = artifact.to_bytes().expect("finite");
+        let text = String::from_utf8(bytes).expect("utf8");
+
+        let bumped = text.replace("\"version\":1", "\"version\":2");
+        assert_eq!(
+            Artifact::from_bytes(bumped.as_bytes()),
+            Err(ArtifactError::Version { found: 2 })
+        );
+
+        // Truncation → JSON error, surfaced as artifact.malformed.
+        let truncated = &text.as_bytes()[..text.len() / 2];
+        let err = Artifact::from_bytes(truncated).expect_err("truncated");
+        assert_eq!(err.code(), "artifact.malformed");
+
+        // A tampered field breaks the id ↔ content binding.
+        let tampered = text.replace("\"seed\":11", "\"seed\":12");
+        let err = Artifact::from_bytes(tampered.as_bytes()).expect_err("tampered");
+        assert_eq!(err.code(), "artifact.malformed");
+        assert!(err.to_string().contains("content hash"), "{err}");
+    }
+}

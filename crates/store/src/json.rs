@@ -1,7 +1,8 @@
 //! A strict, std-only JSON parser and writer.
 //!
 //! The build environment is offline, so `serde` is not available; this
-//! module implements the subset of JSON the serving protocol needs — which
+//! module implements the subset of JSON the serving protocol and the
+//! artifact store need — which
 //! is all of RFC 8259, minus nothing — in plain `std`:
 //!
 //! * [`Json::parse`] is a recursive-descent parser over the input bytes

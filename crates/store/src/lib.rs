@@ -1,0 +1,36 @@
+//! `ppl-store`: a std-only, crash-safe, versioned artifact store for
+//! fitted guide parameters.
+//!
+//! Guide types make amortized inference sound by construction: a guide
+//! that type-checks against its model is absolutely continuous with the
+//! posterior (the paper's compatibility theorem), so a *fitted* guide can
+//! be checkpointed once and reused for every later query against the same
+//! model — the expensive VI fit happens once, the cheap draw pass happens
+//! per request.  This crate is the checkpoint layer of that story:
+//!
+//! * [`artifact`] — the content-addressed record (`a-<16 hex>`) holding a
+//!   fitted parameter vector plus the provenance needed to validate and
+//!   bit-exactly replay it (model id, observations, schema, fit config,
+//!   seed, ELBO tail, post-fit RNG words);
+//! * [`store`] — the [`Store`]: an in-memory index over atomic
+//!   write-then-rename JSON files with a bounded LRU GC and a
+//!   corruption-tolerant boot scan;
+//! * [`sha`] — the dependency-free SHA-256 behind every content-hash id;
+//! * [`json`] — the strict RFC 8259 codec shared with the serving layer
+//!   (re-exported there), whose deterministic output is what makes
+//!   artifact files byte-reproducible.
+//!
+//! The crate depends on nothing but `std`, so the persistence format can
+//! be read and written by any layer of the stack without dependency
+//! cycles.
+
+pub mod artifact;
+pub mod json;
+pub mod sha;
+pub mod store;
+
+pub use artifact::{
+    compute_id, Artifact, ArtifactError, FitConfig, FitParam, ObsLit, ARTIFACT_FORMAT_VERSION,
+};
+pub use json::{Json, JsonError};
+pub use store::{Store, StoreError, DEFAULT_STORE_CAPACITY};
