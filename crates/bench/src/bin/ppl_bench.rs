@@ -15,7 +15,7 @@
 
 use ppl_bench::throughput::{
     admission_rows, amortization_rows, bench_json, block_rows, engine_timings, http_rows,
-    mcmc_rows, serving_rows, throughput_rows, ThroughputConfig,
+    mcmc_rows, overload_rows, serving_rows, throughput_rows, ThroughputConfig,
 };
 use std::process::ExitCode;
 
@@ -198,6 +198,36 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\noverload — fresh-connection storm vs a one-slot admission queue (cache disabled)");
+    println!(
+        "{:<10} {:>8} {:>9} {:>6} {:>10} {:>8} {:>13} {:>10} {:>6}",
+        "benchmark",
+        "accepted",
+        "shed",
+        "5xx",
+        "shed rate",
+        "p99 ms",
+        "retry-after",
+        "identical",
+        "ok"
+    );
+    let overload = overload_rows(&config);
+    for r in &overload {
+        all_identical &= r.ok;
+        println!(
+            "{:<10} {:>8} {:>9} {:>6} {:>10.3} {:>8.1} {:>13} {:>10} {:>6}",
+            r.name,
+            r.accepted,
+            r.shed,
+            r.errors_5xx,
+            r.shed_rate,
+            r.accepted_p99_ms,
+            r.retry_after_ok,
+            r.post_storm_identical,
+            r.ok,
+        );
+    }
+
     println!("\nengine wall times");
     let engines = engine_timings(&config);
     for e in &engines {
@@ -218,6 +248,7 @@ fn main() -> ExitCode {
             &http,
             &admission,
             &amortization,
+            &overload,
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");

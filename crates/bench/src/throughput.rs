@@ -686,6 +686,181 @@ pub fn admission_rows(config: &ThroughputConfig) -> Vec<AdmissionRow> {
     }]
 }
 
+/// One overload measurement: a fresh-connection storm against a
+/// deliberately tiny admission pipeline (one worker, one queue slot), so
+/// the server must shed.  The robustness contract under test: shed
+/// traffic is always a `429` with `Retry-After` (never a `500`), accepted
+/// traffic completes, and a post-storm query is byte-identical to its
+/// pre-storm answer (the cache is disabled, so the comparison re-runs
+/// inference for real).
+#[derive(Debug, Clone)]
+pub struct OverloadRow {
+    /// Benchmark name served.
+    pub name: &'static str,
+    /// Concurrent storm clients.
+    pub clients: usize,
+    /// Requests per client (each on a fresh connection).
+    pub requests_per_client: usize,
+    /// Importance-sampling particles per request.
+    pub particles_per_request: usize,
+    /// Storm requests answered `200`.
+    pub accepted: usize,
+    /// Storm requests shed with `429`.
+    pub shed: usize,
+    /// Storm responses with a 5xx status (the contract requires zero).
+    pub errors_5xx: usize,
+    /// Storm requests that failed at the socket level.
+    pub connect_errors: usize,
+    /// `shed / (accepted + shed)`.
+    pub shed_rate: f64,
+    /// p99 wall latency of the accepted requests, in milliseconds.
+    pub accepted_p99_ms: f64,
+    /// Every `429` carried a `Retry-After` header.
+    pub retry_after_ok: bool,
+    /// The post-storm response was byte-identical to the pre-storm one.
+    pub post_storm_identical: bool,
+    /// The whole contract held: pre/post queries succeeded, zero 5xx,
+    /// zero socket failures, every shed retryable, bytes identical.
+    pub ok: bool,
+}
+
+/// Drives a connection storm through a one-worker, one-queue-slot
+/// loopback server and scores the overload contract (see [`OverloadRow`]).
+pub fn overload_rows(config: &ThroughputConfig) -> Vec<OverloadRow> {
+    use ppl_serve::http::ClientConn;
+    use ppl_serve::{App, Registry, Server, ServerConfig};
+
+    let name = "ex-1";
+    let clients = 8usize;
+    let requests_per_client = 12usize;
+    let particles_per_request = 5_000usize;
+
+    // Cache capacity 0: the post-storm byte-compare must re-run inference,
+    // not replay a stored body.
+    let app = App::new(Registry::from_benchmarks(), 0);
+    let server_config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        shed_counter: Some(app.metrics.queue_sheds_handle()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_with_config("127.0.0.1:0", server_config, app.handler())
+        .expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+    let body = format!(
+        r#"{{"model":"{name}","observations":[0.8],"method":{{"algorithm":"importance","particles":{particles_per_request}}},"seed":{}}}"#,
+        config.seed
+    );
+
+    // Pre-storm reference answer.
+    let pre = {
+        let mut conn = ClientConn::connect(addr).expect("loopback connect");
+        conn.send("POST", "/v1/query", Some(&body))
+            .expect("pre-storm query")
+    };
+
+    // The storm: every request opens a fresh connection, so each one
+    // passes the admission queue at the door.
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut accepted_ms: Vec<f64> = Vec::new();
+                let (mut accepted, mut shed, mut e5, mut retry_missing, mut socket_errors) =
+                    (0usize, 0usize, 0usize, 0usize, 0usize);
+                for _ in 0..requests_per_client {
+                    let started = Instant::now();
+                    let sent = ClientConn::connect(addr)
+                        .and_then(|mut conn| conn.send("POST", "/v1/query", Some(&body)));
+                    match sent {
+                        Ok((200, _, _)) => {
+                            accepted += 1;
+                            accepted_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok((429, headers, _)) => {
+                            shed += 1;
+                            if !headers
+                                .iter()
+                                .any(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+                            {
+                                retry_missing += 1;
+                            }
+                        }
+                        Ok((status, _, _)) if status >= 500 => e5 += 1,
+                        Ok(_) => {}
+                        Err(_) => socket_errors += 1,
+                    }
+                }
+                (
+                    accepted,
+                    shed,
+                    e5,
+                    retry_missing,
+                    socket_errors,
+                    accepted_ms,
+                )
+            })
+        })
+        .collect();
+    let (mut accepted, mut shed, mut errors_5xx, mut retry_missing, mut connect_errors) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut accepted_ms: Vec<f64> = Vec::new();
+    for handle in handles {
+        let (a, s, e, r, c, ms) = handle.join().expect("storm client");
+        accepted += a;
+        shed += s;
+        errors_5xx += e;
+        retry_missing += r;
+        connect_errors += c;
+        accepted_ms.extend(ms);
+    }
+
+    // Post-storm: the identical query must still produce identical bytes.
+    let post = {
+        let mut conn = ClientConn::connect(addr).expect("loopback reconnect");
+        conn.send("POST", "/v1/query", Some(&body))
+            .expect("post-storm query")
+    };
+    server.shutdown();
+
+    accepted_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let accepted_p99_ms = if accepted_ms.is_empty() {
+        0.0
+    } else {
+        let idx = ((accepted_ms.len() as f64 * 0.99).ceil() as usize).clamp(1, accepted_ms.len());
+        accepted_ms[idx - 1]
+    };
+    let answered = accepted + shed;
+    let shed_rate = if answered > 0 {
+        shed as f64 / answered as f64
+    } else {
+        0.0
+    };
+    let retry_after_ok = retry_missing == 0;
+    let post_storm_identical = pre.0 == 200 && post.0 == 200 && pre.2 == post.2;
+    let ok = post_storm_identical
+        && errors_5xx == 0
+        && connect_errors == 0
+        && retry_after_ok
+        && accepted >= 1;
+
+    vec![OverloadRow {
+        name,
+        clients,
+        requests_per_client,
+        particles_per_request,
+        accepted,
+        shed,
+        errors_5xx,
+        connect_errors,
+        shed_rate,
+        accepted_p99_ms,
+        retry_after_ok,
+        post_storm_identical,
+        ok,
+    }]
+}
+
 /// One amortized-inference measurement: the wall cost of a cold VI query
 /// (fit + draw in one request) versus artifact-warm queries that reuse a
 /// persisted fit through `"artifact": "a-…"` — the serving payoff of the
@@ -916,10 +1091,11 @@ pub fn bench_json(
     http: &[HttpRow],
     admission: &[AdmissionRow],
     amortization: &[AmortizationRow],
+    overload: &[OverloadRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v6\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v7\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
     let _ = writeln!(s, "  \"block\": {},", config.block);
@@ -1073,6 +1249,32 @@ pub fn bench_json(
         } else {
             "\n"
         });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"overload\": [\n");
+    for (i, r) in overload.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"clients\": {}, \"requests_per_client\": {}, \
+             \"particles_per_request\": {}, \"accepted\": {}, \"shed\": {}, \
+             \"errors_5xx\": {}, \"connect_errors\": {}, \"shed_rate\": {}, \
+             \"accepted_p99_ms\": {}, \"retry_after_ok\": {}, \"post_storm_identical\": {}, \
+             \"ok\": {}}}",
+            r.name,
+            r.clients,
+            r.requests_per_client,
+            r.particles_per_request,
+            r.accepted,
+            r.shed,
+            r.errors_5xx,
+            r.connect_errors,
+            json_f64(r.shed_rate),
+            json_f64(r.accepted_p99_ms),
+            r.retry_after_ok,
+            r.post_storm_identical,
+            r.ok,
+        );
+        s.push_str(if i + 1 < overload.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     // Store gauges from the amortization run (the only scenario that
@@ -1269,6 +1471,28 @@ mod tests {
     }
 
     #[test]
+    fn overload_rows_shed_retryable_429s_and_keep_post_storm_bytes_identical() {
+        let config = ThroughputConfig {
+            particles: 200,
+            threads: 2,
+            block: DEFAULT_BLOCK,
+            seed: 29,
+        };
+        let rows = overload_rows(&config);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.ok, "overload contract violated: {r:?}");
+        assert_eq!(r.errors_5xx, 0, "overload produced a 5xx");
+        assert_eq!(r.connect_errors, 0, "overload dropped connections");
+        assert!(r.retry_after_ok, "a 429 was missing Retry-After");
+        assert!(r.post_storm_identical, "post-storm bytes diverged");
+        assert!(r.accepted >= 1, "nothing was accepted");
+        // One worker and a one-slot queue against 8 concurrent clients:
+        // the storm must actually shed, or the bench measures nothing.
+        assert!(r.shed >= 1, "the storm never overflowed the queue");
+    }
+
+    #[test]
     fn bench_json_is_well_formed() {
         let config = ThroughputConfig {
             particles: 200,
@@ -1285,6 +1509,7 @@ mod tests {
         let http = http_rows(&config);
         let admission = admission_rows(&config);
         let amortization = amortization_rows(&config);
+        let overload = overload_rows(&config);
         let json = bench_json(
             &config,
             &rows,
@@ -1295,6 +1520,7 @@ mod tests {
             &http,
             &admission,
             &amortization,
+            &overload,
         );
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
@@ -1305,8 +1531,14 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"ppl-bench/inference/v6\"",
+            "\"schema\": \"ppl-bench/inference/v7\"",
             "\"amortization\"",
+            "\"overload\"",
+            "\"shed_rate\"",
+            "\"accepted_p99_ms\"",
+            "\"retry_after_ok\": true",
+            "\"post_storm_identical\": true",
+            "\"errors_5xx\": 0",
             "\"warm_queries_per_sec\"",
             "\"store\"",
             "\"warm_starts\"",

@@ -125,6 +125,8 @@ impl SessionError {
             SessionError::Parse(e) => e.code(),
             SessionError::Type(e) => e.code(),
             SessionError::Incompatible { .. } => ppl_types::types_error_code::GUIDE_MISMATCH,
+            SessionError::Runtime(RuntimeError::DeadlineExceeded) => "query.deadline_exceeded",
+            SessionError::Runtime(RuntimeError::Cancelled) => "query.cancelled",
             SessionError::Runtime(_) => "runtime.error",
             SessionError::Query(e) => e.code(),
             SessionError::UnknownBenchmark(_) => "benchmark.unknown",

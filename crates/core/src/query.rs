@@ -45,7 +45,7 @@ use ppl_inference::{
     Draw, Engine, ImportanceResult, ImportanceSampler, IndependenceMh, McmcResult, ParamSpec,
     Posterior, VariationalInference, ViConfig, ViPosterior, ViResult, DEFAULT_BLOCK,
 };
-use ppl_runtime::{JointExecutor, JointSpec};
+use ppl_runtime::{CancelToken, JointExecutor, JointSpec};
 use ppl_semantics::value::Value;
 use ppl_store::{Artifact, ObsLit};
 use ppl_types::obs::{validate_observations, ObsValue, ObsViolation};
@@ -303,6 +303,7 @@ pub struct QueryBuilder<'s> {
     block: usize,
     model_args: Vec<Value>,
     guide_args: Vec<Value>,
+    cancel: CancelToken,
 }
 
 impl<'s> QueryBuilder<'s> {
@@ -315,6 +316,7 @@ impl<'s> QueryBuilder<'s> {
             block: DEFAULT_BLOCK,
             model_args: Vec::new(),
             guide_args: Vec::new(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -358,6 +360,22 @@ impl<'s> QueryBuilder<'s> {
     /// [`Method::Vi`], which supplies the variational parameters itself.
     pub fn guide_args(mut self, args: Vec<Value>) -> Self {
         self.guide_args = args;
+        self
+    }
+
+    /// Installs a cancellation/deadline token (default: a
+    /// never-cancelling [`CancelToken::none`]).  The engines poll it at
+    /// every particle block, MH proposal, and VI optimisation step; an
+    /// expired or raised token aborts the run with
+    /// [`SessionError::Runtime`] carrying
+    /// [`RuntimeError::DeadlineExceeded`](ppl_runtime::RuntimeError::DeadlineExceeded)
+    /// or [`RuntimeError::Cancelled`](ppl_runtime::RuntimeError::Cancelled).
+    ///
+    /// Like the thread count and block size, the token never changes a
+    /// *successful* result: a run that completes before its deadline is
+    /// bit-identical to the same run without one.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -435,8 +453,10 @@ impl<'s> QueryBuilder<'s> {
             latent_chan,
             obs_chan,
         };
+        let mut executor = session.executor(self.observations);
+        executor.set_cancel_token(self.cancel);
         Ok(Query {
-            executor: session.executor(self.observations),
+            executor,
             spec,
             seed: self.seed,
             threads: self.threads,

@@ -177,6 +177,11 @@ impl ImportanceSampler {
              out|
              -> Result<(), RuntimeError> {
                 joints.clear();
+                // `run_block_with_scratch` polls the executor's cancel
+                // token once per block (and per op inside the plan), so an
+                // expired deadline aborts the sweep within one block-step;
+                // the engine's lowest-index early-abort then stops the
+                // remaining workers.
                 executor.run_block_with_scratch(spec, master, first, len, scratch, joints)?;
                 for joint in joints.drain(..) {
                     out.push(Particle {

@@ -111,6 +111,9 @@ impl IndependenceMh {
         };
 
         for it in 0..self.iterations {
+            // Cooperative cancellation once per proposal, so a chain never
+            // outlives its request's deadline by more than one iteration.
+            executor.cancel_token().check()?;
             let proposal =
                 executor.run_with_scratch(spec, LatentSource::FromGuide, rng, &mut scratch)?;
             proposals += 1;
@@ -208,6 +211,9 @@ impl<'f> GuidedMh<'f> {
         };
 
         for it in 0..self.iterations {
+            // Cooperative cancellation once per proposal (see
+            // [`IndependenceMh::run`]).
+            executor.cancel_token().check()?;
             proposals += 1;
             // Forward move: propose σ'_ℓ ~ guide(args(σ_ℓ)).
             run_spec.guide_args = (self.proposal_args)(&current.latent);

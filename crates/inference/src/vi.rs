@@ -205,6 +205,9 @@ impl VariationalInference {
         let engine = Engine::new(self.config.num_threads);
 
         for _ in 0..self.config.iterations {
+            // Cooperative cancellation once per optimisation step, on top
+            // of the per-block polls inside the executor.
+            executor.cancel_token().check()?;
             let constrained = constrain(&theta, param_specs);
             let run_spec = spec_with_params(spec, &constrained);
 

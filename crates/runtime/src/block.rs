@@ -1221,6 +1221,7 @@ pub(crate) struct BlockScratch {
 /// The op-tree interpreter over the structure-of-arrays lane buffers.
 struct Runner<'p, 's> {
     count: usize,
+    cancel: &'p crate::cancel::CancelToken,
     carriers: &'p [Carrier],
     rngs: &'s mut [Pcg32],
     slots: &'s mut [Vec<f64>],
@@ -1277,6 +1278,16 @@ impl Runner<'_, '_> {
         // block (possible inside a fork arm when every lane agreed).
         let full = lanes.len() == self.count;
         for op in ops {
+            #[cfg(feature = "faults")]
+            crate::faults::maybe_stall_op();
+            // A raised token bails the whole block to the scalar path,
+            // where the per-lane entry check reports the real error for
+            // lane 0 — without threading a second error type through the
+            // op interpreter.  Costs two `Option` tests per op when no
+            // token is armed.
+            if self.cancel.check().is_err() {
+                return Err(RunBail);
+            }
             match op {
                 Op::Draw {
                     dist,
@@ -1567,6 +1578,11 @@ impl JointExecutor {
         if count == 0 {
             return Ok(());
         }
+        // One cancellation poll per particle block: the granularity the
+        // serving layer's deadline guarantee ("within one block-step") is
+        // stated in.  The vectorised op loop polls again per op, and the
+        // scalar fallback per lane, so a mid-block expiry also surfaces.
+        self.cancel.check()?;
         let plan = match &scratch.block.cache {
             Some((key, plan)) if key.matches(self, spec) => plan.clone(),
             _ => {
@@ -1661,6 +1677,7 @@ impl JointExecutor {
         {
             let mut runner = Runner {
                 count,
+                cancel: &self.cancel,
                 carriers: &plan.carriers,
                 rngs: &mut bs.rngs[..count],
                 slots: &mut bs.slots[..nslots],

@@ -1,0 +1,163 @@
+//! Cooperative cancellation and deadlines for joint executions.
+//!
+//! Inference runs can be long (millions of joint executions), and a server
+//! wrapping the engine must be able to stop one *without* killing the
+//! worker thread that carries it.  The mechanism here is a [`CancelToken`]:
+//! a cheap, cloneable handle combining an optional shared cancel flag
+//! (raised by [`CancelToken::cancel`], e.g. when the server drains) with an
+//! optional absolute deadline.  The executor stores one token and polls it
+//! at the natural work boundaries — once per scalar joint execution, once
+//! per particle block, and once per op inside the vectorised block loop —
+//! so an expired or cancelled request surfaces as a structured
+//! [`RuntimeError`] within one block-step of wall time.
+//!
+//! The default token ([`CancelToken::none`]) carries neither flag nor
+//! deadline, and its [`check`](CancelToken::check) compiles down to two
+//! `Option` tests — the hot loops pay nothing when cancellation is unused,
+//! which is what keeps the throughput benchmarks honest.
+//!
+//! Cancellation is *cooperative and lossy by design*: a cancelled run
+//! returns an error instead of a result, and callers must not publish
+//! partial work (the serving layer never writes a cancelled request's
+//! result to its cache or artifact store).  Tokens deliberately do not
+//! participate in result determinism: a run that completes before its
+//! deadline is bit-identical to the same run with no deadline at all.
+
+use crate::joint::RuntimeError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap cooperative-cancellation handle: an optional shared flag plus an
+/// optional absolute deadline.
+///
+/// Clones share the flag (an `Arc<AtomicBool>`) but each clone owns its
+/// deadline, so one server-wide drain token can fan out into per-request
+/// tokens via [`CancelToken::with_deadline`]: raising the drain flag
+/// cancels every request at once, while each request's own deadline expires
+/// independently.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels and never expires; its
+    /// [`check`](CancelToken::check) is trivially `Ok` at the cost of two
+    /// `Option` discriminant tests.
+    pub fn none() -> Self {
+        CancelToken::default()
+    }
+
+    /// A cancellable token with no deadline.  Raise it with
+    /// [`CancelToken::cancel`]; all clones observe the flag.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: None,
+        }
+    }
+
+    /// A copy of this token sharing the same cancel flag but carrying
+    /// `deadline` as its own absolute expiry.
+    pub fn with_deadline(&self, deadline: Instant) -> Self {
+        CancelToken {
+            flag: self.flag.clone(),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A copy of this token sharing the same cancel flag and expiring
+    /// `budget` from now.
+    pub fn deadline_in(&self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Raises the shared cancel flag; every clone's next
+    /// [`check`](CancelToken::check) returns [`RuntimeError::Cancelled`].
+    /// No-op on a token built without a flag ([`CancelToken::none`]).
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the shared cancel flag has been raised (does not consult the
+    /// deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Whether this token carries a cancel flag or a deadline at all —
+    /// i.e. whether polling it can ever fail.
+    pub fn is_armed(&self) -> bool {
+        self.flag.is_some() || self.deadline.is_some()
+    }
+
+    /// Polls the token: [`RuntimeError::Cancelled`] when the shared flag is
+    /// raised, [`RuntimeError::DeadlineExceeded`] when the deadline has
+    /// passed, `Ok(())` otherwise.
+    ///
+    /// The flag is consulted before the deadline, so an explicit cancel
+    /// (server drain) wins over a coincident expiry.
+    #[inline]
+    pub fn check(&self) -> Result<(), RuntimeError> {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return Err(RuntimeError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(RuntimeError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_token_never_fails() {
+        let token = CancelToken::none();
+        assert!(!token.is_armed());
+        assert!(!token.is_cancelled());
+        token.cancel(); // no-op
+        assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(clone.check().is_ok());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(), Err(RuntimeError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let token = CancelToken::none().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_armed());
+        assert_eq!(token.check(), Err(RuntimeError::DeadlineExceeded));
+        let future = CancelToken::none().deadline_in(Duration::from_secs(3600));
+        assert!(future.check().is_ok());
+    }
+
+    #[test]
+    fn derived_deadline_tokens_share_the_flag() {
+        let drain = CancelToken::new();
+        let request = drain.deadline_in(Duration::from_secs(3600));
+        assert!(request.check().is_ok());
+        drain.cancel();
+        // The explicit cancel wins over the (distant) deadline.
+        assert_eq!(request.check(), Err(RuntimeError::Cancelled));
+    }
+}

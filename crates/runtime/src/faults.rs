@@ -1,0 +1,30 @@
+//! Fault-injection hooks, compiled only under the `faults` feature.
+//!
+//! The overload/robustness test harness needs to make inference *slow on
+//! demand* so a request's deadline reliably expires in the middle of a
+//! vectorised block.  Rather than hand-tuning particle counts against wall
+//! clocks (flaky on loaded CI machines), the block op interpreter calls
+//! [`maybe_stall_op`] once per op, which sleeps for a configurable
+//! duration.  The hook is behind `#[cfg(feature = "faults")]`, so release
+//! builds carry no trace of it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Microseconds to sleep per block op; 0 disables the stall.
+static OP_STALL_MICROS: AtomicU64 = AtomicU64::new(0);
+
+/// Configures the per-op stall injected into the vectorised block
+/// interpreter (0 disables).  Affects every executor in the process —
+/// tests that use it must not share a process with timing-sensitive tests.
+pub fn set_op_stall_micros(micros: u64) {
+    OP_STALL_MICROS.store(micros, Ordering::SeqCst);
+}
+
+/// The injection point: called once per op by the block interpreter.
+pub(crate) fn maybe_stall_op() {
+    let micros = OP_STALL_MICROS.load(Ordering::Relaxed);
+    if micros > 0 {
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+}

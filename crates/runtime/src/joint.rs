@@ -32,6 +32,12 @@ pub enum RuntimeError {
     ObservationMismatch(String),
     /// A replayed latent trace was too short for the execution.
     ReplayExhausted,
+    /// The execution's deadline (see [`crate::cancel::CancelToken`]) passed
+    /// before it finished; partial work was discarded.
+    DeadlineExceeded,
+    /// The execution's cancel token was raised (e.g. a server drain) before
+    /// it finished; partial work was discarded.
+    Cancelled,
 }
 
 impl fmt::Display for RuntimeError {
@@ -41,6 +47,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ProtocolViolation(m) => write!(f, "protocol violation: {m}"),
             RuntimeError::ObservationMismatch(m) => write!(f, "observation mismatch: {m}"),
             RuntimeError::ReplayExhausted => write!(f, "replayed latent trace exhausted"),
+            RuntimeError::DeadlineExceeded => {
+                write!(f, "the execution deadline passed before inference finished")
+            }
+            RuntimeError::Cancelled => write!(f, "the execution was cancelled"),
         }
     }
 }
@@ -231,6 +241,7 @@ pub struct JointExecutor {
     pub(crate) model_program: Arc<CompiledProgram>,
     pub(crate) guide_program: Arc<CompiledProgram>,
     pub(crate) observations: Arc<[Sample]>,
+    pub(crate) cancel: crate::cancel::CancelToken,
 }
 
 impl JointExecutor {
@@ -260,7 +271,22 @@ impl JointExecutor {
             model_program,
             guide_program,
             observations: observations.into(),
+            cancel: crate::cancel::CancelToken::none(),
         }
+    }
+
+    /// Installs a cancellation/deadline token; every subsequent execution
+    /// through this executor (scalar or block) polls it at its work
+    /// boundaries.  Clones made *after* this call share the token.
+    pub fn set_cancel_token(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The executor's cancellation token (a never-cancelling
+    /// [`CancelToken::none`](crate::cancel::CancelToken::none) unless
+    /// [`set_cancel_token`](JointExecutor::set_cancel_token) installed one).
+    pub fn cancel_token(&self) -> &crate::cancel::CancelToken {
+        &self.cancel
     }
 
     /// The compiled model program.
@@ -317,6 +343,7 @@ impl JointExecutor {
         rng: &mut Pcg32,
         scratch: &mut JointScratch,
     ) -> Result<JointResult, RuntimeError> {
+        self.cancel.check()?;
         let mut model = match JointScratch::take_coroutine(&mut scratch.model, &self.model_program)
         {
             Some(mut co) => {

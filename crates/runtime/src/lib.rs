@@ -48,10 +48,14 @@
 //! ```
 
 pub(crate) mod block;
+pub mod cancel;
 pub mod coroutine;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod joint;
 pub mod program;
 
+pub use cancel::CancelToken;
 pub use coroutine::{Coroutine, CoroutineError, Resume, Step, Suspend};
 pub use joint::{JointExecutor, JointResult, JointScratch, JointSpec, LatentSource, RuntimeError};
 pub use program::{CalleeRef, CmdId, CmdNode, CompiledProc, CompiledProgram, DistNode, ProcId};

@@ -61,13 +61,49 @@ use crate::http::{Handler, Request, Response};
 use crate::json::{Json, JsonError};
 use crate::metrics::Metrics;
 use crate::registry::{ModelEntry, Registry};
+use guide_ppl::runtime::{CancelToken, RuntimeError};
 use guide_ppl::{Method, Posterior, PosteriorResult, Query, QueryError, SessionError};
 use ppl_dist::Sample;
 use ppl_inference::{ParamSpec, PosteriorSummary, ViConfig};
 use ppl_semantics::value::Value;
 use ppl_store::Store;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Per-endpoint overload limits and deadline defaults.
+///
+/// Concurrency caps bound the number of requests *running inference* at
+/// once, per endpoint class — fits cost far more than queries, so they
+/// get a much smaller cap.  Request number `cap + 1` is shed with a
+/// `429 server.overloaded` + `Retry-After` before any particle runs.
+/// These caps sit *behind* the transport-level admission queue
+/// ([`crate::http::ServerConfig::queue_capacity`]): the queue bounds
+/// accepted connections, the caps bound expensive work per endpoint.
+#[derive(Debug, Clone)]
+pub struct AppLimits {
+    /// Deadline applied to requests that don't send `"deadline_ms"`;
+    /// `None` means no default deadline (the library default, so embedded
+    /// uses are unaffected; the `ppl-serve` binary sets 30 000 ms).
+    pub default_deadline_ms: Option<u64>,
+    /// Maximum concurrently *running* `/v1/query` + `/v1/batch` requests.
+    pub query_concurrency: usize,
+    /// Maximum concurrently running `/v1/fit` requests.
+    pub fit_concurrency: usize,
+    /// The `Retry-After` value (whole seconds) on cap-shed responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for AppLimits {
+    fn default() -> Self {
+        AppLimits {
+            default_deadline_ms: None,
+            query_concurrency: 32,
+            fit_concurrency: 4,
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// The served application: registry, cache, metrics, and artifact store.
 #[derive(Debug)]
@@ -86,6 +122,15 @@ pub struct App {
     /// a performance knob: results are bit-identical at every block size,
     /// so it is excluded from cache fingerprints.
     pub default_block: usize,
+    /// Overload limits and deadline defaults.
+    pub limits: AppLimits,
+    /// The server-wide drain token: every request token derives from it,
+    /// so [`App::begin_drain`] cancels all in-flight inference at once.
+    drain: CancelToken,
+    /// `/v1/query` + `/v1/batch` requests currently running inference.
+    pub(crate) inflight_query: AtomicUsize,
+    /// `/v1/fit` requests currently running inference.
+    pub(crate) inflight_fit: AtomicUsize,
 }
 
 impl App {
@@ -105,7 +150,7 @@ impl App {
         )
     }
 
-    /// [`App::with_block`] over an explicit artifact store — the full
+    /// [`App::with_block`] over an explicit artifact store — the
     /// constructor `ppl-serve` uses when `--store-dir` is set, so a
     /// restart warm-starts the artifact index from disk.
     pub fn with_store(
@@ -114,22 +159,71 @@ impl App {
         block: usize,
         store: Arc<Store>,
     ) -> Arc<App> {
+        App::with_limits(registry, cache_capacity, block, store, AppLimits::default())
+    }
+
+    /// The full constructor: explicit store *and* explicit overload
+    /// limits / deadline defaults.
+    pub fn with_limits(
+        registry: Registry,
+        cache_capacity: usize,
+        block: usize,
+        store: Arc<Store>,
+        limits: AppLimits,
+    ) -> Arc<App> {
         Arc::new(App {
             registry,
             cache: ResponseCache::new(cache_capacity),
             metrics: Metrics::new(),
             store,
             default_block: block.max(1),
+            limits,
+            drain: CancelToken::new(),
+            inflight_query: AtomicUsize::new(0),
+            inflight_fit: AtomicUsize::new(0),
         })
     }
 
+    /// Raises the server-wide drain token: every in-flight request's
+    /// cancel token fires at its next poll (one particle block at most),
+    /// and new work is rejected with `503 server.draining`.  Irreversible
+    /// for this app instance — drain precedes shutdown.
+    pub fn begin_drain(&self) {
+        self.drain.cancel();
+    }
+
+    /// Whether [`App::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.drain.is_cancelled()
+    }
+
+    /// Builds the cancel token for one request: the server drain flag plus
+    /// the request's effective deadline (`deadline_ms`, falling back to
+    /// [`AppLimits::default_deadline_ms`]).
+    pub(crate) fn request_token(&self, deadline_ms: Option<u64>) -> CancelToken {
+        match deadline_ms.or(self.limits.default_deadline_ms) {
+            Some(ms) => self.drain.deadline_in(Duration::from_millis(ms)),
+            None => self.drain.clone(),
+        }
+    }
+
     /// The HTTP handler for [`crate::http::Server::bind`]: routes the
-    /// request and records metrics.
+    /// request and records metrics.  Handler panics are caught here —
+    /// counted in `/metrics` (`server.panics_total`) and answered with the
+    /// structured `500 server.panic` body — so one poisoned request
+    /// neither kills a worker nor goes missing from the metrics.
     pub fn handler(self: &Arc<App>) -> Handler {
         let app = Arc::clone(self);
         Arc::new(move |req: &Request| {
             let start = Instant::now();
-            let response = route(&app, req);
+            let response =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&app, req))) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        app.metrics.record_panic();
+                        ApiError::new(500, "server.panic", "internal handler panic").to_response()
+                    }
+                };
             app.metrics.record(
                 &req.path,
                 response.status,
@@ -138,6 +232,53 @@ impl App {
             response
         })
     }
+}
+
+/// RAII in-flight slot on one of the per-endpoint concurrency gauges;
+/// dropping it releases the slot.
+pub(crate) struct InflightGuard<'a> {
+    gauge: &'a AtomicUsize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Claims an in-flight slot under `cap`, or sheds with a
+/// `429 server.overloaded` (+`Retry-After`) counted in the metrics.
+pub(crate) fn acquire_slot<'a>(
+    app: &'a App,
+    gauge: &'a AtomicUsize,
+    cap: usize,
+    endpoint: &str,
+) -> Result<InflightGuard<'a>, ApiError> {
+    // fetch_add-then-check keeps the claim atomic under races; the guard
+    // (or the shed path) always undoes the increment.
+    if gauge.fetch_add(1, Ordering::SeqCst) >= cap.max(1) {
+        gauge.fetch_sub(1, Ordering::SeqCst);
+        app.metrics.record_cap_shed();
+        return Err(ApiError::new(
+            429,
+            "server.overloaded",
+            format!("too many concurrent {endpoint} requests; retry shortly"),
+        )
+        .retry_after(app.limits.retry_after_secs));
+    }
+    Ok(InflightGuard { gauge })
+}
+
+/// The `503 server.draining` rejection: retryable (the client should hit
+/// another replica) and connection-closing.
+fn draining_error(app: &App) -> ApiError {
+    ApiError::new(
+        503,
+        "server.draining",
+        "the server is draining and no longer accepts work",
+    )
+    .retry_after(app.limits.retry_after_secs)
+    .close_connection()
 }
 
 /// A structured API error: HTTP status plus the machine-readable body.
@@ -152,6 +293,12 @@ pub struct ApiError {
     /// Extra structured fields merged into the error object (offending
     /// position, byte offset, batch index, …).
     pub details: Vec<(String, Json)>,
+    /// When set, a `Retry-After: <secs>` header is attached — the error is
+    /// transient overload and the client should retry (429/503).
+    pub retry_after_secs: Option<u64>,
+    /// When set, a `Connection: close` header is attached so the transport
+    /// closes the connection after this response (drain path).
+    pub close: bool,
 }
 
 impl ApiError {
@@ -161,11 +308,26 @@ impl ApiError {
             code: code.to_string(),
             message: message.into(),
             details: Vec::new(),
+            retry_after_secs: None,
+            close: false,
         }
     }
 
     pub(crate) fn with(mut self, key: &str, value: Json) -> ApiError {
         self.details.push((key.to_string(), value));
+        self
+    }
+
+    /// Marks the error as retryable overload: the response carries
+    /// `Retry-After: <secs>`.
+    pub(crate) fn retry_after(mut self, secs: u64) -> ApiError {
+        self.retry_after_secs = Some(secs);
+        self
+    }
+
+    /// Marks the response connection-closing (`Connection: close`).
+    pub(crate) fn close_connection(mut self) -> ApiError {
+        self.close = true;
         self
     }
 
@@ -178,11 +340,18 @@ impl ApiError {
         ];
         fields.extend(self.details.iter().cloned());
         let body = Json::Obj(vec![("error".into(), Json::Obj(fields))]);
-        Response::json(
+        let mut response = Response::json(
             self.status,
             body.write()
                 .expect("error bodies contain no non-finite numbers"),
-        )
+        );
+        if let Some(secs) = self.retry_after_secs {
+            response = response.with_header("Retry-After", &secs.to_string());
+        }
+        if self.close {
+            response = response.with_header("Connection", "close");
+        }
+        response
     }
 }
 
@@ -216,11 +385,55 @@ pub(crate) fn from_session_error(err: SessionError) -> ApiError {
             }
             api
         }
+        // Deadline expiry is the *client's* budget running out: a 408 with
+        // the stable code, answered within one particle-block step of the
+        // deadline.  Nothing was cached (serve_one caches only on Ok).
+        SessionError::Runtime(RuntimeError::DeadlineExceeded) => ApiError::new(
+            408,
+            "query.deadline_exceeded",
+            "the request deadline passed before inference finished",
+        ),
+        // A cancelled (not deadline-expired) token means the server began
+        // draining mid-request: retryable against another replica.
+        SessionError::Runtime(RuntimeError::Cancelled) => ApiError::new(
+            503,
+            "server.draining",
+            "the server is draining and cancelled this request",
+        )
+        .retry_after(1)
+        .close_connection(),
         other => ApiError::new(500, other.code(), other.to_string()),
     }
 }
 
 fn route(app: &Arc<App>, req: &Request) -> Response {
+    // While draining, reject all mutating / inference work up front with a
+    // retryable 503 (connection-closing); health and metrics stay readable
+    // so orchestrators can watch the drain complete.
+    if app.is_draining() && req.method == "POST" {
+        return draining_error(app).to_response();
+    }
+    // Fault-injection routes, compiled only under the `faults` feature —
+    // deliberate failures for the robustness harness, never in release
+    // builds.
+    #[cfg(feature = "faults")]
+    if req.method == "POST" {
+        match req.path.as_str() {
+            // Exercises the catch_unwind backstop in `handler`.
+            "/v1/_faults/panic" => panic!("injected handler panic"),
+            // Stalls every vectorised op by `micros`, forcing deadline
+            // expiry mid-block.
+            "/v1/_faults/stall" => {
+                let micros = parse_body(req)
+                    .ok()
+                    .and_then(|doc| doc.get("micros").and_then(Json::as_u64))
+                    .unwrap_or(0);
+                ppl_runtime::faults::set_op_stall_micros(micros);
+                return Response::json(200, "{\"ok\":true}".to_string());
+            }
+            _ => {}
+        }
+    }
     if let Some(id) = req.path.strip_prefix("/v1/models/") {
         return match req.method.as_str() {
             "GET" => crate::ingest::get_model(app, id).unwrap_or_else(|e| e.to_response()),
@@ -343,6 +556,64 @@ fn metrics(app: &App) -> Response {
                 ),
             ]),
         ));
+        fields.push((
+            "server".into(),
+            Json::Obj(vec![
+                (
+                    "panics_total".into(),
+                    Json::Num(app.metrics.panics() as f64),
+                ),
+                (
+                    "queue_sheds_total".into(),
+                    Json::Num(app.metrics.queue_sheds() as f64),
+                ),
+                (
+                    "cap_sheds_total".into(),
+                    Json::Num(app.metrics.cap_sheds() as f64),
+                ),
+                (
+                    "inflight_query".into(),
+                    Json::Num(app.inflight_query.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "inflight_fit".into(),
+                    Json::Num(app.inflight_fit.load(Ordering::SeqCst) as f64),
+                ),
+                ("draining".into(), Json::Bool(app.is_draining())),
+            ]),
+        ));
+        fields.push((
+            "limits".into(),
+            Json::Obj(vec![
+                (
+                    "read_timeout_ms".into(),
+                    Json::Num(crate::http::READ_TIMEOUT.as_millis() as f64),
+                ),
+                (
+                    "write_timeout_ms".into(),
+                    Json::Num(crate::http::WRITE_TIMEOUT.as_millis() as f64),
+                ),
+                (
+                    "max_body_bytes".into(),
+                    Json::Num(crate::http::MAX_BODY_BYTES as f64),
+                ),
+                (
+                    "default_deadline_ms".into(),
+                    match app.limits.default_deadline_ms {
+                        Some(ms) => Json::Num(ms as f64),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "query_concurrency".into(),
+                    Json::Num(app.limits.query_concurrency as f64),
+                ),
+                (
+                    "fit_concurrency".into(),
+                    Json::Num(app.limits.fit_concurrency as f64),
+                ),
+            ]),
+        ));
     }
     Response::json(200, body.write().expect("finite"))
 }
@@ -444,21 +715,40 @@ struct QueryRequest {
     model_args: Vec<Value>,
     guide_args: Vec<Value>,
     sample_index: usize,
+    /// The request's cancel token (drain flag + effective deadline).
+    /// Cloned batch items share the whole-batch deadline.  Excluded from
+    /// the cache fingerprint: a deadline never changes a successful
+    /// result, only whether one is produced.
+    cancel: CancelToken,
 }
 
 fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    let _slot = acquire_slot(
+        app,
+        &app.inflight_query,
+        app.limits.query_concurrency,
+        "query",
+    )?;
     let doc = parse_body(req)?;
     let entry = lookup_model(app, &doc)?;
     if doc.get("artifact").is_some() {
         return crate::fit::artifact_query(app, &doc, &entry);
     }
-    let request = decode_request(&doc, &entry, app.default_block)?;
+    let request = decode_request(app, &doc, &entry)?;
     let (body, hit) = serve_one(app, &entry, &request)?;
     Ok(Response::json(200, body.to_string())
         .with_header("X-Cache", if hit { "hit" } else { "miss" }))
 }
 
 fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    // A batch occupies one query slot: its items run sequentially, so it
+    // costs the workers one lane regardless of item count.
+    let _slot = acquire_slot(
+        app,
+        &app.inflight_query,
+        app.limits.query_concurrency,
+        "query",
+    )?;
     let doc = parse_body(req)?;
     let entry = lookup_model(app, &doc)?;
     if doc.get("artifact").is_some() {
@@ -512,7 +802,7 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     // The shared fields (method, threads, guide args, …) decode once; each
     // item then only decodes its own observation set, keeping batch
     // decoding linear in the number of sets.
-    let base = decode_request(&doc, &entry, app.default_block)?;
+    let base = decode_request(app, &doc, &entry)?;
 
     // Decode and *validate* every item before running anything: a bad
     // item rejects the whole batch with its index, and no partial work is
@@ -643,15 +933,12 @@ fn build_query(entry: &ModelEntry, request: &QueryRequest) -> Result<Query, ApiE
         .block(request.block)
         .model_args(request.model_args.clone())
         .guide_args(request.guide_args.clone())
+        .cancel(request.cancel.clone())
         .build()
         .map_err(|e| from_session_error(SessionError::Query(e)))
 }
 
-fn decode_request(
-    doc: &Json,
-    entry: &ModelEntry,
-    default_block: usize,
-) -> Result<QueryRequest, ApiError> {
+fn decode_request(app: &App, doc: &Json, entry: &ModelEntry) -> Result<QueryRequest, ApiError> {
     let observations = match doc.get("observations") {
         None => Vec::new(),
         Some(json) => {
@@ -684,7 +971,10 @@ fn decode_request(
     let threads = opt_u64(doc, "threads")?.unwrap_or(1).max(1) as usize;
     let block = opt_u64(doc, "block")?
         .map(|n| (n as usize).max(1))
-        .unwrap_or(default_block);
+        .unwrap_or(app.default_block);
+    // The token captures an *absolute* deadline now, at decode time, so
+    // queueing and validation spend the same budget inference does.
+    let cancel = app.request_token(opt_u64(doc, "deadline_ms")?);
     let sample_index = opt_u64(doc, "sample_index")?.unwrap_or(0) as usize;
     let model_args = real_args(doc, "model_args")?;
     let mut guide_args = real_args(doc, "guide_args")?;
@@ -708,6 +998,7 @@ fn decode_request(
         model_args,
         guide_args,
         sample_index,
+        cancel,
     })
 }
 
@@ -1276,6 +1567,7 @@ mod tests {
             model_args: vec![],
             guide_args: vec![],
             sample_index: 0,
+            cancel: CancelToken::none(),
         };
         assert_ne!(
             fingerprint("weight", &request(a)),

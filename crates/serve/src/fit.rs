@@ -29,8 +29,8 @@
 //! path.  Client mistakes are never a 500.
 
 use crate::api::{
-    bad_schema, decode_observation, decode_param, find_model, from_session_error, opt_f64, opt_u64,
-    parse_body, query_response_json, real_args, ApiError, App,
+    acquire_slot, bad_schema, decode_observation, decode_param, find_model, from_session_error,
+    opt_f64, opt_u64, parse_body, query_response_json, real_args, ApiError, App,
 };
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -67,6 +67,10 @@ use std::time::Instant;
 /// (`params` to the registry's initial variational parameters); `threads`
 /// and `block` are perf knobs excluded from the artifact id.
 pub fn fit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
+    // Fits run many optimisation steps, so they get their own (small)
+    // concurrency cap: a burst of fits sheds with a 429 instead of
+    // starving the query lanes.
+    let _slot = acquire_slot(app, &app.inflight_fit, app.limits.fit_concurrency, "fit")?;
     let doc = parse_body(req)?;
     let entry = find_model(app, &doc)?;
     entry.record_fit();
@@ -90,6 +94,9 @@ pub fn fit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
         .map(|n| (n as usize).max(1))
         .unwrap_or(app.default_block);
     let model_args = real_args(&doc, "model_args")?;
+    // Like threads/block, the deadline is a serving knob excluded from the
+    // artifact id: it never changes what a successful fit produces.
+    let cancel = app.request_token(opt_u64(&doc, "deadline_ms")?);
 
     let fit_doc = match doc.get("fit") {
         None => &Json::Obj(Vec::new()),
@@ -187,9 +194,13 @@ pub fn fit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
         .threads(threads)
         .block(block)
         .model_args(model_args)
+        .cancel(cancel)
         .build()
         .map_err(|e| from_session_error(SessionError::Query(e)))?;
     let started = Instant::now();
+    // An expired or drained token aborts fit_vi with a structured error
+    // before `store.put` runs — a cancelled fit never persists an
+    // artifact.
     let vi_fit = query.fit_vi(&params, &config).map_err(from_session_error)?;
     entry.record_execution(cost, started.elapsed().as_nanos() as u64);
 
@@ -292,6 +303,7 @@ pub(crate) fn artifact_query(
         .map(|n| (n as usize).max(1))
         .unwrap_or(app.default_block);
     let sample_index = opt_u64(doc, "sample_index")?.unwrap_or(0) as usize;
+    let cancel = app.request_token(opt_u64(doc, "deadline_ms")?);
 
     let artifact = app.store.get(id).ok_or_else(|| unknown_artifact(400, id))?;
     if artifact.model_id != entry.id {
@@ -346,6 +358,7 @@ pub(crate) fn artifact_query(
         .query()
         .threads(threads)
         .block(block)
+        .cancel(cancel)
         .vi_from_artifact(&artifact)
         .map_err(|e| from_session_error(SessionError::Query(e)))?;
     let started = Instant::now();

@@ -19,24 +19,44 @@
 //!   joins every thread.
 //!
 //! Limits are deliberate: bodies over [`MAX_BODY_BYTES`] get a 413,
-//! `Transfer-Encoding: chunked` requests a 501, and reads time out after
-//! [`READ_TIMEOUT`] so an idle or stalled peer cannot pin a worker
-//! forever.
+//! `Transfer-Encoding: chunked` requests a 501, reads time out after
+//! [`READ_TIMEOUT`] so a slow-loris peer cannot pin a worker forever, and
+//! writes time out after [`WRITE_TIMEOUT`] so a peer that stops *reading*
+//! cannot either.
+//!
+//! **Admission control**: the accept loop dispatches connections to the
+//! workers over a *bounded* queue ([`ServerConfig::queue_capacity`]).
+//! When the queue is full the connection is shed at the door with a
+//! minimal `429 Too Many Requests` + `Retry-After` JSON response (stable
+//! code `server.overloaded`) instead of queueing without bound — the
+//! server degrades by refusing work it cannot start, never by collapsing.
+//! [`Server::shutdown_with_deadline`] adds graceful drain: stop
+//! accepting, let in-flight work finish under a deadline, then fire a
+//! caller-supplied cancellation hook for whatever is still running.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted request-body size (1 MiB).
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
-/// Socket read timeout; a peer that stalls longer than this mid-request
-/// (or sits idle on a keep-alive connection) is disconnected.
+/// Default socket read timeout; a peer that stalls longer than this
+/// mid-request (or sits idle on a keep-alive connection) is disconnected.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default socket write timeout; a peer that accepts a connection but
+/// stops draining its receive window is disconnected rather than pinning
+/// a worker in `write_all`.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default bound on connections queued between the accept loop and the
+/// workers; connection number `queue_capacity + 1` is shed with a 429.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 128;
 
 /// Maximum requests served on one keep-alive connection.
 const MAX_KEEPALIVE_REQUESTS: usize = 10_000;
@@ -48,6 +68,16 @@ const MAX_HEAD_LINE_BYTES: u64 = 8 * 1024;
 
 /// Maximum header lines per request.
 const MAX_HEADER_LINES: usize = 100;
+
+/// Read budget for draining a shed connection's request before the 429
+/// is written; deliberately short so a dribbling client cannot hold the
+/// shedder thread for the full [`READ_TIMEOUT`].
+const SHED_READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Connections allowed to wait for the shedder thread; overflow beyond
+/// this is dropped outright so a connection storm cannot grow the
+/// server's file-descriptor usage without bound.
+const SHED_PENDING_MAX: usize = 64;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -125,9 +155,12 @@ fn status_reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -135,12 +168,48 @@ fn status_reason(status: u16) -> &'static str {
 /// The request handler a [`Server`] dispatches to.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
+/// Tuning knobs for [`Server::bind_with_config`]; [`Default`] matches the
+/// historical [`Server::bind`] behaviour except that the dispatch queue is
+/// bounded at [`DEFAULT_QUEUE_CAPACITY`] instead of unbounded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker (connection-handling) threads; clamped to at least 1.
+    pub workers: usize,
+    /// Connections allowed to wait between accept and dispatch before the
+    /// server sheds with a 429; clamped to at least 1.
+    pub queue_capacity: usize,
+    /// The `Retry-After` value (whole seconds) sent on shed responses.
+    pub retry_after_secs: u64,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Incremented once per connection shed at the admission queue, so the
+    /// serving layer can surface `queue_sheds_total` in its metrics.
+    pub shed_counter: Option<Arc<AtomicU64>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            retry_after_secs: 1,
+            read_timeout: READ_TIMEOUT,
+            write_timeout: WRITE_TIMEOUT,
+            shed_counter: None,
+        }
+    }
+}
+
 /// A running HTTP server; dropping it without [`Server::shutdown`] leaves
 /// the threads serving until the process exits (what the `ppl-serve`
 /// binary wants), shutting down joins them (what tests want).
 pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Connections currently owned by a worker (being served).
+    active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -156,23 +225,64 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop plus `workers` connection-handling threads.
+    /// accept loop plus `workers` connection-handling threads, with every
+    /// other knob at its [`ServerConfig`] default.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, workers: usize, handler: Handler) -> io::Result<Server> {
+        Server::bind_with_config(
+            addr,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+            handler,
+        )
+    }
+
+    /// Binds `addr` and starts the accept loop plus worker pool under
+    /// explicit [`ServerConfig`] limits.
+    ///
+    /// The accept loop never blocks on the workers: when
+    /// [`ServerConfig::queue_capacity`] connections are already waiting,
+    /// the next connection is answered directly with a one-line
+    /// `429 server.overloaded` JSON response carrying `Retry-After`, and
+    /// dropped.  Shedding at the door costs one small write instead of a
+    /// worker, so the server's latency for *accepted* requests stays flat
+    /// under arbitrary connection storms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        handler: Handler,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        // The channel itself stays unbounded; `queued` enforces the bound
+        // from the accept side so shedding never blocks on a lock.
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let queue_capacity = config.queue_capacity.max(1);
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        let retry_after_secs = config.retry_after_secs;
+        let shed_counter = config.shed_counter.clone();
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
+        let mut worker_handles: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
                 let stop = Arc::clone(&stop);
+                let queued = Arc::clone(&queued);
+                let active = Arc::clone(&active);
                 std::thread::spawn(move || loop {
                     // Holding the lock only for the recv keeps the other
                     // workers free to take the next connection.
@@ -180,12 +290,31 @@ impl Server {
                         Ok(conn) => conn,
                         Err(_) => return, // accept loop gone: shut down
                     };
-                    serve_connection(conn, &handler, &stop);
+                    queued.fetch_sub(1, Ordering::SeqCst);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    serve_connection(conn, &handler, &stop, read_timeout, write_timeout);
+                    active.fetch_sub(1, Ordering::SeqCst);
                 })
             })
             .collect();
 
+        // Shed connections are answered on their own thread: the 429 can
+        // only be delivered reliably after the client's request bytes are
+        // read (closing a socket with unread data sends a TCP reset that
+        // can destroy the in-flight response), and that read must never
+        // block the accept loop.
+        let (shed_tx, shed_rx) = mpsc::channel::<TcpStream>();
+        let shed_pending = Arc::new(AtomicUsize::new(0));
+        let shedder_pending = Arc::clone(&shed_pending);
+        worker_handles.push(std::thread::spawn(move || {
+            while let Ok(conn) = shed_rx.recv() {
+                shed_connection(conn, retry_after_secs, write_timeout);
+                shedder_pending.fetch_sub(1, Ordering::SeqCst);
+            }
+        }));
+
         let accept_stop = Arc::clone(&stop);
+        let accept_queued = Arc::clone(&queued);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
@@ -193,6 +322,20 @@ impl Server {
                 }
                 match conn {
                     Ok(conn) => {
+                        if accept_queued.load(Ordering::SeqCst) >= queue_capacity {
+                            if let Some(counter) = &shed_counter {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            }
+                            if shed_pending.fetch_add(1, Ordering::SeqCst) >= SHED_PENDING_MAX {
+                                // The shedder itself is saturated: drop the
+                                // connection outright rather than hoard fds.
+                                shed_pending.fetch_sub(1, Ordering::SeqCst);
+                            } else if shed_tx.send(conn).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        accept_queued.fetch_add(1, Ordering::SeqCst);
                         if tx.send(conn).is_err() {
                             break;
                         }
@@ -200,12 +343,14 @@ impl Server {
                     Err(_) => continue,
                 }
             }
-            // Dropping `tx` here wakes every idle worker with RecvError.
+            // Dropping `tx` (and `shed_tx`) here wakes every idle worker
+            // and the shedder with RecvError.
         });
 
         Ok(Server {
             local_addr,
             stop,
+            active,
             accept_thread: Some(accept_thread),
             workers: worker_handles,
         })
@@ -217,25 +362,96 @@ impl Server {
         self.local_addr
     }
 
+    /// Connections currently being served (the drain gauge).
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting, drains the workers, and joins every thread.
     /// In-flight requests finish; idle keep-alive connections are closed
-    /// at their next read (bounded by [`READ_TIMEOUT`]).
+    /// at their next read (bounded by the configured read timeout).
     pub fn shutdown(mut self) {
+        self.stop_accepting();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful drain: stops accepting, waits up to `drain` for in-flight
+    /// connections to finish, then calls `on_deadline` (the caller's
+    /// cancellation hook — e.g. raising the app's drain token so stuck
+    /// inference aborts cooperatively) and joins the workers.
+    ///
+    /// `on_deadline` fires only when the drain deadline passes with
+    /// connections still active; a quiet server shuts down exactly like
+    /// [`Server::shutdown`].  Responses written while stopping advertise
+    /// `Connection: close`.
+    pub fn shutdown_with_deadline(mut self, drain: Duration, on_deadline: impl FnOnce()) {
+        self.stop_accepting();
+        let deadline = Instant::now() + drain;
+        while self.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if self.active.load(Ordering::SeqCst) > 0 {
+            on_deadline();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Raises the stop flag, wakes the accept loop, and joins it; after
+    /// this returns no new connection will be dispatched.
+    fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for t in self.workers.drain(..) {
-            let _ = t.join();
-        }
     }
 }
 
+/// Refuses one connection at the admission queue (runs on the dedicated
+/// shedder thread): reads the client's request — under the short
+/// [`SHED_READ_TIMEOUT`] so a dribbling peer cannot monopolise the
+/// thread — then answers a minimal 429 JSON response with `Retry-After`
+/// and closes (`Connection: close`).
+///
+/// The read comes *first* because closing a socket with unread request
+/// bytes in the receive buffer sends a TCP reset, which can destroy the
+/// already-written 429 before the client reads it — the client would see
+/// a connection error instead of the retryable refusal.
+fn shed_connection(conn: TcpStream, retry_after_secs: u64, write_timeout: Duration) {
+    let _ = conn.set_read_timeout(Some(SHED_READ_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(write_timeout));
+    let _ = conn.set_nodelay(true);
+    let mut reader = BufReader::new(match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    });
+    // The outcome is deliberately ignored: a malformed or half-sent
+    // request still gets the 429 over whatever was drained.
+    let _ = read_request(&mut reader);
+    let mut writer = conn;
+    let body = format!(
+        "{{\"error\":{{\"code\":\"server.overloaded\",\"message\":\"admission queue full; retry after {retry_after_secs} second(s)\"}}}}"
+    );
+    let response =
+        Response::json(429, body).with_header("Retry-After", &retry_after_secs.to_string());
+    let _ = write_response(&mut writer, &response, false);
+}
+
 /// Serves one connection until it closes, errors, or the server stops.
-fn serve_connection(conn: TcpStream, handler: &Handler, stop: &AtomicBool) {
-    let _ = conn.set_read_timeout(Some(READ_TIMEOUT));
+fn serve_connection(
+    conn: TcpStream,
+    handler: &Handler,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let _ = conn.set_read_timeout(Some(read_timeout));
+    let _ = conn.set_write_timeout(Some(write_timeout));
     let _ = conn.set_nodelay(true);
     let mut reader = BufReader::new(match conn.try_clone() {
         Ok(c) => c,
@@ -269,16 +485,28 @@ fn serve_connection(conn: TcpStream, handler: &Handler, stop: &AtomicBool) {
             Err(ReadError::Io) => return,
         };
         // A panicking handler must not take the worker thread (and the
-        // pool's capacity) with it: catch it and answer 500.
+        // pool's capacity) with it: catch it and answer a structured 500.
+        // (The serving layer catches panics inside its own handler too, so
+        // it can count them; this is the transport-level backstop for
+        // handlers that don't.)
         let response =
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request))) {
                 Ok(response) => response,
-                Err(_) => Response::text(500, "internal handler panic"),
+                Err(_) => Response::json(
+                    500,
+                    "{\"error\":{\"code\":\"server.panic\",\
+                     \"message\":\"internal handler panic\"}}"
+                        .to_string(),
+                ),
             };
-        // The connection's final response (stop requested, or the
-        // keep-alive budget exhausted) honestly advertises the close
+        // The connection's final response (stop requested, the keep-alive
+        // budget exhausted, or a handler that asked for `Connection:
+        // close` — e.g. a drain rejection) honestly advertises the close
         // instead of resetting the client's next request.
-        let keep_alive = keep_alive && !last_allowed && !stop.load(Ordering::SeqCst);
+        let keep_alive = keep_alive
+            && !last_allowed
+            && !stop.load(Ordering::SeqCst)
+            && !response_requests_close(&response);
         if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
             return;
         }
@@ -411,6 +639,17 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bo
     )))
 }
 
+/// Whether the handler attached its own `Connection: close` header — a
+/// request to drop the connection after this response (the framing
+/// `Connection` header is owned by [`write_response`], which folds the
+/// request in rather than emitting a duplicate).
+fn response_requests_close(response: &Response) -> bool {
+    response
+        .headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close"))
+}
+
 fn write_response(writer: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
@@ -421,6 +660,10 @@ fn write_response(writer: &mut TcpStream, response: &Response, keep_alive: bool)
         if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in &response.headers {
+        // The framing Connection header above is authoritative.
+        if name.eq_ignore_ascii_case("connection") {
+            continue;
+        }
         head.push_str(name);
         head.push_str(": ");
         head.push_str(value);

@@ -46,8 +46,8 @@ pub mod registry;
 /// working.
 pub use ppl_store::json;
 
-pub use api::App;
+pub use api::{App, AppLimits};
 pub use cache::ResponseCache;
-pub use http::{Request, Response, Server};
+pub use http::{Request, Response, Server, ServerConfig};
 pub use json::{Json, JsonError};
 pub use registry::Registry;

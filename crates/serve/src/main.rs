@@ -1,9 +1,11 @@
 //! The `ppl-serve` binary: boot the registry, bind, and serve until
-//! killed.
+//! asked to drain.
 //!
 //! ```text
 //! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]
 //!           [--block N] [--store-dir PATH] [--store-capacity N]
+//!           [--deadline-ms N] [--queue N] [--query-cap N] [--fit-cap N]
+//!           [--drain-ms N]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:8080`; use port 0 to bind an ephemeral
@@ -23,11 +25,49 @@
 //! `--store-capacity` bounds the number of resident artifacts (default
 //! 256); the least-recently-used artifact — and its file — is evicted
 //! beyond that.
+//!
+//! # Overload and deadlines
+//!
+//! `--deadline-ms` is the default per-request deadline (30 000 ms; 0
+//! disables it) applied when a request carries no `"deadline_ms"` field —
+//! expiry answers `408 query.deadline_exceeded` at the next particle
+//! block.  `--queue` bounds the transport admission queue (default 128
+//! accepted-but-undispatched connections; overflow is shed with
+//! `429 server.overloaded` + `Retry-After`).  `--query-cap` and
+//! `--fit-cap` bound concurrently *running* queries (default 32) and fits
+//! (default 4).  On SIGINT/SIGTERM the server drains: it stops accepting,
+//! rejects new work with `503 server.draining`, cancels in-flight
+//! inference via the drain token, and exits once active connections hit
+//! zero or `--drain-ms` (default 5 000) passes.
+//! See the README's "Limits, deadlines, and overload behaviour".
 
-use ppl_serve::{App, Registry, Server};
+use ppl_serve::{App, AppLimits, Registry, Server, ServerConfig};
 use ppl_store::{Store, DEFAULT_STORE_CAPACITY};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; polled by the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only an atomic store: the one operation that is async-signal-safe.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers via the libc `signal` already linked
+/// into every std binary (std itself exposes no signal API).
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SIGINT = 2, SIGTERM = 15 (POSIX).
+    unsafe {
+        signal(2, on_signal);
+        signal(15, on_signal);
+    }
+}
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8080".to_string();
@@ -37,6 +77,10 @@ fn main() -> ExitCode {
     let mut block = ppl_inference::DEFAULT_BLOCK;
     let mut store_dir: Option<String> = None;
     let mut store_capacity = DEFAULT_STORE_CAPACITY;
+    let mut deadline_ms = 30_000u64;
+    let mut queue = ppl_serve::http::DEFAULT_QUEUE_CAPACITY;
+    let mut limits = AppLimits::default();
+    let mut drain_ms = 5_000u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,9 +112,30 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => store_capacity = n,
                 _ => return usage("--store-capacity expects a positive integer"),
             },
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => deadline_ms = n,
+                None => return usage("--deadline-ms expects a non-negative integer (0 disables)"),
+            },
+            "--queue" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => queue = n,
+                _ => return usage("--queue expects a positive integer"),
+            },
+            "--query-cap" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => limits.query_concurrency = n,
+                _ => return usage("--query-cap expects a positive integer"),
+            },
+            "--fit-cap" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => limits.fit_concurrency = n,
+                _ => return usage("--fit-cap expects a positive integer"),
+            },
+            "--drain-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => drain_ms = n,
+                None => return usage("--drain-ms expects a non-negative integer"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
+    limits.default_deadline_ms = (deadline_ms > 0).then_some(deadline_ms);
 
     let registry = Registry::from_benchmarks().with_user_capacity(user_models);
     println!("ppl-serve: {} models compiled", registry.len());
@@ -91,8 +156,14 @@ fn main() -> ExitCode {
             store.skipped_at_boot()
         );
     }
-    let app = App::with_store(registry, cache, block, std::sync::Arc::new(store));
-    let server = match Server::bind(addr.as_str(), workers, app.handler()) {
+    let app = App::with_limits(registry, cache, block, std::sync::Arc::new(store), limits);
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        shed_counter: Some(app.metrics.queue_sheds_handle()),
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind_with_config(addr.as_str(), config, app.handler()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("error: cannot bind {addr}: {e}");
@@ -103,17 +174,33 @@ fn main() -> ExitCode {
     // The smoke step greps this line from a pipe; make sure it arrives.
     let _ = std::io::stdout().flush();
 
-    // Serve until the process is killed; the server owns the threads.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3_600));
+    install_signal_handlers();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+
+    // Graceful drain: reject new work (503 + Connection: close), cancel
+    // in-flight inference at its next block poll, then wait out the
+    // stragglers under the drain budget.
+    println!(
+        "ppl-serve: draining ({} active connections, {drain_ms}ms budget)",
+        server.active_connections()
+    );
+    let _ = std::io::stdout().flush();
+    app.begin_drain();
+    server.shutdown_with_deadline(Duration::from_millis(drain_ms), || {
+        eprintln!("ppl-serve: drain deadline passed with connections still active");
+    });
+    println!("ppl-serve: drained, exiting");
+    ExitCode::SUCCESS
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] \
-                [--block N] [--store-dir PATH] [--store-capacity N]"
+                [--block N] [--store-dir PATH] [--store-capacity N] [--deadline-ms N] \
+                [--queue N] [--query-cap N] [--fit-cap N] [--drain-ms N]"
     );
     ExitCode::FAILURE
 }

@@ -9,7 +9,7 @@
 use crate::json::Json;
 use ppl_dist::stats::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Upper bound of the latency histogram range, in milliseconds; slower
@@ -51,6 +51,15 @@ pub struct Metrics {
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
     latency: Mutex<Latency>,
+    /// Handler panics caught and converted to `500 server.panic`.
+    panics: AtomicU64,
+    /// Requests shed by a per-endpoint concurrency cap (`429`).
+    cap_sheds: AtomicU64,
+    /// Connections shed at the transport admission queue (`429`).  Behind
+    /// an `Arc` so it can be handed to
+    /// [`crate::http::ServerConfig::shed_counter`] — the transport layer
+    /// sheds before the handler (and therefore these metrics) ever runs.
+    queue_sheds: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -83,7 +92,41 @@ impl Metrics {
                 sum_ms: 0.0,
                 max_ms: 0.0,
             }),
+            panics: AtomicU64::new(0),
+            cap_sheds: AtomicU64::new(0),
+            queue_sheds: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Counts one caught handler panic.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by a per-endpoint concurrency cap.
+    pub fn record_cap_shed(&self) {
+        self.cap_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics caught so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by per-endpoint concurrency caps so far.
+    pub fn cap_sheds(&self) -> u64 {
+        self.cap_sheds.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at the transport admission queue so far.
+    pub fn queue_sheds(&self) -> u64 {
+        self.queue_sheds.load(Ordering::Relaxed)
+    }
+
+    /// The shared queue-shed counter, for wiring into
+    /// [`crate::http::ServerConfig::shed_counter`].
+    pub fn queue_sheds_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.queue_sheds)
     }
 
     /// Records one handled request: its route (normalised to a [`ROUTES`]

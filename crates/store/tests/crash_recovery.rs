@@ -1,0 +1,164 @@
+//! Crash-recovery coverage: boot the store against artifact files damaged
+//! the way real crashes damage them — truncated writes, bit flips, and
+//! torn (partially-renamed) write protocols — and check that the boot
+//! scan skips and counts every casualty, keeps the survivors, and that a
+//! subsequent `put` re-creates a clean, byte-canonical artifact.
+
+use ppl_store::{
+    compute_id, Artifact, FitConfig, FitParam, ObsLit, Store, ARTIFACT_FORMAT_VERSION,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn tempdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("ppl-store-crash-{}-{tag}-{n}", std::process::id()));
+    fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+fn artifact(seed: u64) -> Artifact {
+    let schema = vec![FitParam {
+        name: "mu".into(),
+        init: 0.0,
+        positive: false,
+    }];
+    let config = FitConfig {
+        iterations: 10,
+        samples_per_iteration: 4,
+        learning_rate: 0.05,
+        fd_epsilon: 1e-4,
+    };
+    let observations = vec![ObsLit::Real(2.5)];
+    let id = compute_id(
+        "m-0011223344556677",
+        &observations,
+        &[],
+        &schema,
+        &config,
+        seed,
+    );
+    Artifact {
+        version: ARTIFACT_FORMAT_VERSION,
+        id,
+        model_id: "m-0011223344556677".into(),
+        seed,
+        observations,
+        model_args: vec![],
+        schema,
+        config,
+        params: vec![2.25 + seed as f64],
+        fit_iterations: 10,
+        elbo_tail: vec![-1.5],
+        rng_state: 7 + seed,
+        rng_inc: 0xda3e_39cb_94b9_5bdb,
+    }
+}
+
+/// Writes `seed`'s artifact through the store, then damages the file with
+/// `damage` and reopens — the damaged artifact must be skipped and
+/// counted, not loaded and not fatal.
+fn boot_after_damage(tag: &str, damage: impl FnOnce(&PathBuf, &str)) -> (PathBuf, Store, String) {
+    let dir = tempdir(tag);
+    let id = {
+        let store = Store::open(&dir, 8).expect("open");
+        let (id, created) = store.put(artifact(1)).expect("put");
+        assert!(created);
+        // A healthy neighbour that must survive every scenario.
+        store.put(artifact(2)).expect("put survivor");
+        id
+    };
+    damage(&dir, &id);
+    let store = Store::open(&dir, 8).expect("reopen after damage");
+    (dir, store, id)
+}
+
+/// After recovery, re-putting the same artifact must re-create the file
+/// with its canonical bytes, as a fresh fit would.
+fn assert_reput_recovers(dir: &Path, store: &Store, id: &str) {
+    let (new_id, created) = store.put(artifact(1)).expect("re-put");
+    assert_eq!(new_id, id, "content addressing is stable");
+    assert!(created, "the damaged artifact was really gone");
+    let on_disk = fs::read(dir.join(format!("{id}.json"))).expect("recreated file");
+    assert_eq!(
+        on_disk,
+        artifact(1).to_bytes().expect("finite"),
+        "recovered file holds the canonical encoding"
+    );
+}
+
+#[test]
+fn truncated_artifact_is_skipped_and_refit_recovers() {
+    let (dir, store, id) = boot_after_damage("trunc", |dir, id| {
+        // A crash mid-write on a non-atomic filesystem: keep half the
+        // bytes.
+        let path = dir.join(format!("{id}.json"));
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    });
+    assert_eq!(store.len(), 1, "only the survivor loads");
+    assert_eq!(store.skipped_at_boot(), 1);
+    assert!(store.get(&id).is_none());
+    assert!(store.get(&artifact(2).id).is_some());
+    assert_reput_recovers(&dir, &store, &id);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_artifact_is_skipped_and_refit_recovers() {
+    let (dir, store, id) = boot_after_damage("flip", |dir, id| {
+        // Silent media corruption: one flipped bit in the middle of the
+        // record (inside the params payload, past the header fields).
+        let path = dir.join(format!("{id}.json"));
+        let mut bytes = fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).expect("flip");
+    });
+    assert_eq!(store.len(), 1, "only the survivor loads");
+    assert_eq!(store.skipped_at_boot(), 1);
+    assert!(store.get(&id).is_none());
+    assert_reput_recovers(&dir, &store, &id);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_rename_leaves_tmp_only_and_refit_recovers() {
+    let (dir, store, id) = boot_after_damage("torn", |dir, id| {
+        // A crash between `write(.tmp)` and `rename`: the final file never
+        // appeared, the .tmp holds complete bytes.
+        let path = dir.join(format!("{id}.json"));
+        let bytes = fs::read(&path).expect("read");
+        fs::write(dir.join(format!("{id}.json.tmp")), &bytes).expect("tmp");
+        fs::remove_file(&path).expect("remove final");
+    });
+    assert_eq!(store.len(), 1, "only the survivor loads");
+    // .tmp leftovers are the write protocol working as designed (the
+    // rename never committed), so they are ignored, not counted as
+    // casualties.
+    assert_eq!(store.skipped_at_boot(), 0);
+    assert!(store.get(&id).is_none());
+    assert_reput_recovers(&dir, &store, &id);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn half_torn_rename_with_truncated_final_is_counted() {
+    let (dir, store, id) = boot_after_damage("half-torn", |dir, id| {
+        // The nastier tear: the rename committed but an earlier crashed
+        // attempt left a short final file (e.g. a non-atomic overwrite on
+        // a degraded filesystem) and the .tmp from the retry survives too.
+        let path = dir.join(format!("{id}.json"));
+        let bytes = fs::read(&path).expect("read");
+        fs::write(dir.join(format!("{id}.json.tmp")), &bytes).expect("tmp");
+        fs::write(&path, &bytes[..8]).expect("short final");
+    });
+    assert_eq!(store.len(), 1, "only the survivor loads");
+    assert_eq!(store.skipped_at_boot(), 1, "the short final file counts");
+    assert!(store.get(&id).is_none());
+    assert_reput_recovers(&dir, &store, &id);
+    fs::remove_dir_all(&dir).ok();
+}
