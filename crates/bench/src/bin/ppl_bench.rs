@@ -15,7 +15,7 @@
 
 use ppl_bench::throughput::{
     admission_rows, amortization_rows, bench_json, block_rows, engine_timings, http_rows,
-    mcmc_rows, overload_rows, serving_rows, throughput_rows, ThroughputConfig,
+    mcmc_rows, observability_rows, overload_rows, serving_rows, throughput_rows, ThroughputConfig,
 };
 use std::process::ExitCode;
 
@@ -228,6 +228,25 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\nobservability — flight-recorder overhead (in-process handler, cache disabled)");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12} {:>6}",
+        "benchmark", "requests", "off req/s", "on req/s", "overhead %", "ok"
+    );
+    let observability = observability_rows(&config);
+    for r in &observability {
+        all_identical &= r.ok;
+        println!(
+            "{:<10} {:>8} {:>12.1} {:>12.1} {:>12.2} {:>6}",
+            r.name,
+            r.requests,
+            r.off_requests_per_sec,
+            r.on_requests_per_sec,
+            r.tracing_on_overhead_pct,
+            r.ok,
+        );
+    }
+
     println!("\nengine wall times");
     let engines = engine_timings(&config);
     for e in &engines {
@@ -249,6 +268,7 @@ fn main() -> ExitCode {
             &admission,
             &amortization,
             &overload,
+            &observability,
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");

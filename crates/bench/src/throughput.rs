@@ -580,6 +580,100 @@ pub fn http_rows(config: &ThroughputConfig) -> Vec<HttpRow> {
     }]
 }
 
+/// One flight-recorder overhead measurement: in-process handler
+/// throughput with tracing off versus on, plus the relative cost of
+/// leaving the recorder enabled.
+#[derive(Debug, Clone)]
+pub struct ObservabilityRow {
+    /// Benchmark name served.
+    pub name: &'static str,
+    /// Requests per pass (cache disabled, so each runs inference).
+    pub requests: usize,
+    /// Importance-sampling particles per request.
+    pub particles_per_request: usize,
+    /// Best-of wall time with the recorder disabled, in seconds.
+    pub off_seconds: f64,
+    /// Best-of wall time with the recorder enabled, in seconds.
+    pub on_seconds: f64,
+    /// Requests per second, recorder disabled.
+    pub off_requests_per_sec: f64,
+    /// Requests per second, recorder enabled.
+    pub on_requests_per_sec: f64,
+    /// Relative cost of tracing: `(on - off) / off × 100`.  Can be
+    /// negative under noise; CI gates it below a few percent.
+    pub tracing_on_overhead_pct: f64,
+    /// Every response was a 200, traced passes produced ring entries,
+    /// and untraced responses carried no trace id.
+    pub ok: bool,
+}
+
+/// Measures the flight recorder's overhead: identical request streams
+/// through the in-process handler (no sockets, cache disabled so every
+/// request runs inference), interleaving recorder-off and recorder-on
+/// passes and keeping the best of each so scheduler noise hits both
+/// modes alike.
+pub fn observability_rows(config: &ThroughputConfig) -> Vec<ObservabilityRow> {
+    use ppl_serve::http::Request;
+    use ppl_serve::{App, Registry};
+
+    // Few, heavy requests: per-request inference must dominate so the
+    // measurement reflects tracing's relative cost in realistic serving,
+    // not fixed per-request bookkeeping plus timer noise.
+    let name = "ex-1";
+    let requests = 8usize;
+    let particles_per_request = (config.particles / requests).max(500);
+    let app = App::new(Registry::from_benchmarks(), 0);
+    let handler = app.handler();
+    let bodies: Vec<String> = (0..requests)
+        .map(|i| {
+            format!(
+                r#"{{"model":"{name}","observations":[0.8],"method":{{"algorithm":"importance","particles":{particles_per_request}}},"seed":{}}}"#,
+                config.seed ^ i as u64
+            )
+        })
+        .collect();
+    let request = |body: &str| Request {
+        method: "POST".to_string(),
+        path: "/v1/query".to_string(),
+        query: None,
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    };
+
+    let mut ok = true;
+    let mut run_pass = |enabled: bool| -> f64 {
+        app.obs.set_enabled(enabled);
+        let start = Instant::now();
+        for body in &bodies {
+            let response = handler(&request(body));
+            ok &= response.status == 200;
+            ok &= response.headers.iter().any(|(k, _)| k == "X-Ppl-Trace-Id") == enabled;
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    run_pass(false); // warm-up: fault in lazy runtime state for both modes
+    let (mut off_seconds, mut on_seconds) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        off_seconds = off_seconds.min(run_pass(false));
+        on_seconds = on_seconds.min(run_pass(true));
+    }
+    ok &= app.obs.recorded() > 0;
+    app.obs.set_enabled(true);
+
+    vec![ObservabilityRow {
+        name,
+        requests,
+        particles_per_request,
+        off_seconds,
+        on_seconds,
+        off_requests_per_sec: requests as f64 / off_seconds,
+        on_requests_per_sec: requests as f64 / on_seconds,
+        tracing_on_overhead_pct: (on_seconds / off_seconds - 1.0) * 100.0,
+        ok,
+    }]
+}
+
 /// One admission-control measurement: how fast the full
 /// parse → guide-type check → compatibility → compile pipeline admits a
 /// model, in-process and over HTTP (`POST /v1/models`).
@@ -1092,10 +1186,11 @@ pub fn bench_json(
     admission: &[AdmissionRow],
     amortization: &[AmortizationRow],
     overload: &[OverloadRow],
+    observability: &[ObservabilityRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v7\",");
+    let _ = writeln!(s, "  \"schema\": \"ppl-bench/inference/v8\",");
     let _ = writeln!(s, "  \"particles\": {},", config.particles);
     let _ = writeln!(s, "  \"threads\": {},", config.threads);
     let _ = writeln!(s, "  \"block\": {},", config.block);
@@ -1275,6 +1370,30 @@ pub fn bench_json(
             r.ok,
         );
         s.push_str(if i + 1 < overload.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"observability\": [\n");
+    for (i, r) in observability.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"requests\": {}, \"particles_per_request\": {}, \
+             \"off_seconds\": {}, \"on_seconds\": {}, \"off_requests_per_sec\": {}, \
+             \"on_requests_per_sec\": {}, \"tracing_on_overhead_pct\": {}, \"ok\": {}}}",
+            r.name,
+            r.requests,
+            r.particles_per_request,
+            json_f64(r.off_seconds),
+            json_f64(r.on_seconds),
+            json_f64(r.off_requests_per_sec),
+            json_f64(r.on_requests_per_sec),
+            json_f64(r.tracing_on_overhead_pct),
+            r.ok,
+        );
+        s.push_str(if i + 1 < observability.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     s.push_str("  ],\n");
     // Store gauges from the amortization run (the only scenario that
@@ -1510,6 +1629,7 @@ mod tests {
         let admission = admission_rows(&config);
         let amortization = amortization_rows(&config);
         let overload = overload_rows(&config);
+        let observability = observability_rows(&config);
         let json = bench_json(
             &config,
             &rows,
@@ -1521,6 +1641,7 @@ mod tests {
             &admission,
             &amortization,
             &overload,
+            &observability,
         );
         // Structural sanity without a JSON parser: balanced braces/brackets
         // and the keys CI greps for.
@@ -1531,9 +1652,13 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"ppl-bench/inference/v7\"",
+            "\"schema\": \"ppl-bench/inference/v8\"",
             "\"amortization\"",
             "\"overload\"",
+            "\"observability\"",
+            "\"tracing_on_overhead_pct\"",
+            "\"off_requests_per_sec\"",
+            "\"on_requests_per_sec\"",
             "\"shed_rate\"",
             "\"accepted_p99_ms\"",
             "\"retry_after_ok\": true",

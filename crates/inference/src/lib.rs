@@ -50,12 +50,14 @@
 //! ```
 
 pub mod counters;
+pub mod diag;
 pub mod engine;
 pub mod importance;
 pub mod mcmc;
 pub mod posterior;
 pub mod vi;
 
+pub use diag::Diagnostics;
 pub use engine::Engine;
 pub use importance::{ImportanceResult, ImportanceSampler, Particle, DEFAULT_BLOCK};
 pub use mcmc::{ChainState, GuidedMh, IndependenceMh, McmcResult};

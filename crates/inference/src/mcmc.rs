@@ -135,6 +135,8 @@ impl IndependenceMh {
                 });
             }
         }
+        // Flush the per-proposal cancellation polls once per run.
+        ppl_runtime::stats::record_cancel_checks(proposals as u64);
         Ok(McmcResult {
             chain,
             acceptance_rate: accepted as f64 / proposals.max(1) as f64,
@@ -246,6 +248,8 @@ impl<'f> GuidedMh<'f> {
                 });
             }
         }
+        // Flush the per-proposal cancellation polls once per run.
+        ppl_runtime::stats::record_cancel_checks(proposals as u64);
         Ok(McmcResult {
             chain,
             acceptance_rate: accepted as f64 / proposals.max(1) as f64,

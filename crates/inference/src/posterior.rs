@@ -188,6 +188,41 @@ pub trait Posterior {
     /// rate, final ELBO, fitted parameters, …).
     fn diagnostics(&self) -> Vec<(String, f64)>;
 
+    /// Typed run-quality figures, assembled from the labelled
+    /// [`diagnostics`](Posterior::diagnostics) plus the run-level
+    /// accessors.  Runtime-counter fields start as `None`; callers that
+    /// measured `ppl_runtime::stats` deltas around the run fill them in.
+    fn diag(&self) -> crate::diag::Diagnostics {
+        let labelled = self.diagnostics();
+        let find = |key: &str| {
+            labelled
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| *value)
+        };
+        let mut elbo_tail: Vec<(usize, f64)> = labelled
+            .iter()
+            .filter_map(|(name, value)| {
+                name.strip_prefix("elbo_tail.")
+                    .and_then(|i| i.parse::<usize>().ok())
+                    .map(|i| (i, *value))
+            })
+            .collect();
+        elbo_tail.sort_by_key(|(i, _)| *i);
+        crate::diag::Diagnostics {
+            method: self.method(),
+            num_draws: self.num_draws(),
+            ess: self.ess(),
+            log_evidence: self.log_evidence(),
+            acceptance_rate: find("acceptance_rate"),
+            final_elbo: find("final_elbo"),
+            elbo_tail: elbo_tail.into_iter().map(|(_, v)| v).collect(),
+            lane_splits: None,
+            lane_reconverges: None,
+            cancel_checks: None,
+        }
+    }
+
     /// Posterior expectation of a statistic of the draws
     /// (skip-and-renormalise over draws where it is `None`).
     fn expectation(&self, f: &dyn Fn(&Draw<'_>) -> Option<f64>) -> Option<f64> {
@@ -362,6 +397,17 @@ impl Posterior for ViPosterior {
         ];
         for (name, value) in self.fit.names.iter().zip(&self.fit.params) {
             out.push((format!("param.{name}"), *value));
+        }
+        // Trailing ELBO trajectory: at most 8 values, and never more than
+        // the final tenth of the trace — exactly the window an amortized
+        // artifact retains, so a warm replay reports byte-identical
+        // diagnostics to the cold fit it was stored from.
+        let n = self.fit.elbo_trace.len();
+        if n > 0 {
+            let tail = (n / 10).clamp(1, 8);
+            for (i, value) in self.fit.elbo_trace[n - tail..].iter().enumerate() {
+                out.push((format!("elbo_tail.{i}"), *value));
+            }
         }
         out
     }

@@ -1,0 +1,155 @@
+//! The span vocabulary and the RAII timer.
+//!
+//! A [`Span`] measures one [`Phase`] of a request and feeds the ambient
+//! trace of the current thread (installed by [`crate::Recorder::begin`]).
+//! The phase set is a *closed* enum rather than free-form strings so that
+//! per-(route, phase) histograms can live in a flat fixed-size array of
+//! atomics with no locking and no allocation on the record path.
+
+use std::time::Instant;
+
+/// One stage of the request path, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Reading the request head + body off the socket.
+    HttpRead,
+    /// Parsing the request body into a JSON document.
+    JsonDecode,
+    /// Decoding + validating request fields and building the query plan.
+    Validate,
+    /// Response-cache fingerprint lookup.
+    CacheLookup,
+    /// Type-checking and compiling a submitted model (`POST /v1/models`).
+    Compile,
+    /// Fitting a variational guide (VI queries and `POST /v1/fit`).
+    InferFit,
+    /// Drawing from the posterior (IS particle sweeps, MH chains,
+    /// amortized-artifact replays).
+    InferDraw,
+    /// Serialising the response body to JSON.
+    JsonEncode,
+    /// Writing the response back to the socket.
+    HttpWrite,
+}
+
+/// Number of distinct [`Phase`] values.
+pub const NUM_PHASES: usize = 9;
+
+/// Every phase, in pipeline order (index = [`Phase::index`]).
+pub const PHASES: [Phase; NUM_PHASES] = [
+    Phase::HttpRead,
+    Phase::JsonDecode,
+    Phase::Validate,
+    Phase::CacheLookup,
+    Phase::Compile,
+    Phase::InferFit,
+    Phase::InferDraw,
+    Phase::JsonEncode,
+    Phase::HttpWrite,
+];
+
+impl Phase {
+    /// Stable wire name of the phase (used in logs, `/metrics`, and
+    /// `/v1/trace` payloads).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::HttpRead => "http.read",
+            Phase::JsonDecode => "json.decode",
+            Phase::Validate => "validate",
+            Phase::CacheLookup => "cache.lookup",
+            Phase::Compile => "compile",
+            Phase::InferFit => "infer.fit",
+            Phase::InferDraw => "infer.draw",
+            Phase::JsonEncode => "json.encode",
+            Phase::HttpWrite => "http.write",
+        }
+    }
+
+    /// Dense index of the phase in [`PHASES`].
+    pub fn index(self) -> usize {
+        match self {
+            Phase::HttpRead => 0,
+            Phase::JsonDecode => 1,
+            Phase::Validate => 2,
+            Phase::CacheLookup => 3,
+            Phase::Compile => 4,
+            Phase::InferFit => 5,
+            Phase::InferDraw => 6,
+            Phase::JsonEncode => 7,
+            Phase::HttpWrite => 8,
+        }
+    }
+
+    /// Inverse of [`Phase::as_str`].
+    pub fn parse(name: &str) -> Option<Phase> {
+        PHASES.iter().copied().find(|p| p.as_str() == name)
+    }
+}
+
+/// RAII timer for one [`Phase`] of the ambient trace.
+///
+/// `Span::enter` checks a thread-local flag first: when no trace is
+/// active on the current thread it returns an inert span without reading
+/// the clock or allocating, so instrumentation left in hot paths costs a
+/// single thread-local load when tracing is off.  On drop, an armed span
+/// adds its elapsed nanoseconds to the ambient trace's phase slot.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    phase: Phase,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// Start timing `phase` if a trace is active on this thread;
+    /// otherwise return an inert span.
+    #[inline]
+    pub fn enter(phase: Phase) -> Span {
+        if crate::trace::tracing_active() {
+            Span {
+                phase,
+                started: Some(Instant::now()),
+            }
+        } else {
+            Span {
+                phase,
+                started: None,
+            }
+        }
+    }
+
+    /// Whether this span is actually timing (a trace was active when it
+    /// was entered).
+    pub fn is_armed(&self) -> bool {
+        self.started.is_some()
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            crate::trace::record_phase_nanos(self.phase, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip() {
+        for (i, phase) in PHASES.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+            assert_eq!(Phase::parse(phase.as_str()), Some(*phase));
+        }
+        assert_eq!(Phase::parse("nope"), None);
+    }
+
+    #[test]
+    fn span_is_inert_without_a_trace() {
+        let span = Span::enter(Phase::InferDraw);
+        assert!(!span.is_armed());
+    }
+}

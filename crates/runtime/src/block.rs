@@ -1274,6 +1274,9 @@ impl Runner<'_, '_> {
         if lanes.is_empty() {
             return Ok(());
         }
+        // One flush per op-list per block (amortised over every lane), so
+        // the per-op loop below stays atomic-free.
+        crate::stats::record_cancel_checks(ops.len() as u64);
         // Batched kernels apply whenever the active set is the full dense
         // block (possible inside a fork arm when every lane agreed).
         let full = lanes.len() == self.count;
@@ -1506,12 +1509,19 @@ impl Runner<'_, '_> {
                             else_lanes.push(l);
                         }
                     }
+                    let diverged = !bail && !then_lanes.is_empty() && !else_lanes.is_empty();
+                    if diverged {
+                        crate::stats::record_lane_split();
+                    }
                     let result = if bail {
                         Err(RunBail)
                     } else {
                         self.run_ops(then_ops, &then_lanes, depth + 1)
                             .and_then(|()| self.run_ops(else_ops, &else_lanes, depth + 1))
                     };
+                    if diverged && result.is_ok() {
+                        crate::stats::record_lane_reconverge();
+                    }
                     self.fork_bufs[depth] = (then_lanes, else_lanes);
                     result?;
                 }
@@ -1583,6 +1593,7 @@ impl JointExecutor {
         // stated in.  The vectorised op loop polls again per op, and the
         // scalar fallback per lane, so a mid-block expiry also surfaces.
         self.cancel.check()?;
+        crate::stats::record_cancel_checks(1);
         let plan = match &scratch.block.cache {
             Some((key, plan)) if key.matches(self, spec) => plan.clone(),
             _ => {
@@ -1610,6 +1621,8 @@ impl JointExecutor {
         scratch: &mut JointScratch,
         out: &mut Vec<JointResult>,
     ) -> Result<(), RuntimeError> {
+        // Each scalar run polls the token at entry; flush once per block.
+        crate::stats::record_cancel_checks(count as u64);
         for i in 0..count {
             let mut rng = master.split(first_stream + i as u64);
             let result = self.run_with_scratch(spec, LatentSource::FromGuide, &mut rng, scratch)?;

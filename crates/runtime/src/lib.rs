@@ -54,6 +54,7 @@ pub mod coroutine;
 pub mod faults;
 pub mod joint;
 pub mod program;
+pub mod stats;
 
 pub use cancel::CancelToken;
 pub use coroutine::{Coroutine, CoroutineError, Resume, Step, Suspend};

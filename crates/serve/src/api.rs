@@ -71,6 +71,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Completed request traces retained by the flight recorder's ring
+/// buffer (served by `GET /v1/trace`); the oldest is evicted first.
+pub const TRACE_RING_CAPACITY: usize = 64;
+
 /// Per-endpoint overload limits and deadline defaults.
 ///
 /// Concurrency caps bound the number of requests *running inference* at
@@ -124,6 +128,12 @@ pub struct App {
     pub default_block: usize,
     /// Overload limits and deadline defaults.
     pub limits: AppLimits,
+    /// The flight recorder: per-(route, phase) span histograms, the
+    /// `GET /v1/trace` ring of completed request traces, and the
+    /// engine-quality gauges.  Shared with the transport layer (via
+    /// [`crate::http::ServerConfig::recorder`]) so socket read/write
+    /// phases land in the same traces.
+    pub obs: Arc<ppl_obs::Recorder>,
     /// The server-wide drain token: every request token derives from it,
     /// so [`App::begin_drain`] cancels all in-flight inference at once.
     drain: CancelToken,
@@ -178,6 +188,10 @@ impl App {
             store,
             default_block: block.max(1),
             limits,
+            obs: Arc::new(ppl_obs::Recorder::new(
+                &crate::metrics::ROUTES,
+                TRACE_RING_CAPACITY,
+            )),
             drain: CancelToken::new(),
             inflight_query: AtomicUsize::new(0),
             inflight_fit: AtomicUsize::new(0),
@@ -216,7 +230,22 @@ impl App {
         let app = Arc::clone(self);
         Arc::new(move |req: &Request| {
             let start = Instant::now();
-            let response =
+            // The trace id is a pure function of the request bytes plus a
+            // process epoch counter — deterministic, RNG-free, distinct
+            // under concurrency.
+            let trace_id = app.obs.begin(ppl_obs::trace::request_hash(&[
+                req.method.as_bytes(),
+                req.path.as_bytes(),
+                &req.body,
+            ]));
+            // Fold in the socket-read time the transport stashed before
+            // this trace existed (always drain the slot, even untraced,
+            // so a stale value cannot leak into a later request).
+            let read_nanos = ppl_obs::trace::take_pending_read_nanos();
+            if read_nanos > 0 {
+                ppl_obs::trace::record_phase_nanos(ppl_obs::Phase::HttpRead, read_nanos);
+            }
+            let mut response =
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&app, req))) {
                     Ok(response) => response,
                     Err(_) => {
@@ -224,11 +253,17 @@ impl App {
                         ApiError::new(500, "server.panic", "internal handler panic").to_response()
                     }
                 };
+            let route_name = crate::metrics::normalize_route(&req.path);
             app.metrics.record(
                 &req.path,
                 response.status,
                 start.elapsed().as_secs_f64() * 1e3,
             );
+            if trace_id.is_some() {
+                if let Some(id) = app.obs.finish(route_name, response.status) {
+                    response = response.with_header("X-Ppl-Trace-Id", &id);
+                }
+            }
             response
         })
     }
@@ -458,6 +493,17 @@ fn route(app: &Arc<App>, req: &Request) -> Response {
             .to_response(),
         };
     }
+    if let Some(id) = req.path.strip_prefix("/v1/trace/") {
+        return match req.method.as_str() {
+            "GET" => crate::trace_api::get_trace(app, id).unwrap_or_else(|e| e.to_response()),
+            _ => ApiError::new(
+                405,
+                "method.not_allowed",
+                "wrong HTTP method for this route",
+            )
+            .to_response(),
+        };
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(app),
         ("GET", "/metrics") => metrics(app),
@@ -469,10 +515,11 @@ fn route(app: &Arc<App>, req: &Request) -> Response {
         ("POST", "/v1/batch") => batch(app, req).unwrap_or_else(|e| e.to_response()),
         ("POST", "/v1/fit") => crate::fit::fit(app, req).unwrap_or_else(|e| e.to_response()),
         ("GET", "/v1/artifacts") => crate::fit::list_artifacts(app),
+        ("GET", "/v1/trace") => crate::trace_api::list_traces(app),
         (
             _,
             "/healthz" | "/metrics" | "/v1/models" | "/v1/query" | "/v1/batch" | "/v1/fit"
-            | "/v1/artifacts",
+            | "/v1/artifacts" | "/v1/trace",
         ) => ApiError::new(
             405,
             "method.not_allowed",
@@ -614,6 +661,69 @@ fn metrics(app: &App) -> Response {
                 ),
             ]),
         ));
+        let phases = app
+            .obs
+            .phase_stats()
+            .into_iter()
+            .map(|route_stats| {
+                (
+                    route_stats.route.to_string(),
+                    Json::Obj(
+                        route_stats
+                            .phases
+                            .into_iter()
+                            .map(|(phase, stat)| {
+                                let to_ms = |nanos: u64| Json::num_or_null(nanos as f64 / 1e6);
+                                (
+                                    phase.as_str().to_string(),
+                                    Json::Obj(vec![
+                                        ("count".into(), Json::Num(stat.count as f64)),
+                                        (
+                                            "mean".into(),
+                                            Json::num_or_null(
+                                                stat.sum_nanos as f64
+                                                    / 1e6
+                                                    / (stat.count as f64).max(1.0),
+                                            ),
+                                        ),
+                                        ("p50".into(), to_ms(stat.p50_nanos)),
+                                        ("p90".into(), to_ms(stat.p90_nanos)),
+                                        ("p99".into(), to_ms(stat.p99_nanos)),
+                                        ("max".into(), to_ms(stat.max_nanos)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        fields.push(("phases_ms".into(), Json::Obj(phases)));
+        let gauge = |value: Option<f64>| match value {
+            Some(v) => Json::num_or_null(v),
+            None => Json::Null,
+        };
+        fields.push((
+            "engine_quality".into(),
+            Json::Obj(vec![
+                ("min_ess".into(), gauge(app.obs.min_ess())),
+                (
+                    "worst_acceptance_rate".into(),
+                    gauge(app.obs.worst_acceptance()),
+                ),
+            ]),
+        ));
+        fields.push((
+            "trace".into(),
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(app.obs.enabled())),
+                (
+                    "ring_capacity".into(),
+                    Json::Num(app.obs.ring_capacity() as f64),
+                ),
+                ("recorded".into(), Json::Num(app.obs.recorded() as f64)),
+            ]),
+        ));
     }
     Response::json(200, body.write().expect("finite"))
 }
@@ -729,15 +839,143 @@ fn query(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
         app.limits.query_concurrency,
         "query",
     )?;
-    let doc = parse_body(req)?;
+    let doc = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::JsonDecode);
+        parse_body(req)?
+    };
+    // `"diagnostics": true` (or `X-Ppl-Trace: 1`) asks for the trace
+    // block.  Neither touches the cache fingerprint, and the block is
+    // spliced into the response *after* the clean body was cached, so a
+    // warm hit stays byte-identical no matter how the cold run was asked.
+    let want_trace = req.header("X-Ppl-Trace").map(str::trim) == Some("1")
+        || doc
+            .get("diagnostics")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
     let entry = lookup_model(app, &doc)?;
     if doc.get("artifact").is_some() {
         return crate::fit::artifact_query(app, &doc, &entry);
     }
     let request = decode_request(app, &doc, &entry)?;
-    let (body, hit) = serve_one(app, &entry, &request)?;
-    Ok(Response::json(200, body.to_string())
-        .with_header("X-Cache", if hit { "hit" } else { "miss" }))
+    let (body, hit, engine) = serve_one(app, &entry, &request)?;
+    let mut text = body.to_string();
+    if want_trace {
+        splice_trace(&mut text, hit, engine);
+    }
+    Ok(Response::json(200, text).with_header("X-Cache", if hit { "hit" } else { "miss" }))
+}
+
+/// Splices the per-request `"trace"` block (trace id, per-phase span
+/// timings so far, engine diagnostics for cold runs) into a response
+/// body — strictly *after* the clean body was cached, so diagnostics can
+/// never leak into cached bytes.
+fn splice_trace(body: &mut String, hit: bool, engine: Option<Json>) {
+    if !body.ends_with('}') {
+        return;
+    }
+    let mut fields = vec![
+        (
+            "trace_id".to_string(),
+            match ppl_obs::trace::current_trace_id() {
+                Some(id) => Json::str(id),
+                None => Json::Null,
+            },
+        ),
+        (
+            "cache".to_string(),
+            Json::str(if hit { "hit" } else { "miss" }),
+        ),
+    ];
+    if let Some(spans) = ppl_obs::trace::span_snapshot() {
+        fields.push((
+            "spans_ms".to_string(),
+            Json::Obj(
+                ppl_obs::PHASES
+                    .iter()
+                    .filter(|phase| spans[phase.index()] > 0)
+                    .map(|phase| {
+                        (
+                            phase.as_str().to_string(),
+                            Json::num_or_null(spans[phase.index()] as f64 / 1e6),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    fields.push(("engine".to_string(), engine.unwrap_or(Json::Null)));
+    body.pop();
+    body.push_str(",\"trace\":");
+    body.push_str(
+        &Json::Obj(fields)
+            .write()
+            .expect("trace blocks map non-finite figures to null"),
+    );
+    body.push('}');
+}
+
+/// Renders a [`ppl_inference::Diagnostics`] as the `"engine"` object of
+/// a trace block.
+fn engine_json(diag: &ppl_inference::Diagnostics) -> Json {
+    let opt = |value: Option<f64>| match value {
+        Some(v) => Json::num_or_null(v),
+        None => Json::Null,
+    };
+    let count = |value: Option<u64>| match value {
+        Some(v) => Json::Num(v as f64),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("method".into(), Json::str(diag.method)),
+        ("num_draws".into(), Json::Num(diag.num_draws as f64)),
+        ("ess".into(), Json::num_or_null(diag.ess)),
+        ("log_evidence".into(), opt(diag.log_evidence)),
+        ("acceptance_rate".into(), opt(diag.acceptance_rate)),
+        ("final_elbo".into(), opt(diag.final_elbo)),
+        (
+            "elbo_tail".into(),
+            Json::Arr(
+                diag.elbo_tail
+                    .iter()
+                    .map(|&v| Json::num_or_null(v))
+                    .collect(),
+            ),
+        ),
+        ("lane_splits".into(), count(diag.lane_splits)),
+        ("lane_reconverges".into(), count(diag.lane_reconverges)),
+        ("cancel_checks".into(), count(diag.cancel_checks)),
+    ])
+}
+
+/// Flattens a [`ppl_inference::Diagnostics`] into the labelled pairs the
+/// flight recorder's ring entries carry.
+fn engine_pairs(diag: &ppl_inference::Diagnostics) -> Vec<(String, f64)> {
+    let mut pairs = vec![
+        ("ess".to_string(), diag.ess),
+        ("num_draws".to_string(), diag.num_draws as f64),
+    ];
+    if let Some(v) = diag.log_evidence {
+        pairs.push(("log_evidence".to_string(), v));
+    }
+    if let Some(v) = diag.acceptance_rate {
+        pairs.push(("acceptance_rate".to_string(), v));
+    }
+    if let Some(v) = diag.final_elbo {
+        pairs.push(("final_elbo".to_string(), v));
+    }
+    for (i, v) in diag.elbo_tail.iter().enumerate() {
+        pairs.push((format!("elbo_tail.{i}"), *v));
+    }
+    if let Some(v) = diag.lane_splits {
+        pairs.push(("lane_splits".to_string(), v as f64));
+    }
+    if let Some(v) = diag.lane_reconverges {
+        pairs.push(("lane_reconverges".to_string(), v as f64));
+    }
+    if let Some(v) = diag.cancel_checks {
+        pairs.push(("cancel_checks".to_string(), v as f64));
+    }
+    pairs
 }
 
 fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
@@ -833,7 +1071,7 @@ fn batch(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     let mut results = Vec::with_capacity(requests.len());
     let mut hits = 0usize;
     for (i, request) in requests.iter().enumerate() {
-        let (body, hit) =
+        let (body, hit, _) =
             serve_one(app, &entry, request).map_err(|e| e.with("index", Json::Num(i as f64)))?;
         hits += hit as usize;
         // The cached body is itself a JSON document; splice it verbatim so
@@ -894,33 +1132,70 @@ fn serve_one(
     app: &Arc<App>,
     entry: &ModelEntry,
     request: &QueryRequest,
-) -> Result<(Arc<str>, bool), ApiError> {
+) -> Result<(Arc<str>, bool, Option<Json>), ApiError> {
     // Keyed by the entry *id*, not the display name: for user models the
     // id is a content hash, so cached bytes stay valid across eviction and
     // re-submission (same id ⇒ same sources ⇒ same deterministic result).
     let fingerprint = fingerprint(&entry.id, request);
-    if let Some(body) = app.cache.get(&fingerprint) {
-        return Ok((body, true));
+    let cached = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::CacheLookup);
+        app.cache.get(&fingerprint)
+    };
+    if let Some(body) = cached {
+        ppl_obs::trace::annotate("cache", "hit".to_string());
+        return Ok((body, true, None));
     }
-    let query = build_query(entry, request)?;
+    ppl_obs::trace::annotate("cache", "miss".to_string());
+    let query = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::Validate);
+        build_query(entry, request)?
+    };
+    // VI requests spend their run fitting a guide; IS/MH requests spend
+    // it drawing.  (The VI posterior's draw stage is folded into the fit
+    // span — one request, one inference span.)
+    let infer_phase = match request.method {
+        Method::Vi { .. } => ppl_obs::Phase::InferFit,
+        _ => ppl_obs::Phase::InferDraw,
+    };
+    // Runtime counters are process-global; under concurrent requests a
+    // delta can include a neighbour's blocks, so these figures are
+    // attribution hints, not invariants — and they live only in the
+    // uncached trace block, never in cached bytes.
+    let splits_before = ppl_runtime::stats::lane_splits();
+    let reconverges_before = ppl_runtime::stats::lane_reconverges();
+    let checks_before = ppl_runtime::stats::cancel_checks();
     let run_started = Instant::now();
-    let posterior = query.run(&request.method).map_err(from_session_error)?;
+    let posterior = {
+        let _span = ppl_obs::Span::enter(infer_phase);
+        query.run(&request.method).map_err(from_session_error)?
+    };
     entry.record_execution(
         scheduled_executions(&request.method),
         run_started.elapsed().as_nanos() as u64,
     );
-    let body: Arc<str> = query_response_json(
-        &entry.id,
-        &request.method,
-        request.seed,
-        &posterior,
-        request.sample_index,
-    )
-    .write()
-    .expect("response bodies map non-finite statistics to null")
-    .into();
+    let mut diag = posterior.diag();
+    diag.lane_splits = Some(ppl_runtime::stats::lane_splits().saturating_sub(splits_before));
+    diag.lane_reconverges =
+        Some(ppl_runtime::stats::lane_reconverges().saturating_sub(reconverges_before));
+    diag.cancel_checks = Some(ppl_runtime::stats::cancel_checks().saturating_sub(checks_before));
+    app.obs
+        .observe_quality(Some(diag.ess), diag.acceptance_rate);
+    ppl_obs::trace::annotate_engine(engine_pairs(&diag));
+    let body: Arc<str> = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::JsonEncode);
+        query_response_json(
+            &entry.id,
+            &request.method,
+            request.seed,
+            &posterior,
+            request.sample_index,
+        )
+        .write()
+        .expect("response bodies map non-finite statistics to null")
+        .into()
+    };
     app.cache.insert(fingerprint, Arc::clone(&body));
-    Ok((body, false))
+    Ok((body, false, Some(engine_json(&diag))))
 }
 
 fn build_query(entry: &ModelEntry, request: &QueryRequest) -> Result<Query, ApiError> {

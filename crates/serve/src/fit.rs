@@ -201,7 +201,10 @@ pub fn fit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
     // An expired or drained token aborts fit_vi with a structured error
     // before `store.put` runs — a cancelled fit never persists an
     // artifact.
-    let vi_fit = query.fit_vi(&params, &config).map_err(from_session_error)?;
+    let vi_fit = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::InferFit);
+        query.fit_vi(&params, &config).map_err(from_session_error)?
+    };
     entry.record_execution(cost, started.elapsed().as_nanos() as u64);
 
     if vi_fit.result.params.iter().any(|p| !p.is_finite()) {
@@ -362,9 +365,14 @@ pub(crate) fn artifact_query(
         .vi_from_artifact(&artifact)
         .map_err(|e| from_session_error(SessionError::Query(e)))?;
     let started = Instant::now();
-    let posterior = query
-        .run_vi_warm(&artifact, draw_particles)
-        .map_err(from_session_error)?;
+    // An artifact replay skips the fit and only draws — `infer.draw`,
+    // unlike a cold VI query whose run is dominated by `infer.fit`.
+    let posterior = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::InferDraw);
+        query
+            .run_vi_warm(&artifact, draw_particles)
+            .map_err(from_session_error)?
+    };
     app.store.record_warm_start();
     entry.record_execution(draws, started.elapsed().as_nanos() as u64);
 

@@ -187,6 +187,11 @@ pub struct ServerConfig {
     /// Incremented once per connection shed at the admission queue, so the
     /// serving layer can surface `queue_sheds_total` in its metrics.
     pub shed_counter: Option<Arc<AtomicU64>>,
+    /// Flight recorder the transport reports `http.read` / `http.write`
+    /// phase timings to.  The read time is stashed thread-locally before
+    /// the handler runs (the trace does not exist yet); the write time is
+    /// attributed after the handler's trace has finished.
+    pub recorder: Option<Arc<ppl_obs::Recorder>>,
 }
 
 impl Default for ServerConfig {
@@ -198,6 +203,7 @@ impl Default for ServerConfig {
             read_timeout: READ_TIMEOUT,
             write_timeout: WRITE_TIMEOUT,
             shed_counter: None,
+            recorder: None,
         }
     }
 }
@@ -275,6 +281,7 @@ impl Server {
         let write_timeout = config.write_timeout;
         let retry_after_secs = config.retry_after_secs;
         let shed_counter = config.shed_counter.clone();
+        let recorder = config.recorder.clone();
 
         let mut worker_handles: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
@@ -283,6 +290,7 @@ impl Server {
                 let stop = Arc::clone(&stop);
                 let queued = Arc::clone(&queued);
                 let active = Arc::clone(&active);
+                let recorder = recorder.clone();
                 std::thread::spawn(move || loop {
                     // Holding the lock only for the recv keeps the other
                     // workers free to take the next connection.
@@ -292,7 +300,14 @@ impl Server {
                     };
                     queued.fetch_sub(1, Ordering::SeqCst);
                     active.fetch_add(1, Ordering::SeqCst);
-                    serve_connection(conn, &handler, &stop, read_timeout, write_timeout);
+                    serve_connection(
+                        conn,
+                        &handler,
+                        &stop,
+                        read_timeout,
+                        write_timeout,
+                        recorder.as_ref(),
+                    );
                     active.fetch_sub(1, Ordering::SeqCst);
                 })
             })
@@ -449,6 +464,7 @@ fn serve_connection(
     stop: &AtomicBool,
     read_timeout: Duration,
     write_timeout: Duration,
+    recorder: Option<&Arc<ppl_obs::Recorder>>,
 ) {
     let _ = conn.set_read_timeout(Some(read_timeout));
     let _ = conn.set_write_timeout(Some(write_timeout));
@@ -463,6 +479,8 @@ fn serve_connection(
             return;
         }
         let last_allowed = served + 1 == MAX_KEEPALIVE_REQUESTS;
+        let tracing = recorder.is_some_and(|r| r.enabled());
+        let read_started = tracing.then(Instant::now);
         let (request, keep_alive) = match read_request(&mut reader) {
             Ok(Some(parsed)) => parsed,
             Ok(None) => return, // clean EOF between requests
@@ -484,6 +502,15 @@ fn serve_connection(
             }
             Err(ReadError::Io) => return,
         };
+        // Stash the read time for the trace the handler is about to begin
+        // (the trace cannot exist while the request is still being read).
+        // Keep-alive idle time between requests is included: to the
+        // client, it is all time-to-read-my-request.
+        if let Some(started) = read_started {
+            ppl_obs::trace::set_pending_read_nanos(
+                started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
+        }
         // A panicking handler must not take the worker thread (and the
         // pool's capacity) with it: catch it and answer a structured 500.
         // (The serving layer catches panics inside its own handler too, so
@@ -507,7 +534,20 @@ fn serve_connection(
             && !last_allowed
             && !stop.load(Ordering::SeqCst)
             && !response_requests_close(&response);
-        if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+        let write_started = tracing.then(Instant::now);
+        let write_ok = write_response(&mut writer, &response, keep_alive).is_ok();
+        // Attribute the socket write to the trace the handler just
+        // finished (its identity is handed off thread-locally).
+        if let (Some(started), Some(rec)) = (write_started, recorder) {
+            if let Some((trace_id, route_index)) = ppl_obs::trace::take_last_finished() {
+                rec.note_http_write(
+                    &trace_id,
+                    route_index,
+                    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                );
+            }
+        }
+        if !write_ok || !keep_alive {
             return;
         }
     }

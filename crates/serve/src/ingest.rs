@@ -131,8 +131,11 @@ pub fn submit(app: &Arc<App>, req: &Request) -> Result<Response, ApiError> {
 
     // The admission gate: model–guide compatibility (Theorem 5.2) plus
     // compilation to shared program tables.
-    let session = Session::from_programs(model_prog, &model_proc, guide_prog, &guide_proc)
-        .map_err(|e| type_error(None, e))?;
+    let session = {
+        let _span = ppl_obs::Span::enter(ppl_obs::Phase::Compile);
+        Session::from_programs(model_prog, &model_proc, guide_prog, &guide_proc)
+            .map_err(|e| type_error(None, e))?
+    };
 
     let entry = ModelEntry {
         id: id.clone(),

@@ -15,8 +15,9 @@
 //! JSON codec with byte-position errors ([`json`]), a threaded HTTP/1.1
 //! server with keep-alive and graceful shutdown ([`http`]), the
 //! compiled-session registry ([`registry`]), the deterministic cache
-//! ([`cache`]), request metrics ([`metrics`]), and the routes and wire
-//! protocol ([`api`]).
+//! ([`cache`]), request metrics ([`metrics`]), the flight-recorder trace
+//! routes ([`trace_api`], backed by [`ppl_obs`]), and the routes and
+//! wire protocol ([`api`]).
 //!
 //! # Booting a server
 //!
@@ -40,6 +41,12 @@ pub mod http;
 pub mod ingest;
 pub mod metrics;
 pub mod registry;
+pub mod trace_api;
+
+/// The flight recorder (spans, structured logs, request traces),
+/// re-exported so embedders and the bench harness can reach
+/// [`obs::Recorder`] and [`obs::log`] without a separate dependency.
+pub use ppl_obs as obs;
 
 /// The strict JSON codec.  It moved to `ppl-store` (PR 8) so the artifact
 /// store can share it; re-exported here so `ppl_serve::json::Json` keeps

@@ -5,7 +5,7 @@
 //! ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N]
 //!           [--block N] [--store-dir PATH] [--store-capacity N]
 //!           [--deadline-ms N] [--queue N] [--query-cap N] [--fit-cap N]
-//!           [--drain-ms N]
+//!           [--drain-ms N] [--log-level LEVEL] [--trace on|off]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:8080`; use port 0 to bind an ephemeral
@@ -40,7 +40,19 @@
 //! inference via the drain token, and exits once active connections hit
 //! zero or `--drain-ms` (default 5 000) passes.
 //! See the README's "Limits, deadlines, and overload behaviour".
+//!
+//! # Observability
+//!
+//! The server logs structured JSON to **stderr** — one object per line
+//! with `ts` (seconds since boot), `level`, `code`, and `msg` fields —
+//! while the CI-grepped boot lines stay on stdout.  `--log-level`
+//! (`error|warn|info|debug`, default `info`) sets the threshold.
+//! `--trace off` disables the flight recorder (per-phase spans, the
+//! `/v1/trace` ring, engine-quality gauges); it is on by default and
+//! its steady-state cost is a few atomic adds per request.
+//! See the README's "Observability".
 
+use ppl_serve::obs::log::{self, Value};
 use ppl_serve::{App, AppLimits, Registry, Server, ServerConfig};
 use ppl_store::{Store, DEFAULT_STORE_CAPACITY};
 use std::io::Write;
@@ -81,6 +93,8 @@ fn main() -> ExitCode {
     let mut queue = ppl_serve::http::DEFAULT_QUEUE_CAPACITY;
     let mut limits = AppLimits::default();
     let mut drain_ms = 5_000u64;
+    let mut log_level = ppl_serve::obs::log::Level::Info;
+    let mut trace_on = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -132,10 +146,24 @@ fn main() -> ExitCode {
                 Some(n) => drain_ms = n,
                 None => return usage("--drain-ms expects a non-negative integer"),
             },
+            "--log-level" => match args
+                .next()
+                .as_deref()
+                .and_then(ppl_serve::obs::log::Level::parse)
+            {
+                Some(level) => log_level = level,
+                None => return usage("--log-level expects error|warn|info|debug"),
+            },
+            "--trace" => match args.next().as_deref() {
+                Some("on") => trace_on = true,
+                Some("off") => trace_on = false,
+                _ => return usage("--trace expects on|off"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
     limits.default_deadline_ms = (deadline_ms > 0).then_some(deadline_ms);
+    log::set_level(log_level);
 
     let registry = Registry::from_benchmarks().with_user_capacity(user_models);
     println!("ppl-serve: {} models compiled", registry.len());
@@ -143,7 +171,14 @@ fn main() -> ExitCode {
         Some(dir) => match Store::open(std::path::Path::new(dir), store_capacity) {
             Ok(store) => store,
             Err(e) => {
-                eprintln!("error: cannot open artifact store at '{dir}': {e}");
+                log::error(
+                    "store.open_failed",
+                    "cannot open artifact store",
+                    &[
+                        ("dir", Value::s(dir.as_str())),
+                        ("error", e.to_string().into()),
+                    ],
+                );
                 return ExitCode::FAILURE;
             }
         },
@@ -157,22 +192,53 @@ fn main() -> ExitCode {
         );
     }
     let app = App::with_limits(registry, cache, block, std::sync::Arc::new(store), limits);
+    app.obs.set_enabled(trace_on);
     let config = ServerConfig {
         workers,
         queue_capacity: queue,
         shed_counter: Some(app.metrics.queue_sheds_handle()),
+        recorder: Some(std::sync::Arc::clone(&app.obs)),
         ..ServerConfig::default()
     };
     let server = match Server::bind_with_config(addr.as_str(), config, app.handler()) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("error: cannot bind {addr}: {e}");
+            log::error(
+                "server.bind_failed",
+                "cannot bind listen address",
+                &[("addr", Value::s(&addr)), ("error", e.to_string().into())],
+            );
             return ExitCode::FAILURE;
         }
     };
     println!("ppl-serve listening on http://{}", server.local_addr());
     // The smoke step greps this line from a pipe; make sure it arrives.
     let _ = std::io::stdout().flush();
+    log::info(
+        "server.boot",
+        "ppl-serve accepting requests",
+        &[
+            ("version", Value::s(env!("CARGO_PKG_VERSION"))),
+            ("addr", server.local_addr().to_string().into()),
+            ("workers", workers.into()),
+            ("cache", cache.into()),
+            ("block", block.into()),
+            ("queue", queue.into()),
+            ("deadline_ms", deadline_ms.into()),
+            ("models", app.registry.len().into()),
+            (
+                "store",
+                Value::s(if store_dir.is_some() {
+                    "persistent"
+                } else {
+                    "memory"
+                }),
+            ),
+            ("artifacts", app.store.len().into()),
+            ("trace", trace_on.into()),
+            ("log_level", Value::s(log_level.as_str())),
+        ],
+    );
 
     install_signal_handlers();
     while !SHUTDOWN.load(Ordering::SeqCst) {
@@ -187,20 +253,40 @@ fn main() -> ExitCode {
         server.active_connections()
     );
     let _ = std::io::stdout().flush();
+    log::info(
+        "server.draining",
+        "signal received, draining",
+        &[
+            ("active_connections", server.active_connections().into()),
+            ("drain_ms", drain_ms.into()),
+        ],
+    );
     app.begin_drain();
     server.shutdown_with_deadline(Duration::from_millis(drain_ms), || {
-        eprintln!("ppl-serve: drain deadline passed with connections still active");
+        log::warn(
+            "server.drain_deadline",
+            "drain deadline passed with connections still active",
+            &[("drain_ms", drain_ms.into())],
+        );
     });
     println!("ppl-serve: drained, exiting");
+    log::info("server.drained", "drain complete, exiting", &[]);
     ExitCode::SUCCESS
 }
 
 fn usage(problem: &str) -> ExitCode {
-    eprintln!("error: {problem}");
-    eprintln!(
-        "usage: ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] \
-                [--block N] [--store-dir PATH] [--store-capacity N] [--deadline-ms N] \
-                [--queue N] [--query-cap N] [--fit-cap N] [--drain-ms N]"
+    log::error(
+        "cli.usage",
+        problem,
+        &[(
+            "usage",
+            Value::s(
+                "ppl-serve [--addr HOST:PORT] [--workers N] [--cache N] [--user-models N] \
+                 [--block N] [--store-dir PATH] [--store-capacity N] [--deadline-ms N] \
+                 [--queue N] [--query-cap N] [--fit-cap N] [--drain-ms N] \
+                 [--log-level LEVEL] [--trace on|off]",
+            ),
+        )],
     );
     ExitCode::FAILURE
 }

@@ -22,7 +22,7 @@ pub const LATENCY_BINS: usize = 40;
 /// The routes the server distinguishes in its per-route counters.
 /// `/v1/models/{id}` and `/v1/artifacts/{id}` lifecycle requests are
 /// normalised to their `{id}` buckets.
-pub const ROUTES: [&str; 10] = [
+pub const ROUTES: [&str; 12] = [
     "/healthz",
     "/metrics",
     "/v1/models",
@@ -32,8 +32,30 @@ pub const ROUTES: [&str; 10] = [
     "/v1/fit",
     "/v1/artifacts",
     "/v1/artifacts/{id}",
+    "/v1/trace",
+    "/v1/trace/{id}",
     "other",
 ];
+
+/// Normalises a request path to the [`ROUTES`] entry it is counted
+/// under: lifecycle requests collapse to their `{id}` buckets, and any
+/// unmatched path maps to `"other"`.
+pub fn normalize_route(path: &str) -> &'static str {
+    let path = if path.starts_with("/v1/models/") {
+        "/v1/models/{id}"
+    } else if path.starts_with("/v1/artifacts/") {
+        "/v1/artifacts/{id}"
+    } else if path.starts_with("/v1/trace/") {
+        "/v1/trace/{id}"
+    } else {
+        path
+    };
+    ROUTES
+        .iter()
+        .find(|route| **route == path)
+        .copied()
+        .unwrap_or("other")
+}
 
 struct Latency {
     histogram: Histogram,
@@ -43,6 +65,60 @@ struct Latency {
     max_ms: f64,
 }
 
+impl Latency {
+    fn new() -> Latency {
+        Latency {
+            histogram: Histogram::new(0.0, LATENCY_RANGE_MS, LATENCY_BINS),
+            overflow: 0,
+            count: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    fn add(&mut self, latency_ms: f64) {
+        if latency_ms >= LATENCY_RANGE_MS {
+            self.overflow += 1;
+        } else {
+            self.histogram.add(latency_ms, 1.0);
+        }
+        self.count += 1;
+        self.sum_ms += latency_ms;
+        self.max_ms = self.max_ms.max(latency_ms);
+    }
+
+    /// Estimated `q`-quantile in milliseconds, read from the histogram
+    /// bins (bin-centre resolution); ranks landing in the overflow
+    /// region report the exact running maximum.
+    fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0);
+        let mut cumulative = 0.0;
+        for (center, weight) in self
+            .histogram
+            .centers()
+            .into_iter()
+            .zip(self.histogram.bin_weights().iter().copied())
+        {
+            cumulative += weight;
+            if cumulative >= target {
+                return center;
+            }
+        }
+        self.max_ms
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count > 0 {
+            self.sum_ms / self.count as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Aggregated serving metrics.
 pub struct Metrics {
     started: Instant,
@@ -50,7 +126,14 @@ pub struct Metrics {
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
+    /// `408 Request Timeout` responses, counted apart from the generic
+    /// 4xx class so deadline pressure is visible at a glance.
+    responses_timeout: AtomicU64,
+    /// Requests whose path matched no known route (they are counted
+    /// under the `"other"` bucket, but no longer silently).
+    unknown_paths: AtomicU64,
     latency: Mutex<Latency>,
+    latency_by_route: Mutex<Vec<Latency>>,
     /// Handler panics caught and converted to `500 server.panic`.
     panics: AtomicU64,
     /// Requests shed by a per-endpoint concurrency cap (`429`).
@@ -85,13 +168,10 @@ impl Metrics {
             responses_2xx: AtomicU64::new(0),
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
-            latency: Mutex::new(Latency {
-                histogram: Histogram::new(0.0, LATENCY_RANGE_MS, LATENCY_BINS),
-                overflow: 0,
-                count: 0,
-                sum_ms: 0.0,
-                max_ms: 0.0,
-            }),
+            responses_timeout: AtomicU64::new(0),
+            unknown_paths: AtomicU64::new(0),
+            latency: Mutex::new(Latency::new()),
+            latency_by_route: Mutex::new((0..ROUTES.len()).map(|_| Latency::new()).collect()),
             panics: AtomicU64::new(0),
             cap_sheds: AtomicU64::new(0),
             queue_sheds: Arc::new(AtomicU64::new(0)),
@@ -132,33 +212,45 @@ impl Metrics {
     /// Records one handled request: its route (normalised to a [`ROUTES`]
     /// entry), response status, and wall-clock latency.
     pub fn record(&self, path: &str, status: u16, latency_ms: f64) {
-        let path = if path.starts_with("/v1/models/") {
-            "/v1/models/{id}"
-        } else if path.starts_with("/v1/artifacts/") {
-            "/v1/artifacts/{id}"
-        } else {
-            path
-        };
+        let route = normalize_route(path);
         let idx = ROUTES
             .iter()
-            .position(|r| *r == path)
+            .position(|r| *r == route)
             .unwrap_or(ROUTES.len() - 1);
+        if route == "other" && path != "other" {
+            // Unmatched paths still land in the "other" bucket, but no
+            // longer silently: count them and leave a (rate-limited)
+            // breadcrumb naming the path.
+            self.unknown_paths.fetch_add(1, Ordering::Relaxed);
+            ppl_obs::log::debug(
+                "route.unknown",
+                "request for unmatched path counted under \"other\"",
+                &[("path", ppl_obs::log::Value::s(path))],
+            );
+        }
         self.requests_by_route[idx].fetch_add(1, Ordering::Relaxed);
         let status_counter = match status {
             200..=299 => &self.responses_2xx,
+            408 => &self.responses_timeout,
             500..=599 => &self.responses_5xx,
             _ => &self.responses_4xx,
         };
         status_counter.fetch_add(1, Ordering::Relaxed);
-        let mut latency = self.latency.lock().expect("metrics poisoned");
-        if latency_ms >= LATENCY_RANGE_MS {
-            latency.overflow += 1;
-        } else {
-            latency.histogram.add(latency_ms, 1.0);
-        }
-        latency.count += 1;
-        latency.sum_ms += latency_ms;
-        latency.max_ms = latency.max_ms.max(latency_ms);
+        self.latency
+            .lock()
+            .expect("metrics poisoned")
+            .add(latency_ms);
+        self.latency_by_route.lock().expect("metrics poisoned")[idx].add(latency_ms);
+    }
+
+    /// Requests for paths that matched no known route so far.
+    pub fn unknown_paths(&self) -> u64 {
+        self.unknown_paths.load(Ordering::Relaxed)
+    }
+
+    /// `408 Request Timeout` responses so far.
+    pub fn timeouts(&self) -> u64 {
+        self.responses_timeout.load(Ordering::Relaxed)
     }
 
     /// Total requests across every route.
@@ -178,11 +270,7 @@ impl Metrics {
     /// `cache_misses`, and `cache_len` come from the response cache.
     pub fn render(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> Json {
         let latency = self.latency.lock().expect("metrics poisoned");
-        let mean_ms = if latency.count > 0 {
-            latency.sum_ms / latency.count as f64
-        } else {
-            0.0
-        };
+        let mean_ms = latency.mean();
         let histogram = Json::Obj(vec![
             (
                 "range_ms".into(),
@@ -253,16 +341,28 @@ impl Metrics {
                         "5xx".into(),
                         Json::Num(self.responses_5xx.load(Ordering::Relaxed) as f64),
                     ),
+                    (
+                        "timeout".into(),
+                        Json::Num(self.responses_timeout.load(Ordering::Relaxed) as f64),
+                    ),
                 ]),
+            ),
+            (
+                "unknown_paths".into(),
+                Json::Num(self.unknown_paths.load(Ordering::Relaxed) as f64),
             ),
             (
                 "latency_ms".into(),
                 Json::Obj(vec![
                     ("mean".into(), Json::num_or_null(mean_ms)),
                     ("max".into(), Json::num_or_null(latency.max_ms)),
+                    ("p50".into(), Json::num_or_null(latency.percentile(0.50))),
+                    ("p90".into(), Json::num_or_null(latency.percentile(0.90))),
+                    ("p99".into(), Json::num_or_null(latency.percentile(0.99))),
                     ("histogram".into(), histogram),
                 ]),
             ),
+            ("latency_by_route_ms".into(), self.render_route_latency()),
             (
                 "cache".into(),
                 Json::Obj(vec![
@@ -273,6 +373,32 @@ impl Metrics {
                 ]),
             ),
         ])
+    }
+
+    /// Per-route latency summaries (count, mean, max, p50/p90/p99) for
+    /// every route that has handled at least one request.
+    fn render_route_latency(&self) -> Json {
+        let by_route = self.latency_by_route.lock().expect("metrics poisoned");
+        Json::Obj(
+            ROUTES
+                .iter()
+                .zip(by_route.iter())
+                .filter(|(_, latency)| latency.count > 0)
+                .map(|(route, latency)| {
+                    (
+                        route.to_string(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(latency.count as f64)),
+                            ("mean".into(), Json::num_or_null(latency.mean())),
+                            ("max".into(), Json::num_or_null(latency.max_ms)),
+                            ("p50".into(), Json::num_or_null(latency.percentile(0.50))),
+                            ("p90".into(), Json::num_or_null(latency.percentile(0.90))),
+                            ("p99".into(), Json::num_or_null(latency.percentile(0.99))),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 
@@ -290,12 +416,15 @@ mod tests {
         m.record("/v1/models/m-0011223344556677", 200, 0.2);
         m.record("/v1/artifacts/a-0011223344556677", 200, 0.2);
         m.record("/v1/query", 500, LATENCY_RANGE_MS + 1.0);
-        assert_eq!(m.total_requests(), 7);
+        m.record("/v1/query", 408, 250.0);
+        assert_eq!(m.total_requests(), 8);
         assert_eq!(m.latency_overflow(), 1);
+        assert_eq!(m.timeouts(), 1);
+        assert_eq!(m.unknown_paths(), 1);
         let json = m.render(3, 1, 2);
         assert_eq!(
             json.get("requests_by_route").unwrap().get("/v1/query"),
-            Some(&Json::Num(3.0))
+            Some(&Json::Num(4.0))
         );
         assert_eq!(
             json.get("requests_by_route")
@@ -322,10 +451,62 @@ mod tests {
             Some(&Json::Num(1.0))
         );
         assert_eq!(
+            json.get("responses").unwrap().get("timeout"),
+            Some(&Json::Num(1.0)),
+            "408 is its own class, not folded into 4xx"
+        );
+        assert_eq!(json.get("unknown_paths"), Some(&Json::Num(1.0)));
+        assert_eq!(
             json.get("cache").unwrap().get("hit_rate"),
             Some(&Json::Num(0.75))
         );
+        let latency = json.get("latency_ms").unwrap();
+        for key in ["p50", "p90", "p99"] {
+            assert!(
+                matches!(latency.get(key), Some(Json::Num(v)) if *v >= 0.0),
+                "global latency reports {key}"
+            );
+        }
+        let by_route = json.get("latency_by_route_ms").unwrap();
+        let query = by_route.get("/v1/query").expect("per-route latency");
+        assert_eq!(query.get("count"), Some(&Json::Num(4.0)));
+        assert!(matches!(query.get("p99"), Some(Json::Num(v)) if *v > 0.0));
+        assert!(
+            by_route.get("/v1/batch").is_none(),
+            "routes with no traffic are omitted"
+        );
         // The document always serialises (every number finite).
         assert!(json.write().is_ok());
+    }
+
+    #[test]
+    fn percentiles_track_the_tail() {
+        // 2% of samples in the tail: nearest-rank p99 must land there
+        // (with exactly 1% it would sit right on the bulk boundary).
+        let m = Metrics::new();
+        for _ in 0..98 {
+            m.record("/v1/query", 200, 10.0);
+        }
+        m.record("/v1/query", 200, 1_500.0);
+        m.record("/v1/query", 200, 1_500.0);
+        let json = m.render(0, 0, 0);
+        let latency = json.get("latency_ms").unwrap();
+        let num = |key: &str| match latency.get(key) {
+            Some(Json::Num(v)) => *v,
+            other => panic!("{key} missing: {other:?}"),
+        };
+        assert!(num("p50") < 100.0, "median near the bulk");
+        assert!(num("p99") > 1_000.0, "p99 sees the tail the mean hides");
+        assert!(num("mean") < num("p99"));
+    }
+
+    #[test]
+    fn normalize_route_covers_ids_and_unknowns() {
+        assert_eq!(normalize_route("/healthz"), "/healthz");
+        assert_eq!(normalize_route("/v1/models/m-00"), "/v1/models/{id}");
+        assert_eq!(normalize_route("/v1/artifacts/a-00"), "/v1/artifacts/{id}");
+        assert_eq!(normalize_route("/v1/trace"), "/v1/trace");
+        assert_eq!(normalize_route("/v1/trace/t-00"), "/v1/trace/{id}");
+        assert_eq!(normalize_route("/nope"), "other");
     }
 }

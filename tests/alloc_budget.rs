@@ -15,11 +15,19 @@
 //! sibling tests nor libtest's own main thread (which lazily allocates
 //! channel-parking state at an arbitrary point mid-run) can leak
 //! allocations into a measured window.
+//!
+//! The measured loops also enter a flight-recorder [`Span`] per
+//! iteration, exactly as the serving path does around inference.  With
+//! no active trace on the thread (the production default for every
+//! worker until a request opts in) the span must be **inert**: no clock
+//! read and, what this suite proves, no allocation — so leaving tracing
+//! compiled into the hot path costs nothing when it is off.
 
 use guide_ppl::runtime::{JointExecutor, JointScratch, JointSpec, LatentSource};
 use guide_ppl::Session;
 use ppl_bench::alloc_track::{thread_allocations, CountingAlloc};
 use ppl_dist::rng::Pcg32;
+use ppl_obs::{Phase, Span};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
@@ -46,6 +54,10 @@ fn run_batch(
     let before = thread_allocations();
     let mut acc = 0.0f64;
     for _ in 0..count {
+        // Mirrors the serving path, which brackets inference in a span;
+        // with no active trace the guard must not allocate.
+        let span = Span::enter(Phase::InferDraw);
+        assert!(!span.is_armed(), "no trace is active in this test");
         let joint = executor
             .run_with_scratch(spec, LatentSource::FromGuide, rng, scratch)
             .expect("joint execution");
@@ -90,6 +102,7 @@ fn run_block_batch(
     let before = thread_allocations();
     let mut acc = 0.0f64;
     for _ in 0..blocks {
+        let _span = Span::enter(Phase::InferDraw);
         results.clear();
         executor
             .run_block_with_scratch(spec, master, *stream, block, scratch, results)
@@ -193,6 +206,30 @@ fn replay_rescoring_is_allocation_free() {
     assert_eq!(
         allocs, 0,
         "replay re-scoring allocated ({allocs} allocations / 1000 replays)"
+    );
+}
+
+#[test]
+fn disarmed_tracing_is_allocation_free() {
+    // The two observability entry points that sit on hot paths must be
+    // free when dormant: a span on a thread with no active trace, and a
+    // log call below the emission threshold (default `info`).  The first
+    // span outside the window faults in any thread-local state.
+    drop(Span::enter(Phase::InferDraw));
+    let before = thread_allocations();
+    for i in 0..1_000u64 {
+        let span = Span::enter(Phase::InferDraw);
+        assert!(!span.is_armed(), "no trace is active on this thread");
+        ppl_obs::log::debug(
+            "alloc.probe",
+            "below-threshold line",
+            &[("i", ppl_obs::log::Value::Uint(i))],
+        );
+    }
+    let allocs = thread_allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "dormant spans/logs allocated ({allocs} allocations / 1000 iterations)"
     );
 }
 
